@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Cairo_layout Comdiac Core Device Format Hashtbl Lazy List Measure Netlist Paper_data Phys Printf Sim Staged String Sys Technology Test Time Toolkit

@@ -1,0 +1,224 @@
+(* losac - layout-oriented synthesis of analog circuits.
+
+   Subcommands:
+     losac size   - size an op-amp and verify it by simulation
+     losac synth  - run the layout-oriented flow (Table-1 cases)
+     losac layout - generate and render the layout of a synthesis run
+     losac tech   - characterise the built-in technologies *)
+
+open Cmdliner
+
+let proc_conv =
+  let parse s =
+    match Technology.Process.find s with
+    | p -> Ok p
+    | exception Not_found ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown technology %s (have: %s)" s
+              (String.concat ", "
+                 (List.map
+                    (fun p -> p.Technology.Process.name)
+                    Technology.Process.builtin))))
+  in
+  let print fmt p = Format.pp_print_string fmt p.Technology.Process.name in
+  Arg.conv (parse, print)
+
+let kind_conv =
+  let parse = function
+    | "level1" -> Ok Device.Model.Level1
+    | "bsim-lite" | "bsim" -> Ok Device.Model.Bsim_lite
+    | s -> Error (`Msg (Printf.sprintf "unknown model %s (level1|bsim-lite)" s))
+  in
+  let print fmt k = Format.pp_print_string fmt (Device.Model.kind_to_string k) in
+  Arg.conv (parse, print)
+
+let proc_arg =
+  Arg.(value & opt proc_conv Technology.Process.c06
+       & info [ "tech" ] ~docv:"NAME" ~doc:"Technology (c06 or c035).")
+
+let kind_arg =
+  Arg.(value & opt kind_conv Device.Model.Bsim_lite
+       & info [ "model" ] ~docv:"KIND" ~doc:"Transistor model (level1 or bsim-lite).")
+
+let spec_term =
+  let gbw =
+    Arg.(value & opt float 65.0
+         & info [ "gbw" ] ~docv:"MHZ" ~doc:"Gain-bandwidth target, MHz.")
+  in
+  let pm =
+    Arg.(value & opt float 65.0
+         & info [ "pm" ] ~docv:"DEG" ~doc:"Phase margin target, degrees.")
+  in
+  let cl =
+    Arg.(value & opt float 3.0
+         & info [ "cl" ] ~docv:"PF" ~doc:"Load capacitance, pF.")
+  in
+  let vdd =
+    Arg.(value & opt float 3.3 & info [ "vdd" ] ~docv:"V" ~doc:"Supply voltage.")
+  in
+  let build gbw pm cl vdd =
+    { Comdiac.Spec.paper_ota with
+      Comdiac.Spec.gbw = gbw *. 1e6;
+      phase_margin = pm;
+      cload = cl *. 1e-12;
+      vdd }
+  in
+  Term.(const build $ gbw $ pm $ cl $ vdd)
+
+(* --- size ----------------------------------------------------------- *)
+
+let size_cmd =
+  let topology =
+    Arg.(value & opt string "folded-cascode"
+         & info [ "topology" ] ~docv:"NAME"
+             ~doc:"folded-cascode, two-stage or 5t.")
+  in
+  let run proc kind spec topology =
+    let tb_and_print amp pp_design =
+      pp_design ();
+      let tb = Comdiac.Testbench.make ~proc ~kind ~spec amp in
+      Format.printf "@.measured performance:@.%a@." Comdiac.Performance.pp
+        (Comdiac.Testbench.performance tb)
+    in
+    let parasitics = Comdiac.Parasitics.single_fold in
+    match topology with
+    | "folded-cascode" | "fc" ->
+      let d = Comdiac.Folded_cascode.size ~proc ~kind ~spec ~parasitics in
+      tb_and_print d.Comdiac.Folded_cascode.amp (fun () ->
+        Format.printf "%a@." Comdiac.Folded_cascode.pp_design d)
+    | "two-stage" | "miller" ->
+      let spec = { spec with Comdiac.Spec.icmr = (1.2, 2.1) } in
+      let d = Comdiac.Two_stage.size ~proc ~kind ~spec ~parasitics in
+      tb_and_print d.Comdiac.Two_stage.amp (fun () ->
+        Format.printf "%a@." Comdiac.Two_stage.pp_design d)
+    | "5t" | "simple" ->
+      let spec = { spec with Comdiac.Spec.icmr = (1.2, 2.1) } in
+      let d = Comdiac.Simple_ota.size ~proc ~kind ~spec ~parasitics in
+      tb_and_print d.Comdiac.Simple_ota.amp (fun () ->
+        Format.printf "%a@." Comdiac.Simple_ota.pp_design d)
+    | other -> Format.printf "unknown topology %s@." other
+  in
+  let info =
+    Cmd.info "size" ~doc:"Size an op-amp and verify it by simulation."
+  in
+  Cmd.v info Term.(const run $ proc_arg $ kind_arg $ spec_term $ topology)
+
+(* --- synth ----------------------------------------------------------- *)
+
+let case_conv =
+  let parse = function
+    | "1" -> Ok Core.Flow.Case1
+    | "2" -> Ok Core.Flow.Case2
+    | "3" -> Ok Core.Flow.Case3
+    | "4" -> Ok Core.Flow.Case4
+    | s -> Error (`Msg (Printf.sprintf "case must be 1..4, got %s" s))
+  in
+  let print fmt c = Format.pp_print_string fmt (Core.Flow.case_label c) in
+  Arg.conv (parse, print)
+
+let synth_cmd =
+  let case =
+    Arg.(value & opt case_conv Core.Flow.Case4
+         & info [ "case" ] ~docv:"N"
+             ~doc:"Parasitic-awareness case (1..4 as in the paper's Table 1).")
+  in
+  let run proc kind spec case =
+    let r = Core.Flow.run ~proc ~kind ~spec case in
+    Format.printf "%s: %s@." (Core.Flow.case_label case)
+      (Core.Flow.case_description case);
+    Format.printf "layout-tool calls before convergence: %d (%.1f s total)@.@."
+      r.Core.Flow.layout_calls r.Core.Flow.elapsed;
+    Format.printf "synthesized (extracted):@.%a@." Comdiac.Performance.pp_pair
+      (r.Core.Flow.synthesized, r.Core.Flow.extracted)
+  in
+  let info =
+    Cmd.info "synth"
+      ~doc:"Run the layout-oriented synthesis flow and report synthesized \
+            vs extracted performance."
+  in
+  Cmd.v info Term.(const run $ proc_arg $ kind_arg $ spec_term $ case)
+
+(* --- layout ----------------------------------------------------------- *)
+
+let layout_cmd =
+  let svg =
+    Arg.(value & opt (some string) None
+         & info [ "svg" ] ~docv:"FILE" ~doc:"Write the layout as SVG.")
+  in
+  let ascii =
+    Arg.(value & flag & info [ "ascii" ] ~doc:"Print an ASCII rendering.")
+  in
+  let run proc kind spec svg ascii =
+    let r = Core.Flow.run ~proc ~kind ~spec Core.Flow.Case4 in
+    let report = r.Core.Flow.report in
+    Format.printf "floorplan %d x %d lambda@."
+      report.Cairo_layout.Plan.total_w report.Cairo_layout.Plan.total_h;
+    List.iter
+      (fun (name, style) ->
+        Format.printf "  %-5s nf = %d@." name style.Device.Folding.nf)
+      report.Cairo_layout.Plan.device_styles;
+    match report.Cairo_layout.Plan.cell with
+    | None -> ()
+    | Some cell ->
+      (match svg with
+       | Some path ->
+         Out_channel.with_open_text path (fun oc ->
+           output_string oc (Cairo_layout.Render.svg cell));
+         Format.printf "wrote %s@." path
+       | None -> ());
+      if ascii then
+        Format.printf "%s@.%s@." Cairo_layout.Render.legend
+          (Cairo_layout.Render.ascii ~max_cols:110 cell)
+  in
+  let info = Cmd.info "layout" ~doc:"Generate and render the case-4 layout." in
+  Cmd.v info Term.(const run $ proc_arg $ kind_arg $ spec_term $ svg $ ascii)
+
+(* --- verify ----------------------------------------------------------- *)
+
+let verify_cmd =
+  let samples =
+    Arg.(value & opt int 30
+         & info [ "samples" ] ~docv:"N" ~doc:"Monte Carlo sample count.")
+  in
+  let run proc kind spec samples =
+    let design =
+      Comdiac.Folded_cascode.size ~proc ~kind ~spec
+        ~parasitics:Comdiac.Parasitics.single_fold
+    in
+    let amp = design.Comdiac.Folded_cascode.amp in
+    let mc = Comdiac.Montecarlo.run ~n:samples ~proc ~kind ~spec amp in
+    Format.printf "%a@.@." Comdiac.Montecarlo.pp mc;
+    let rebias p = Comdiac.Folded_cascode.rebias ~proc:p ~kind ~spec design in
+    let rob = Comdiac.Robustness.run ~rebias ~proc ~kind ~spec amp in
+    Format.printf "%a@.@." Comdiac.Robustness.pp rob;
+    let tb = Comdiac.Testbench.make ~proc ~kind ~spec amp in
+    Format.printf "PSRR %.1f dB@." (Sim.Measure.db (Comdiac.Testbench.psrr tb));
+    let lo, hi = Comdiac.Testbench.common_mode_range tb in
+    Format.printf "input common-mode range [%.2f, %.2f] V@." lo hi
+  in
+  let info =
+    Cmd.info "verify"
+      ~doc:"Statistical (mismatch Monte Carlo) and corner/temperature             verification of the sized amplifier."
+  in
+  Cmd.v info Term.(const run $ proc_arg $ kind_arg $ spec_term $ samples)
+
+(* --- tech ----------------------------------------------------------- *)
+
+let tech_cmd =
+  let run () =
+    List.iter
+      (fun p ->
+        Format.printf "%a@.@." Technology.Process.pp_evaluation
+          (Technology.Process.evaluate p))
+      Technology.Process.builtin
+  in
+  let info = Cmd.info "tech" ~doc:"Characterise the built-in technologies." in
+  Cmd.v info Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "losac" ~version:"1.0.0"
+      ~doc:"Layout-oriented synthesis of high performance analog circuits."
+  in
+  exit (Cmd.eval (Cmd.group info [ size_cmd; synth_cmd; layout_cmd; verify_cmd; tech_cmd ]))

@@ -1,0 +1,1 @@
+examples/current_mirror.ml: Cairo_layout Format List Out_channel Technology

@@ -1,0 +1,1 @@
+examples/current_mirror.mli:

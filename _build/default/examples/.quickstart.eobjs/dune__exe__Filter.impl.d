@@ -1,0 +1,1 @@
+examples/filter.ml: Array Comdiac Device Float Format List Netlist Phys Sim String Technology

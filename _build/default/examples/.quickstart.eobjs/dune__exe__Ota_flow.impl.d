@@ -1,0 +1,1 @@
+examples/ota_flow.ml: Cairo_layout Comdiac Core Device Format List Out_channel Phys Technology

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Comdiac Device Format Netlist Technology

@@ -1,0 +1,1 @@
+examples/sc_integrator.ml: Comdiac Device Float Format Netlist Phys Sim Technology

@@ -1,0 +1,1 @@
+examples/sc_integrator.mli:

@@ -1,0 +1,1 @@
+examples/tech_explore.ml: Comdiac Device Format List Phys Technology

@@ -1,0 +1,114 @@
+(* Using the synthesized OTA in a system: a two-pole gm-C low-pass filter.
+
+   An OTA (unlike an op-amp) has a high-impedance output, so the natural
+   filter style is gm-C: a capacitively loaded unity-feedback OTA is a
+   first-order section with pole gm1 / (2 pi C); cascading two sections
+   gives a -40 dB/decade low-pass.  Both sections are the full
+   transistor-level folded cascode from the sizing tool.
+
+     dune exec examples/filter.exe *)
+
+module El = Netlist.Element
+module Ckt = Netlist.Circuit
+
+(* Instantiate the amp's elements with every net renamed, so two copies
+   coexist in one circuit. *)
+let add_renamed amp rename c =
+  let ren n = if n = El.ground then n else rename n in
+  List.fold_left
+    (fun c e ->
+      let e' =
+        match e with
+        | El.Mos { dev; d; g; s; b } ->
+          El.Mos
+            { dev = { dev with Device.Mos.name = rename dev.Device.Mos.name };
+              d = ren d; g = ren g; s = ren s; b = ren b }
+        | El.Resistor { name; p; n; r } ->
+          El.Resistor { name = rename name; p = ren p; n = ren n; r }
+        | El.Capacitor { name; p; n; c } ->
+          El.Capacitor { name = rename name; p = ren p; n = ren n; c }
+        | El.Isource { name; p; n; i } ->
+          El.Isource { name = rename name; p = ren p; n = ren n; i }
+        | El.Vsource { name; p; n; v } ->
+          El.Vsource { name = rename name; p = ren p; n = ren n; v }
+      in
+      Ckt.add c e')
+    c
+    (let base = Ckt.create ~title:"amp" in
+     Ckt.elements (Comdiac.Amp.add_to amp base))
+
+let () =
+  let proc = Technology.Process.c06 in
+  let kind = Device.Model.Bsim_lite in
+  let spec = Comdiac.Spec.paper_ota in
+  let design =
+    Comdiac.Folded_cascode.size ~proc ~kind ~spec
+      ~parasitics:Comdiac.Parasitics.single_fold
+  in
+  let amp = design.Comdiac.Folded_cascode.amp in
+  let gm1 = amp.Comdiac.Amp.gm1 in
+  let f0 = 1e6 in
+  let c_sect = gm1 /. (2.0 *. Float.pi *. f0) in
+  Format.printf
+    "gm-C LP: two cascaded follower sections, gm1 = %s, section C = %s, \
+     section pole = %s@."
+    (Phys.Units.to_si_string "S" gm1)
+    (Phys.Units.to_si_string "F" c_sect)
+    (Phys.Units.to_si_string "Hz" f0);
+  let vmid = Comdiac.Spec.output_quiescent spec in
+  let prefix p net =
+    match net with
+    | "vdd" -> "vdd" (* shared supply *)
+    | _ -> p ^ net
+  in
+  let c = Ckt.create ~title:"gm-C lowpass" in
+  let c = add_renamed amp (prefix "a_") c in
+  let c = add_renamed amp (prefix "b_") c in
+  let c = Ckt.add_vsource c ~name:"dd" ~p:"vdd" ~n:El.ground (El.dc_source spec.Comdiac.Spec.vdd) in
+  let c = Ckt.add_vsource c ~name:"in" ~p:"a_inp" ~n:El.ground (El.ac_source ~dc:vmid 1.0) in
+  (* section 1: follower with C load *)
+  let c = Ckt.add_vsource c ~name:"fb1" ~p:"a_inn" ~n:"a_out" (El.dc_source 0.0) in
+  let c = Ckt.add_capacitor c ~name:"1" ~p:"a_out" ~n:El.ground ~c:c_sect in
+  (* section 2 *)
+  let c = Ckt.add_vsource c ~name:"lk" ~p:"b_inp" ~n:"a_out" (El.dc_source 0.0) in
+  let c = Ckt.add_vsource c ~name:"fb2" ~p:"b_inn" ~n:"b_out" (El.dc_source 0.0) in
+  let c = Ckt.add_capacitor c ~name:"2" ~p:"b_out" ~n:El.ground ~c:c_sect in
+  let guess name =
+    let strip p n =
+      let lp = String.length p in
+      if String.length n > lp && String.sub n 0 lp = p then
+        Some (String.sub n lp (String.length n - lp))
+      else None
+    in
+    let base =
+      match (strip "a_" name, strip "b_" name) with
+      | Some n, _ | _, Some n -> n
+      | None, None -> name
+    in
+    match Comdiac.Amp.guess_fn amp ~extra:[ ("vdd", spec.Comdiac.Spec.vdd) ] base with
+    | Some v -> Some v
+    | None -> Some vmid
+  in
+  let dc = Sim.Dcop.solve ~guess ~proc ~kind c in
+  Format.printf "DC: section outputs %.3f V / %.3f V (target %.3f V)@."
+    (Sim.Dcop.voltage dc "a_out") (Sim.Dcop.voltage dc "b_out") vmid;
+  let net = Sim.Acs.prepare dc in
+  Format.printf "@.%10s %12s@." "freq" "gain (dB)";
+  Array.iter
+    (fun f ->
+      Format.printf "%10s %12.2f@."
+        (Phys.Units.to_si_string "Hz" f)
+        (Sim.Measure.db (Sim.Measure.magnitude net ~out:"b_out" f)))
+    (Phys.Numerics.logspace 1e4 3e7 13);
+  (match Sim.Measure.bandwidth_3db net ~out:"b_out" with
+   | Some f ->
+     Format.printf
+       "@.-3 dB at %s (two identical poles at %s give an ideal %.0f kHz)@."
+       (Phys.Units.to_si_string "Hz" f)
+       (Phys.Units.to_si_string "Hz" f0)
+       (f0 *. sqrt (sqrt 2.0 -. 1.0) /. 1e3)
+   | None -> Format.printf "no -3 dB point found@.");
+  let g3 = Sim.Measure.db (Sim.Measure.magnitude net ~out:"b_out" (3.0 *. f0)) in
+  let g30 = Sim.Measure.db (Sim.Measure.magnitude net ~out:"b_out" (30.0 *. f0)) in
+  Format.printf "roll-off %.1f dB/decade between 3 f0 and 30 f0 (ideal -40)@."
+    (g30 -. g3)

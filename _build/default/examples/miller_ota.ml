@@ -1,0 +1,39 @@
+(* Topology extensibility: the same spec record, testbench and parasitic
+   interfaces drive a different design plan - a two-stage Miller OTA - and
+   the simple 5T OTA baseline.  This is the paper's "hierarchy simplifies
+   the addition of new topologies" point.
+
+     dune exec examples/miller_ota.exe *)
+
+let () =
+  let proc = Technology.Process.c06 in
+  let kind = Device.Model.Bsim_lite in
+  let spec =
+    { Comdiac.Spec.paper_ota with
+      Comdiac.Spec.icmr = (1.2, 2.1); gbw = 25e6; phase_margin = 60.0 }
+  in
+  Format.printf "specification: %a@.@." Comdiac.Spec.pp spec;
+
+  let miller =
+    Comdiac.Two_stage.size ~proc ~kind ~spec
+      ~parasitics:Comdiac.Parasitics.single_fold
+  in
+  Format.printf "%a@.@." Comdiac.Two_stage.pp_design miller;
+  let tb = Comdiac.Testbench.make ~proc ~kind ~spec miller.Comdiac.Two_stage.amp in
+  Format.printf "two-stage Miller OTA, measured:@.%a@.@."
+    Comdiac.Performance.pp
+    (Comdiac.Testbench.performance tb);
+
+  let five_t =
+    Comdiac.Simple_ota.size ~proc ~kind
+      ~spec:{ spec with Comdiac.Spec.gbw = 20e6 }
+      ~parasitics:Comdiac.Parasitics.single_fold
+  in
+  let tb5 =
+    Comdiac.Testbench.make ~proc ~kind
+      ~spec:{ spec with Comdiac.Spec.gbw = 20e6 }
+      five_t.Comdiac.Simple_ota.amp
+  in
+  Format.printf "simple 5T OTA baseline, measured:@.%a@."
+    Comdiac.Performance.pp
+    (Comdiac.Testbench.performance tb5)

@@ -1,0 +1,34 @@
+(* Quickstart: size a folded cascode OTA for a specification, verify it by
+   simulation, and print the Table-1 style performance record.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  let proc = Technology.Process.c06 in
+  let kind = Device.Model.Bsim_lite in
+  (* the paper's specification: 65 MHz GBW into 3 pF at 65 degrees *)
+  let spec = Comdiac.Spec.paper_ota in
+  Format.printf "specification: %a@.@." Comdiac.Spec.pp spec;
+
+  (* 1. size the amplifier (assuming one fold per transistor, as the
+     paper's first sizing pass does) *)
+  let design =
+    Comdiac.Folded_cascode.size ~proc ~kind ~spec
+      ~parasitics:Comdiac.Parasitics.single_fold
+  in
+  Format.printf "%a@.@." Comdiac.Folded_cascode.pp_design design;
+
+  (* 2. verify by simulation: the testbench nulls the offset, runs AC,
+     noise and transient analyses on the in-house MNA simulator *)
+  let tb =
+    Comdiac.Testbench.make ~proc ~kind ~spec design.Comdiac.Folded_cascode.amp
+  in
+  let perf = Comdiac.Testbench.performance tb in
+  Format.printf "measured performance:@.%a@." Comdiac.Performance.pp perf;
+
+  (* 3. the SPICE view of what was built *)
+  let circuit =
+    Comdiac.Amp.add_to design.Comdiac.Folded_cascode.amp
+      (Netlist.Circuit.create ~title:"quickstart folded cascode")
+  in
+  Format.printf "@.netlist:@.%s@." (Netlist.Circuit.to_spice circuit)

@@ -1,0 +1,54 @@
+(* The technology evaluation interface: characterise the built-in
+   processes, compare device behaviour between them, and see how the same
+   OTA specification sizes in each - the paper's "helps to choose the most
+   suitable technology" workflow.
+
+     dune exec examples/tech_explore.exe *)
+
+module P = Technology.Process
+module M = Device.Model
+module E = Technology.Electrical
+
+let () =
+  List.iter
+    (fun proc ->
+      Format.printf "%a@.@." P.pp_evaluation (P.evaluate proc))
+    P.builtin;
+  (* gm/Id characteristic of a unit NMOS in each process *)
+  Format.printf "gm/Id of a 10/1 um NMOS vs overdrive (bsim-lite):@.";
+  Format.printf "%8s" "veff";
+  List.iter (fun p -> Format.printf " %10s" p.P.name) P.builtin;
+  Format.printf "@.";
+  List.iter
+    (fun veff ->
+      Format.printf "%8.2f" veff;
+      List.iter
+        (fun proc ->
+          let nmos = proc.P.electrical.E.nmos in
+          let e =
+            M.evaluate M.Bsim_lite nmos ~w:10e-6 ~l:1e-6
+              { M.vgs = nmos.E.vto +. veff; vds = 1.5; vbs = 0.0 }
+          in
+          Format.printf " %10.2f" (e.M.gm /. e.M.ids))
+        P.builtin;
+      Format.printf "@.")
+    [ -0.1; 0.0; 0.1; 0.2; 0.3; 0.4 ];
+  (* size the same OTA in both technologies *)
+  Format.printf "@.paper OTA sized in each technology:@.";
+  List.iter
+    (fun proc ->
+      let spec = Comdiac.Spec.paper_ota in
+      let d =
+        Comdiac.Folded_cascode.size ~proc ~kind:M.Bsim_lite ~spec
+          ~parasitics:Comdiac.Parasitics.single_fold
+      in
+      let w_in = (Comdiac.Amp.find_device d.Comdiac.Folded_cascode.amp "P1").Device.Mos.w in
+      Format.printf
+        "  %-5s input pair W = %-10s I1 = %-10s power estimate = %s@."
+        proc.P.name
+        (Phys.Units.to_si_string "m" w_in)
+        (Phys.Units.to_si_string "A" d.Comdiac.Folded_cascode.i1)
+        (Phys.Units.to_si_string "W"
+           (spec.Comdiac.Spec.vdd
+            *. d.Comdiac.Folded_cascode.amp.Comdiac.Amp.supply_current)))
+    P.builtin

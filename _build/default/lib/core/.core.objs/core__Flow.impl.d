@@ -1,0 +1,1 @@
+lib/core/flow.ml: Cairo_layout Comdiac Device Float Layout_bridge List Netlist Printf Sys

@@ -1,0 +1,1 @@
+lib/core/flow.mli: Cairo_layout Comdiac Device Layout_bridge Technology

@@ -1,0 +1,1 @@
+lib/core/layout_bridge.ml: Cairo_layout Comdiac Device Float List Netlist Technology

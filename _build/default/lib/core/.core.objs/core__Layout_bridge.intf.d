@@ -1,0 +1,1 @@
+lib/core/layout_bridge.mli: Cairo_layout Comdiac Technology

@@ -1,0 +1,1 @@
+lib/core/traditional.ml: Cairo_layout Comdiac Float Flow Layout_bridge List Sys

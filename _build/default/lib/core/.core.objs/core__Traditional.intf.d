@@ -1,0 +1,1 @@
+lib/core/traditional.mli: Comdiac Device Layout_bridge Technology

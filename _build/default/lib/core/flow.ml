@@ -1,0 +1,165 @@
+module FC = Comdiac.Folded_cascode
+module Par = Comdiac.Parasitics
+module Plan = Cairo_layout.Plan
+module El = Netlist.Element
+
+type case = Case1 | Case2 | Case3 | Case4
+
+let all_cases = [ Case1; Case2; Case3; Case4 ]
+
+let case_label = function
+  | Case1 -> "case 1"
+  | Case2 -> "case 2"
+  | Case3 -> "case 3"
+  | Case4 -> "case 4"
+
+let case_description = function
+  | Case1 -> "sizing with no layout capacitances (neither diffusion nor routing)"
+  | Case2 ->
+    "sizing with diffusion capacitance assuming single transistor folds \
+     and no routing capacitance"
+  | Case3 ->
+    "sizing with exact diffusion capacitance from the layout tool, \
+     neglecting routing capacitances"
+  | Case4 -> "sizing considering all layout parasitics"
+
+type result = {
+  case : case;
+  design : FC.design;
+  synthesized : Comdiac.Performance.t;
+  extracted : Comdiac.Performance.t;
+  layout_calls : int;
+  sizing_passes : int;
+  report : Plan.report;
+  elapsed : float;
+}
+
+(* Post-layout netlist view: devices folded and grid-snapped as drawn, with
+   as-drawn junction geometry; routing and well caps to ground; coupling
+   capacitors between neighbouring routed nets. *)
+let extracted_amp proc design report =
+  let amp = design.FC.amp in
+  let styles = report.Plan.device_styles in
+  let drains = report.Plan.device_drains in
+  let amp =
+    Comdiac.Amp.map_devices
+      (fun dev ->
+        let name = dev.Device.Mos.name in
+        let dev =
+          match List.assoc_opt name styles with
+          | Some style -> Device.Mos.with_style style dev
+          | None -> dev
+        in
+        let dev = Device.Mos.snap_to_grid proc dev in
+        match List.assoc_opt name drains with
+        | Some geom -> { dev with Device.Mos.diffusion = Some geom }
+        | None -> dev)
+      amp
+  in
+  let ground_caps =
+    List.filter_map
+      (fun (s : Plan.net_summary) ->
+        let c = s.Plan.routing_cap +. s.Plan.well_cap in
+        if c > 0.0 then Some (s.Plan.net, c) else None)
+      report.Plan.nets
+  in
+  let amp = Comdiac.Amp.with_node_caps ground_caps amp in
+  (* coupling capacitors, deduplicated by unordered net pair *)
+  let couplings =
+    List.concat_map
+      (fun (s : Plan.net_summary) ->
+        List.map (fun (other, c) -> ((min s.Plan.net other, max s.Plan.net other), c))
+          s.Plan.coupling)
+      report.Plan.nets
+    |> List.sort_uniq compare
+  in
+  let coupling_elements =
+    List.map
+      (fun ((a, b), c) ->
+        El.Capacitor { name = Printf.sprintf "cc_%s_%s" a b; p = a; n = b; c })
+      couplings
+  in
+  { amp with Comdiac.Amp.devices = amp.Comdiac.Amp.devices @ coupling_elements }
+
+(* Lightweight GBW check: offset-nulled AC unity-gain frequency only. *)
+let measured_gbw ~proc ~kind ~spec amp =
+  let tb = Comdiac.Testbench.make ~proc ~kind ~spec amp in
+  Comdiac.Testbench.gbw tb
+
+let size_calibrated ~proc ~kind ~spec ~parasitics =
+  let target = spec.Comdiac.Spec.gbw in
+  let rec go gbw_internal passes =
+    let spec' = { spec with Comdiac.Spec.gbw = gbw_internal } in
+    let design = FC.size ~proc ~kind ~spec:spec' ~parasitics in
+    if passes >= 4 then (design, passes)
+    else
+      match measured_gbw ~proc ~kind ~spec design.FC.amp with
+      | None -> (design, passes)
+      | Some fu ->
+        if Float.abs (fu -. target) <= 0.01 *. target then (design, passes)
+        else go (gbw_internal *. target /. fu) (passes + 1)
+  in
+  go target 1
+
+let parasitics_for_case ~case report =
+  match case with
+  | Case1 -> Par.none
+  | Case2 -> Par.single_fold
+  | Case3 -> Layout_bridge.parasitics_of_report ~include_routing:false report
+  | Case4 -> Layout_bridge.parasitics_of_report ~include_routing:true report
+
+let run ?(options = Layout_bridge.default_options) ~proc ~kind ~spec case =
+  let t0 = Sys.time () in
+  let layout_calls = ref 0 in
+  let sizing_passes = ref 0 in
+  let size parasitics =
+    let design, passes = size_calibrated ~proc ~kind ~spec ~parasitics in
+    sizing_passes := !sizing_passes + passes;
+    design
+  in
+  let parasitic_call design =
+    incr layout_calls;
+    Layout_bridge.call_layout ~mode:Plan.Parasitic_only proc design options
+  in
+  let design =
+    match case with
+    | Case1 -> size Par.none
+    | Case2 -> size Par.single_fold
+    | Case3 | Case4 ->
+      (* the layout-oriented loop of Fig. 1b: first sizing assumes one
+         fold per transistor, then layout information is fed back until
+         the calculated parasitics remain unchanged *)
+      let rec loop design parasitics iter =
+        if iter >= 8 then design
+        else begin
+          let report = parasitic_call design in
+          let parasitics' = parasitics_for_case ~case report in
+          if Par.max_distance parasitics parasitics' < 0.02 then design
+          else loop (size parasitics') parasitics' (iter + 1)
+        end
+      in
+      let d0 = size Par.single_fold in
+      loop d0 Par.single_fold 0
+  in
+  (* final call in generation mode *)
+  let report =
+    Layout_bridge.call_layout ~mode:Plan.Generation proc design options
+  in
+  let tb_synth = Comdiac.Testbench.make ~proc ~kind ~spec design.FC.amp in
+  let synthesized = Comdiac.Testbench.performance tb_synth in
+  let amp_ext = extracted_amp proc design report in
+  let tb_ext = Comdiac.Testbench.make ~proc ~kind ~spec amp_ext in
+  let extracted = Comdiac.Testbench.performance tb_ext in
+  {
+    case;
+    design;
+    synthesized;
+    extracted;
+    layout_calls = !layout_calls;
+    sizing_passes = !sizing_passes;
+    report;
+    elapsed = Sys.time () -. t0;
+  }
+
+let run_all ?options ~proc ~kind ~spec () =
+  List.map (fun case -> run ?options ~proc ~kind ~spec case) all_cases

@@ -1,0 +1,61 @@
+(** The layout-oriented synthesis flow (paper Fig. 1b) and the Table-1
+    experiment cases.
+
+    For every case the flow produces both the {e synthesized} performance
+    (the sizing tool's view: the schematic annotated with whatever
+    parasitics the case assumes, evaluated by the verification-by-
+    simulation interface) and the {e extracted} performance (the layout is
+    generated, parasitics extracted — fold-exact diffusion, routing,
+    coupling and well capacitances, grid-snapped widths — and the
+    resulting netlist simulated), i.e. the bracketed values of Table 1. *)
+
+type case = Case1 | Case2 | Case3 | Case4
+
+val all_cases : case list
+val case_label : case -> string
+val case_description : case -> string
+
+type result = {
+  case : case;
+  design : Comdiac.Folded_cascode.design;
+  synthesized : Comdiac.Performance.t;
+  extracted : Comdiac.Performance.t;
+  layout_calls : int;      (** parasitic-mode calls before convergence *)
+  sizing_passes : int;
+  report : Cairo_layout.Plan.report;  (** final generation-mode report *)
+  elapsed : float;         (** CPU seconds for the whole case *)
+}
+
+val extracted_amp :
+  Technology.Process.t ->
+  Comdiac.Folded_cascode.design ->
+  Cairo_layout.Plan.report ->
+  Comdiac.Amp.t
+(** The post-layout view of the amp: grid-snapped folded devices with
+    as-drawn diffusion, routing/well capacitance to ground per net and
+    explicit coupling capacitors between neighbouring nets. *)
+
+val size_calibrated :
+  proc:Technology.Process.t ->
+  kind:Device.Model.kind ->
+  spec:Comdiac.Spec.t ->
+  parasitics:Comdiac.Parasitics.t ->
+  Comdiac.Folded_cascode.design * int
+(** Sizing with the paper's outer GBW iteration: the sized amp (with its
+    assumed parasitics) is evaluated by simulation and the internal GBW
+    target rescaled until the evaluated value meets the specification;
+    returns the design and the number of sizing passes. *)
+
+val run :
+  ?options:Layout_bridge.options ->
+  proc:Technology.Process.t ->
+  kind:Device.Model.kind ->
+  spec:Comdiac.Spec.t ->
+  case -> result
+
+val run_all :
+  ?options:Layout_bridge.options ->
+  proc:Technology.Process.t ->
+  kind:Device.Model.kind ->
+  spec:Comdiac.Spec.t ->
+  unit -> result list

@@ -1,0 +1,166 @@
+module FC = Comdiac.Folded_cascode
+module Plan = Cairo_layout.Plan
+module Motif = Cairo_layout.Motif
+module Pair = Cairo_layout.Pair
+module Stack = Cairo_layout.Stack
+module Route = Cairo_layout.Route
+module Slicing = Cairo_layout.Slicing
+module E = Technology.Electrical
+
+type options = {
+  pair_style : Pair.style;
+  allowed_folds : int list;
+  max_w : int option;
+  max_h : int option;
+  aspect : (float * float) option;
+}
+
+let default_options = {
+  pair_style = Pair.Common_centroid;
+  allowed_folds = [ 2; 4; 6; 8; 10; 12; 14; 16; 20 ];
+  max_w = None;
+  max_h = None;
+  aspect = Some (0.5, 2.0);
+}
+
+let terminals design name =
+  let amp = design.FC.amp in
+  let dev = Comdiac.Amp.find_device amp name in
+  let rec find = function
+    | [] -> invalid_arg ("Layout_bridge.terminals: " ^ name)
+    | Netlist.Element.Mos { dev = d; d = dn; g; s; b } :: _
+      when d.Device.Mos.name = name -> (dev, dn, g, s, b)
+    | _ :: rest -> find rest
+  in
+  find amp.Comdiac.Amp.devices
+
+let motif_spec design name =
+  let dev, d, g, s, b = terminals design name in
+  let current =
+    match List.assoc_opt name (FC.drain_currents design) with
+    | Some i -> i
+    | None -> 0.0
+  in
+  { Motif.dev; d_net = d; g_net = g; s_net = s; b_net = b; i_drain = current }
+
+let floorplan _proc design options =
+  let currents = FC.drain_currents design in
+  let current name = List.assoc name currents in
+  let dev name =
+    let d, _, _, _, _ = terminals design name in
+    d
+  in
+  (* input pair: matched group with dummies *)
+  let p1 = dev "P1" in
+  let pair_group =
+    Plan.Matched_pair
+      {
+        spec =
+          {
+            Pair.a_name = "P1"; b_name = "P2"; mtype = E.Pmos;
+            w = p1.Device.Mos.w; l = p1.Device.Mos.l;
+            nf = 4;
+            tail_net = "tail"; a_drain = "n1"; b_drain = "n2";
+            a_gate = "inp"; b_gate = "inn"; bulk_net = "tail";
+            current = current "P1";
+            style = options.pair_style;
+          };
+        allowed_folds = options.allowed_folds;
+      }
+  in
+  (* 1:1 mirror-style stacks for the matched sink and source pairs *)
+  let mirror names mtype source_net gate_net bulk_net =
+    match names with
+    | [ a; b ] ->
+      let da = dev a in
+      Plan.Mirror
+        {
+          spec =
+            {
+              Stack.elements =
+                [
+                  { Stack.el_name = a; units = 1; drain_net = FC.net_of_drain a;
+                    current = current a };
+                  { Stack.el_name = b; units = 1; drain_net = FC.net_of_drain b;
+                    current = current b };
+                ];
+              mtype;
+              unit_w = da.Device.Mos.w;
+              l = da.Device.Mos.l;
+              source_net;
+              gate = Stack.Common gate_net;
+              bulk_net;
+              dummies = true;
+            };
+          unit_scales = [ 2; 3; 4; 6; 8; 10; 12; 14 ];
+        }
+    | _ -> invalid_arg "Layout_bridge.floorplan: mirror expects two devices"
+  in
+  let sink_group = mirror [ "N5"; "N6" ] E.Nmos "0" "vp2" "0" in
+  let psrc_group = mirror [ "P3"; "P4" ] E.Pmos "vdd" "n3" "vdd" in
+  (* cascodes: fold-locked matched singles (their sources differ, so they
+     cannot share diffusion) *)
+  let matched names =
+    Plan.Matched_singles
+      { specs = List.map (motif_spec design) names;
+        allowed_folds = options.allowed_folds }
+  in
+  let ncasc_group = matched [ "N1C"; "N2C" ] in
+  let pcasc_group = matched [ "P3C"; "P4C" ] in
+  let tail_group =
+    Plan.Single
+      { spec = motif_spec design "TAIL"; allowed_folds = options.allowed_folds }
+  in
+  (* slicing structure mirroring the schematic's vertical signal flow:
+     NMOS sinks and cascodes at the bottom, input pair and tail in the
+     middle, PMOS cascodes and sources on top *)
+  Slicing.V
+    ( Slicing.V
+        (Slicing.Leaf (sink_group, []), Slicing.Leaf (ncasc_group, [])),
+      Slicing.V
+        ( Slicing.H (Slicing.Leaf (pair_group, []), Slicing.Leaf (tail_group, [])),
+          Slicing.V
+            (Slicing.Leaf (pcasc_group, []), Slicing.Leaf (psrc_group, [])) ) )
+
+let net_requests design =
+  let currents = FC.drain_currents design in
+  let nets =
+    [ "n1"; "n2"; "n3"; "n4l"; "n4r"; "out"; "tail"; "inp"; "inn";
+      "vp1"; "vp2"; "vc1"; "vc3"; "vdd"; "0" ]
+  in
+  let current_of net =
+    List.fold_left
+      (fun acc (name, i) ->
+        if FC.net_of_drain name = net then Float.max acc i else acc)
+      0.0 currents
+  in
+  let special = function
+    | "vdd" | "0" ->
+      (* supply rails carry the full quiescent current *)
+      Some (List.fold_left (fun acc (_, i) -> acc +. i) 0.0 currents /. 2.0)
+    | "tail" -> Some (List.assoc "TAIL" currents)
+    | _ -> None
+  in
+  List.map
+    (fun net ->
+      let current =
+        match special net with Some i -> i | None -> current_of net
+      in
+      { Route.net; current })
+    nets
+
+let call_layout ~mode proc design options =
+  Plan.run ?max_w:options.max_w ?max_h:options.max_h ?aspect:options.aspect
+    ~mode ~nets:(net_requests design) proc
+    (floorplan proc design options)
+
+let parasitics_of_report ?(include_routing = true) report =
+  let node_caps =
+    if include_routing then
+      List.map
+        (fun (s : Plan.net_summary) -> (s.Plan.net, Plan.net_total s))
+        report.Plan.nets
+    else []
+  in
+  Comdiac.Parasitics.exact ~node_caps ~styles:report.Plan.device_styles
+    ~drains:report.Plan.device_drains ()

@@ -1,0 +1,51 @@
+(** Bridge between the sizing tool and the layout tool: what the sizing
+    tool *sends* (transistor sizes, currents, device-style options, shape
+    constraint — paper Section 2) and what it *receives back* (folding
+    styles, exact diffusion geometry, routing/coupling/well capacitances).
+
+    The floorplan encodes the folded cascode's matched-device knowledge:
+    the input pair as a common-centroid (or interdigitated) group with end
+    dummies, the sink and mirror pairs as 1:1 stacks, the cascodes as
+    fold-locked matched singles. *)
+
+type options = {
+  pair_style : Cairo_layout.Pair.style;
+      (** implementation of the input differential pair *)
+  allowed_folds : int list;
+      (** candidate fold counts offered to the area optimiser (even
+          counts keep drains internal) *)
+  max_w : int option;  (** shape constraint, lambda *)
+  max_h : int option;
+  aspect : (float * float) option;
+}
+
+val default_options : options
+
+val floorplan :
+  Technology.Process.t ->
+  Comdiac.Folded_cascode.design ->
+  options ->
+  Cairo_layout.Plan.floorplan
+
+val net_requests :
+  Comdiac.Folded_cascode.design -> Cairo_layout.Route.net_request list
+(** One request per amp net, carrying the worst-case DC current for the
+    electromigration rules. *)
+
+val call_layout :
+  mode:Cairo_layout.Plan.mode ->
+  Technology.Process.t ->
+  Comdiac.Folded_cascode.design ->
+  options ->
+  Cairo_layout.Plan.report
+(** One call of the layout tool (parasitic-calculation or generation
+    mode). *)
+
+val parasitics_of_report :
+  ?include_routing:bool ->
+  Cairo_layout.Plan.report ->
+  Comdiac.Parasitics.t
+(** Translate a layout report into the sizing tool's parasitic knowledge.
+    [include_routing = false] keeps only the exact diffusion information
+    (Table 1 case 3); [true] adds routing, coupling and well capacitances
+    (case 4). *)

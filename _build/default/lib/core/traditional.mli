@@ -1,0 +1,35 @@
+(** The traditional design flow of paper Fig. 1(a): size with no layout
+    knowledge, generate the full layout, extract, simulate, and — when the
+    extracted performance misses the specification — re-size against the
+    extracted parasitics and repeat.  Each iteration pays for a complete
+    layout generation and a full extracted-netlist verification, which is
+    the cost the layout-oriented flow (Fig. 1b) avoids by calling the
+    layout tool in its cheap parasitic-calculation mode. *)
+
+type iteration = {
+  index : int;
+  gbw : float;
+  pm : float;
+  met : bool;
+}
+
+type result = {
+  design : Comdiac.Folded_cascode.design;
+  extracted : Comdiac.Performance.t;
+  iterations : iteration list;   (** in order *)
+  full_layouts : int;            (** generation-mode layout runs *)
+  extracted_simulations : int;   (** full verification passes *)
+  converged : bool;
+  elapsed : float;
+}
+
+val run :
+  ?options:Layout_bridge.options ->
+  ?max_iterations:int ->
+  proc:Technology.Process.t ->
+  kind:Device.Model.kind ->
+  spec:Comdiac.Spec.t ->
+  unit -> result
+(** Iterate until the extracted GBW is within 2% of the target and the
+    extracted phase margin within 1 degree of the specification, or
+    [max_iterations] (default 8) is reached. *)

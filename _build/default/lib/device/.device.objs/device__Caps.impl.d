@@ -1,0 +1,1 @@
+lib/device/caps.ml: Float Folding Format Model Phys Technology

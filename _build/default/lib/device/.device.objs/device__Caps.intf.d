@@ -1,0 +1,1 @@
+lib/device/caps.mli: Folding Format Model Technology

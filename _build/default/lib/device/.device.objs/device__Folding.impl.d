@@ -1,0 +1,1 @@
+lib/device/folding.ml: Technology

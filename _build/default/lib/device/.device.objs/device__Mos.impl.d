@@ -1,0 +1,1 @@
+lib/device/mos.ml: Folding Format Phys Technology

@@ -1,0 +1,1 @@
+lib/device/mos.mli: Folding Format Technology

@@ -1,0 +1,1 @@
+lib/device/noise.ml: Float Phys Technology

@@ -1,0 +1,1 @@
+lib/device/noise.mli: Technology

@@ -1,0 +1,1 @@
+lib/device/op.ml: Caps Float Folding Format Model Mos Phys Technology

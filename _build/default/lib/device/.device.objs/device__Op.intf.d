@@ -1,0 +1,1 @@
+lib/device/op.mli: Caps Folding Format Model Mos Technology

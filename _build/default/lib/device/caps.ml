@@ -1,0 +1,80 @@
+module E = Technology.Electrical
+
+type t = {
+  cgs : float;
+  cgd : float;
+  cgb : float;
+  cdb : float;
+  csb : float;
+}
+
+let zero = { cgs = 0.0; cgd = 0.0; cgb = 0.0; cdb = 0.0; csb = 0.0 }
+let total_gate c = c.cgs +. c.cgd +. c.cgb
+
+let add a b = {
+  cgs = a.cgs +. b.cgs;
+  cgd = a.cgd +. b.cgd;
+  cgb = a.cgb +. b.cgb;
+  cdb = a.cdb +. b.cdb;
+  csb = a.csb +. b.csb;
+}
+
+let scale k c = {
+  cgs = k *. c.cgs;
+  cgd = k *. c.cgd;
+  cgb = k *. c.cgb;
+  cdb = k *. c.cdb;
+  csb = k *. c.csb;
+}
+
+let pp fmt c =
+  let si = Phys.Units.to_si_string "F" in
+  Format.fprintf fmt "cgs=%s cgd=%s cgb=%s cdb=%s csb=%s"
+    (si c.cgs) (si c.cgd) (si c.cgb) (si c.cdb) (si c.csb)
+
+let junction_cap ~cj ~cjsw ~mj ~mjsw ~pb ~area ~perim ~vrev =
+  let vrev = Float.max 0.0 vrev in
+  let denom_a = (1.0 +. vrev /. pb) ** mj in
+  let denom_p = (1.0 +. vrev /. pb) ** mjsw in
+  (cj *. area /. denom_a) +. (cjsw *. perim /. denom_p)
+
+let meyer p ~w ~l ~nf ~region =
+  let cox = E.cox p in
+  let cgate = cox *. w *. l in
+  let cgs_i, cgd_i, cgb_i =
+    match region with
+    | Model.Cutoff -> (0.0, 0.0, cgate)
+    | Model.Weak -> (cgate /. 3.0, 0.0, cgate /. 2.0)
+    | Model.Triode -> (cgate /. 2.0, cgate /. 2.0, 0.0)
+    | Model.Saturation -> (2.0 *. cgate /. 3.0, 0.0, 0.0)
+  in
+  (* Overlap capacitances scale with the total gated width; the gate-bulk
+     overlap runs along the poly endcaps of each finger. *)
+  let cgso = p.E.cgso *. w in
+  let cgdo = p.E.cgdo *. w in
+  let cgbo = p.E.cgbo *. l *. float_of_int (2 * nf) in
+  {
+    cgs = cgs_i +. cgso;
+    cgd = cgd_i +. cgdo;
+    cgb = cgb_i +. cgbo;
+    cdb = 0.0;
+    csb = 0.0;
+  }
+
+let of_operating_point proc mtype ~w ~l ~style ~region ~vdb_rev ~vsb_rev =
+  let p =
+    match mtype with
+    | E.Nmos -> proc.Technology.Process.electrical.E.nmos
+    | E.Pmos -> proc.Technology.Process.electrical.E.pmos
+  in
+  let gate = meyer p ~w ~l ~nf:style.Folding.nf ~region in
+  let geom = Folding.geometry proc ~w style in
+  let junction ~area ~perim ~vrev =
+    junction_cap ~cj:p.E.cj ~cjsw:p.E.cjsw ~mj:p.E.mj ~mjsw:p.E.mjsw
+      ~pb:p.E.pb ~area ~perim ~vrev
+  in
+  {
+    gate with
+    cdb = junction ~area:geom.Folding.ad ~perim:geom.Folding.pd ~vrev:vdb_rev;
+    csb = junction ~area:geom.Folding.as_ ~perim:geom.Folding.ps ~vrev:vsb_rev;
+  }

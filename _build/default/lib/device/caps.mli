@@ -1,0 +1,39 @@
+(** Small-signal device capacitances at a DC operating point: Meyer
+    intrinsic gate capacitances, overlap capacitances and bias-dependent
+    junction capacitances computed from the strip-accurate diffusion
+    geometry of {!Folding}. *)
+
+type t = {
+  cgs : float;
+  cgd : float;
+  cgb : float;
+  cdb : float;
+  csb : float;
+}
+
+val zero : t
+val total_gate : t -> float
+val add : t -> t -> t
+val scale : float -> t -> t
+val pp : Format.formatter -> t -> unit
+
+val junction_cap :
+  cj:float -> cjsw:float -> mj:float -> mjsw:float -> pb:float ->
+  area:float -> perim:float -> vrev:float -> float
+(** Reverse-biased junction capacitance: area and sidewall terms with their
+    grading coefficients.  [vrev >= 0] is the reverse bias; forward bias is
+    clamped to the zero-bias value. *)
+
+val meyer :
+  Technology.Electrical.mos_params ->
+  w:float -> l:float -> nf:int -> region:Model.region -> t
+(** Intrinsic (Meyer) gate capacitances plus overlaps for a device of [nf]
+    fingers; junction terms are zero here. *)
+
+val of_operating_point :
+  Technology.Process.t -> Technology.Electrical.mos_type ->
+  w:float -> l:float -> style:Folding.style ->
+  region:Model.region -> vdb_rev:float -> vsb_rev:float -> t
+(** Full capacitance set: Meyer + overlap + junction capacitances, the
+    latter from the folded diffusion geometry at the given reverse biases
+    (both [>= 0], magnitudes). *)

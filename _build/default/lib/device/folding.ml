@@ -1,0 +1,110 @@
+type diffusion_case = Even_internal | Even_external | Odd
+
+let reduction_factor case nf =
+  assert (nf >= 1);
+  let nff = float_of_int nf in
+  match case with
+  | Even_internal ->
+    assert (nf mod 2 = 0);
+    0.5
+  | Even_external ->
+    assert (nf mod 2 = 0);
+    (nff +. 2.0) /. (2.0 *. nff)
+  | Odd ->
+    assert (nf mod 2 = 1);
+    (nff +. 1.0) /. (2.0 *. nff)
+
+let case_of ~nf ~drain_internal ~drain =
+  if nf mod 2 = 1 then Odd
+  else begin
+    (* The net placed on internal strips is the drain iff [drain_internal];
+       the other net gets the external strips. *)
+    let internal = if drain then drain_internal else not drain_internal in
+    if internal then Even_internal else Even_external
+  end
+
+type style = { nf : int; drain_internal : bool }
+
+let default = { nf = 1; drain_internal = true }
+
+type geom = {
+  ad : float;
+  as_ : float;
+  pd : float;
+  ps : float;
+  finger_w : float;
+  drain_strips : int;
+  source_strips : int;
+}
+
+type strip_counts = {
+  d_internal : int;
+  d_external : int;
+  s_internal : int;
+  s_external : int;
+}
+
+(* A folded transistor has nf + 1 alternating diffusion strips; strips 0 and
+   nf are external (contact plus enclosure), the others are shared between
+   two gates.  For even nf both ends carry the same net: the net on internal
+   strips gets nf/2 strips, the other gets nf/2 + 1 of which 2 external.
+   For odd nf the two ends carry different nets and each net gets exactly
+   (nf + 1) / 2 strips of which one external — the paper's Odd case for both
+   nets.  Strip-width sums therefore reproduce Eq. 1 exactly. *)
+let strip_counts ~nf ~drain_internal =
+  assert (nf >= 1);
+  if nf = 1 then { d_internal = 0; d_external = 1; s_internal = 0; s_external = 1 }
+  else if nf mod 2 = 0 then
+    if drain_internal then
+      { d_internal = nf / 2; d_external = 0;
+        s_internal = (nf / 2) - 1; s_external = 2 }
+    else
+      { d_internal = (nf / 2) - 1; d_external = 2;
+        s_internal = nf / 2; s_external = 0 }
+  else
+    let per_net = (nf + 1) / 2 in
+    { d_internal = per_net - 1; d_external = 1;
+      s_internal = per_net - 1; s_external = 1 }
+
+let geometry proc ~w style =
+  let { nf; drain_internal } = style in
+  assert (nf >= 1 && w > 0.0);
+  let rules = proc.Technology.Process.rules in
+  let lam = proc.Technology.Process.lambda in
+  let ext_len = float_of_int (Technology.Rules.sd_contacted rules) *. lam in
+  let int_len = float_of_int (Technology.Rules.sd_shared_contacted rules) *. lam in
+  let finger_w = w /. float_of_int nf in
+  let c = strip_counts ~nf ~drain_internal in
+  let area ni ne =
+    (float_of_int ni *. int_len +. float_of_int ne *. ext_len) *. finger_w
+  in
+  (* Perimeter excludes gate-facing edges: an internal strip exposes its two
+     ends (2 * len); an external strip exposes two ends and its outer side
+     (2 * len + finger_w). *)
+  let perim ni ne =
+    2.0 *. (float_of_int ni *. int_len +. float_of_int ne *. ext_len)
+    +. float_of_int ne *. finger_w
+  in
+  {
+    ad = area c.d_internal c.d_external;
+    as_ = area c.s_internal c.s_external;
+    pd = perim c.d_internal c.d_external;
+    ps = perim c.s_internal c.s_external;
+    finger_w;
+    drain_strips = c.d_internal + c.d_external;
+    source_strips = c.s_internal + c.s_external;
+  }
+
+let effective_width proc ~w style ~drain =
+  let g = geometry proc ~w style in
+  let strips = if drain then g.drain_strips else g.source_strips in
+  float_of_int strips *. g.finger_w
+
+let stack_pitch proc ~l style =
+  let rules = proc.Technology.Process.rules in
+  let lam = proc.Technology.Process.lambda in
+  let ext_len = float_of_int (Technology.Rules.sd_contacted rules) *. lam in
+  let int_len = float_of_int (Technology.Rules.sd_shared_contacted rules) *. lam in
+  float_of_int style.nf *. l
+  +. 2.0 *. ext_len
+  +. float_of_int (style.nf - 1) *. int_len

@@ -1,0 +1,61 @@
+(** Transistor folding geometry and the diffusion capacitance reduction
+    factor F of the paper (Section 3, "Parasitic constraints" and Fig. 2).
+
+    A transistor of width W folded into [nf] fingers has [nf + 1] diffusion
+    strips alternating source/drain.  Sharing strips between fingers reduces
+    the total diffusion width attached to each net: the effective width is
+    [F . W] with
+
+    - F = 1/2                 if [nf] even and the net is on *internal* strips
+    - F = (nf + 2) / (2 nf)   if [nf] even and the net is on *external* strips
+    - F = (nf + 1) / (2 nf)   if [nf] odd.
+
+    This module computes both the closed-form F and the full strip-accurate
+    diffusion geometry (areas and perimeters) used for junction
+    capacitances; the two are cross-checked in the test suite. *)
+
+type diffusion_case =
+  | Even_internal  (** even fold count, net on internal diffusions (case a) *)
+  | Even_external  (** even fold count, net on external diffusions (case b) *)
+  | Odd            (** odd fold count (case c) *)
+
+val reduction_factor : diffusion_case -> int -> float
+(** [reduction_factor case nf] is F as defined above.  [nf >= 1]; for
+    [nf = 1] every case degenerates to F = 1. *)
+
+val case_of : nf:int -> drain_internal:bool -> drain:bool -> diffusion_case
+(** The diffusion case seen by the drain ([drain = true]) or source net of a
+    transistor folded [nf] times with the drain placed on internal strips
+    when [drain_internal]. *)
+
+type style = {
+  nf : int;              (** number of fingers, >= 1 *)
+  drain_internal : bool; (** drain on internal (shared) strips when possible *)
+}
+
+val default : style
+(** One unfolded finger: [{ nf = 1; drain_internal = true }]. *)
+
+type geom = {
+  ad : float;  (** drain diffusion area, m^2 *)
+  as_ : float; (** source diffusion area, m^2 *)
+  pd : float;  (** drain perimeter excluding the gate edge, m *)
+  ps : float;  (** source perimeter excluding the gate edge, m *)
+  finger_w : float;      (** width of one finger, m *)
+  drain_strips : int;    (** number of diffusion strips on the drain net *)
+  source_strips : int;
+}
+
+val geometry : Technology.Process.t -> w:float -> style -> geom
+(** Strip-accurate diffusion geometry for a device of total width [w]
+    folded per [style], using the process source/drain extension rules.
+    External strips use the contacted-edge length, internal strips the
+    shared-contacted length. *)
+
+val effective_width : Technology.Process.t -> w:float -> style -> drain:bool -> float
+(** Sum of strip widths on the given net — equals [F . w] by construction
+    (up to the layout grid, which this function does not snap). *)
+
+val stack_pitch : Technology.Process.t -> l:float -> style -> float
+(** Horizontal extent of the folded stack (diffusion strips plus [nf]
+    gates), m.  Used by the area optimiser. *)

@@ -1,0 +1,63 @@
+module E = Technology.Electrical
+module P = Technology.Process
+
+type t = {
+  name : string;
+  mtype : E.mos_type;
+  w : float;
+  l : float;
+  style : Folding.style;
+  diffusion : Folding.geom option;
+  vto_shift : float;
+  beta_scale : float;
+}
+
+let make ?(style = Folding.default) ?diffusion ~name ~mtype ~w ~l () =
+  assert (w > 0.0 && l > 0.0);
+  { name; mtype; w; l; style; diffusion; vto_shift = 0.0; beta_scale = 1.0 }
+
+let params proc t =
+  let card =
+    match t.mtype with
+    | E.Nmos -> proc.P.electrical.E.nmos
+    | E.Pmos -> proc.P.electrical.E.pmos
+  in
+  if t.vto_shift = 0.0 && t.beta_scale = 1.0 then card
+  else
+    { card with
+      E.vto = card.E.vto +. t.vto_shift;
+      u0 = card.E.u0 *. t.beta_scale }
+
+let with_mismatch ~vto_shift ~beta_scale t = { t with vto_shift; beta_scale }
+
+let mismatch_sigma proc t =
+  let card = params proc t in
+  let area = sqrt (t.w *. t.l) in
+  (card.E.avt /. area, card.E.abeta /. area)
+
+let diffusion_geom proc t =
+  match t.diffusion with
+  | Some g -> g
+  | None -> Folding.geometry proc ~w:t.w t.style
+
+let with_style style t = { t with style; diffusion = None }
+
+let snap_to_grid proc t =
+  let nf = t.style.Folding.nf in
+  (* Snap the per-finger width and the length, then rebuild the totals. *)
+  let wf_lambda = P.to_lambda proc (t.w /. float_of_int nf) in
+  let l_lambda = P.to_lambda proc t.l in
+  let rules = proc.P.rules in
+  let wf_lambda = max wf_lambda rules.Technology.Rules.active_width in
+  let l_lambda = max l_lambda rules.Technology.Rules.poly_width in
+  { t with
+    w = P.um proc (wf_lambda * nf);
+    l = P.um proc l_lambda;
+    diffusion = None }
+
+let pp fmt t =
+  let si = Phys.Units.to_si_string in
+  Format.fprintf fmt "%s %a W=%s L=%s nf=%d%s"
+    t.name E.pp_mos_type t.mtype
+    (si "m" t.w) (si "m" t.l) t.style.Folding.nf
+    (if t.style.Folding.drain_internal then " (drain internal)" else "")

@@ -1,0 +1,51 @@
+(** A sized MOS device instance: the unit shared by the netlist, the sizing
+    tool and the layout generator.  Geometry (W, L) is in metres; the
+    folding style determines the diffusion parasitics unless explicit
+    diffusion areas are given (as the extractor does after layout). *)
+
+type t = {
+  name : string;
+  mtype : Technology.Electrical.mos_type;
+  w : float;
+  l : float;
+  style : Folding.style;
+  diffusion : Folding.geom option;
+  (** When [Some g], overrides the geometry derived from [style] — used by
+      the layout extractor to annotate as-drawn diffusions. *)
+  vto_shift : float;
+  (** additive threshold mismatch, V (Monte Carlo analysis; default 0) *)
+  beta_scale : float;
+  (** multiplicative current-factor mismatch (default 1) *)
+}
+
+val make :
+  ?style:Folding.style -> ?diffusion:Folding.geom ->
+  name:string -> mtype:Technology.Electrical.mos_type ->
+  w:float -> l:float -> unit -> t
+
+val params : Technology.Process.t -> t -> Technology.Electrical.mos_params
+(** Model card of the device's polarity in the given process, with the
+    device's mismatch perturbations folded in (vto shifted, u0 scaled) —
+    every analysis that reads the card sees the perturbed device. *)
+
+val with_mismatch : vto_shift:float -> beta_scale:float -> t -> t
+
+val mismatch_sigma :
+  Technology.Process.t -> t -> float * float
+(** Pelgrom standard deviations [(sigma_vt, sigma_beta_rel)] of this
+    device: avt / sqrt(W L) and abeta / sqrt(W L). *)
+
+val diffusion_geom : Technology.Process.t -> t -> Folding.geom
+(** The effective diffusion geometry: the override if present, otherwise
+    derived from the folding style. *)
+
+val with_style : Folding.style -> t -> t
+(** Replace the folding style and drop any diffusion override (the
+    geometry will be re-derived). *)
+
+val snap_to_grid : Technology.Process.t -> t -> t
+(** Snap W and L to the layout grid (ceil to whole lambda per finger).
+    This is the small width modification "needed by layout grid" that the
+    paper identifies as the source of residual offset after folding. *)
+
+val pp : Format.formatter -> t -> unit

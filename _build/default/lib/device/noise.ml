@@ -1,0 +1,20 @@
+module E = Technology.Electrical
+
+let thermal_current_psd ?(temperature = Phys.Const.room_temperature) gm =
+  8.0 /. 3.0 *. Phys.Const.boltzmann *. temperature *. gm
+
+let flicker_current_psd p ~l ~ids ~freq =
+  assert (freq > 0.0);
+  let cox = E.cox p in
+  p.E.kf *. (Float.abs ids ** p.E.af) /. (cox *. l *. l *. freq)
+
+let total_current_psd ?temperature p ~l ~ids ~gm ~freq =
+  thermal_current_psd ?temperature gm +. flicker_current_psd p ~l ~ids ~freq
+
+let input_referred_psd ?temperature p ~l ~ids ~gm ~freq =
+  total_current_psd ?temperature p ~l ~ids ~gm ~freq /. (gm *. gm)
+
+let corner_frequency ?temperature p ~l ~ids ~gm =
+  let thermal = thermal_current_psd ?temperature gm in
+  (* flicker(f) = thermal  =>  f = flicker(1 Hz) / thermal *)
+  flicker_current_psd p ~l ~ids ~freq:1.0 /. thermal

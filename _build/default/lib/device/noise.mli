@@ -1,0 +1,29 @@
+(** MOS noise models: channel thermal noise and flicker (1/f) noise, both
+    expressed as drain current power spectral densities [A^2/Hz]. *)
+
+val thermal_current_psd : ?temperature:float -> float -> float
+(** [thermal_current_psd gm] — long-channel channel thermal noise:
+    S_id = (8/3) k T gm. *)
+
+val flicker_current_psd :
+  Technology.Electrical.mos_params ->
+  l:float -> ids:float -> freq:float -> float
+(** SPICE-style flicker noise: S_id = KF . Ids^AF / (Cox . L^2 . f). *)
+
+val total_current_psd :
+  ?temperature:float ->
+  Technology.Electrical.mos_params ->
+  l:float -> ids:float -> gm:float -> freq:float -> float
+(** Thermal plus flicker drain-current PSD at [freq]. *)
+
+val input_referred_psd :
+  ?temperature:float ->
+  Technology.Electrical.mos_params ->
+  l:float -> ids:float -> gm:float -> freq:float -> float
+(** Gate-referred voltage PSD: total current PSD divided by gm^2 [V^2/Hz]. *)
+
+val corner_frequency :
+  ?temperature:float ->
+  Technology.Electrical.mos_params ->
+  l:float -> ids:float -> gm:float -> float
+(** Frequency at which flicker and thermal contributions are equal. *)

@@ -1,0 +1,26 @@
+(** A full device operating point: large-signal evaluation, small-signal
+    conductances and capacitances, plus the noise densities — everything
+    the sizing equations and the simulator stamps need. *)
+
+type t = {
+  eval : Model.eval;
+  caps : Caps.t;
+  geom : Folding.geom;
+  bias : Model.bias;  (** NMOS-convention (positive) biases *)
+}
+
+val compute :
+  Technology.Process.t -> Model.kind -> Mos.t -> Model.bias -> t
+(** [compute proc kind dev bias] evaluates [dev] at [bias], where [bias]
+    is expressed in the device's own polarity convention (all voltages
+    positive for a normally-biased device, vbs as reverse magnitude
+    negative).  Junction reverse biases are taken as |vdb| and |vsb| with
+    vdb = vds - vbs and vsb = -vbs. *)
+
+val ft : t -> float
+(** Transit frequency gm / (2 pi (cgs + cgd + cgb)). *)
+
+val intrinsic_gain : t -> float
+(** gm / gds. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/layout/drc.ml: Array Cell Format Fun Geometry Hashtbl List Printf Technology

@@ -1,0 +1,1 @@
+lib/layout/motif.ml: Cell Device Float Fun Geometry Hashtbl List Technology

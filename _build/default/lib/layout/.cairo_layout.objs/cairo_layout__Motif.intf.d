@@ -1,0 +1,1 @@
+lib/layout/motif.mli: Cell Device Technology

@@ -1,0 +1,1 @@
+lib/layout/pair.ml: Array Cell Device Float List Stack Technology

@@ -1,0 +1,1 @@
+lib/layout/pair.mli: Cell Device Stack Technology

@@ -1,0 +1,1 @@
+lib/layout/plan.ml: Array Cell Device Geometry List Motif Pair Route Slicing Stack String Technology

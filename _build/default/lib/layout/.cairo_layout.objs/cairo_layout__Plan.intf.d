@@ -1,0 +1,1 @@
+lib/layout/plan.mli: Cell Device Motif Pair Route Slicing Stack Technology

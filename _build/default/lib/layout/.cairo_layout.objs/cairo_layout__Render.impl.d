@@ -1,0 +1,1 @@
+lib/layout/render.ml: Array Buffer Cell Geometry List Printf String Technology

@@ -1,0 +1,1 @@
+lib/layout/route.ml: Array Cell Geometry List Motif Technology

@@ -1,0 +1,1 @@
+lib/layout/slicing.mli: Shape

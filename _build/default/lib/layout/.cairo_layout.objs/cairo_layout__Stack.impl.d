@@ -1,0 +1,1 @@
+lib/layout/stack.ml: Array Cell Float Format Geometry Hashtbl List Motif Technology

@@ -1,0 +1,1 @@
+lib/layout/stack.mli: Cell Format Technology

@@ -1,0 +1,63 @@
+type port = {
+  net : string;
+  shape : Geometry.rect;
+}
+
+type t = {
+  name : string;
+  rects : Geometry.rect list;
+  ports : port list;
+}
+
+let empty name = { name; rects = []; ports = [] }
+let add_rect t r = { t with rects = r :: t.rects }
+let add_rects t rs = { t with rects = List.rev_append rs t.rects }
+let add_port t ~net shape = { t with ports = { net; shape } :: t.ports }
+
+let translate ~dx ~dy t =
+  {
+    t with
+    rects = List.map (Geometry.translate ~dx ~dy) t.rects;
+    ports =
+      List.map
+        (fun p -> { p with shape = Geometry.translate ~dx ~dy p.shape })
+        t.ports;
+  }
+
+let merge name cells =
+  {
+    name;
+    rects = List.concat_map (fun c -> c.rects) cells;
+    ports = List.concat_map (fun c -> c.ports) cells;
+  }
+
+let bbox t =
+  match Geometry.bbox_of t.rects with
+  | Some b -> b
+  | None -> (0, 0, 0, 0)
+
+let size t =
+  let x0, y0, x1, y1 = bbox t in
+  (x1 - x0, y1 - y0)
+
+let normalize t =
+  let x0, y0, _, _ = bbox t in
+  translate ~dx:(-x0) ~dy:(-y0) t
+
+let ports_of_net t net = List.filter (fun p -> p.net = net) t.ports
+
+let port_center p =
+  let r = p.shape in
+  ((r.Geometry.x0 + r.Geometry.x1) / 2, (r.Geometry.y0 + r.Geometry.y1) / 2)
+
+let area t =
+  let w, h = size t in
+  w * h
+
+let rect_count t = List.length t.rects
+
+let layer_area t layer =
+  List.fold_left
+    (fun acc r ->
+      if r.Geometry.layer = layer then acc + Geometry.area r else acc)
+    0 t.rects

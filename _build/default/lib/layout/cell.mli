@@ -1,0 +1,43 @@
+(** A layout cell: rectangles plus named ports.  Cells compose by
+    translation and abutment; the origin is the lower-left corner of the
+    bounding box by convention (enforced by {!normalize}). *)
+
+type port = {
+  net : string;                 (** net the port belongs to *)
+  shape : Geometry.rect;        (** landing area, usually metal1 *)
+}
+
+type t = {
+  name : string;
+  rects : Geometry.rect list;
+  ports : port list;
+}
+
+val empty : string -> t
+val add_rect : t -> Geometry.rect -> t
+val add_rects : t -> Geometry.rect list -> t
+val add_port : t -> net:string -> Geometry.rect -> t
+val translate : dx:int -> dy:int -> t -> t
+val merge : string -> t list -> t
+(** Union of rectangles and ports under a new name (no translation). *)
+
+val bbox : t -> int * int * int * int
+(** [(x0, y0, x1, y1)]; the empty cell has a zero bbox. *)
+
+val size : t -> int * int
+(** Width and height of the bounding box, lambda. *)
+
+val normalize : t -> t
+(** Translate so the bounding box lower-left corner is the origin. *)
+
+val ports_of_net : t -> string -> port list
+val port_center : port -> int * int
+val area : t -> int
+(** Bounding-box area, lambda^2. *)
+
+val rect_count : t -> int
+
+val layer_area : t -> Technology.Layer.t -> int
+(** Sum of rectangle areas on one layer (overlaps counted twice — the
+    generators do not emit overlapping same-layer rectangles except for
+    deliberate straps). *)

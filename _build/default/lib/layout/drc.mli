@@ -1,0 +1,19 @@
+(** Minimal design-rule checker over a flat cell: per-layer minimum width
+    and same-layer minimum spacing.  Touching or overlapping rectangles are
+    treated as connected (legal); only strictly positive gaps below the
+    rule trigger violations. *)
+
+type violation = {
+  rule : string;
+  layer : Technology.Layer.t;
+  a : Geometry.rect;
+  b : Geometry.rect option;  (** second shape for spacing violations *)
+}
+
+val min_width : Technology.Rules.t -> Technology.Layer.t -> int option
+(** Minimum drawn width of a layer; [None] when unconstrained. *)
+
+val min_spacing : Technology.Rules.t -> Technology.Layer.t -> int option
+
+val check : Technology.Process.t -> Cell.t -> violation list
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,47 @@
+(** Transistor motif generator (the paper's single generator from which all
+    device generators are built).  Produces the full folded-transistor
+    geometry: alternating source/drain diffusion strips, poly fingers with a
+    connecting strap, contact columns, metal1 straps over each strip, a
+    bulk/well tap column and (for PMOS) the enclosing n-well.
+
+    The as-drawn diffusion strips reproduce {!Device.Folding.geometry}
+    exactly — the test suite cross-checks drawn active area per net against
+    the closed-form strip accounting. *)
+
+type spec = {
+  dev : Device.Mos.t;
+  d_net : string;
+  g_net : string;
+  s_net : string;
+  b_net : string;
+  i_drain : float;  (** DC drain current magnitude, A — drives wire widths
+                        and contact counts (reliability constraints) *)
+}
+
+type result = {
+  cell : Cell.t;
+  drawn_geom : Device.Folding.geom;  (** diffusion geometry as drawn *)
+  finger_w_lambda : int;             (** per-finger width after grid snap *)
+  contacts_per_strip : int;
+  strap_width_lambda : int;          (** metal1 strap width over strips *)
+  em_violation : bool;
+  (** true when the strip cannot host enough contacts for [i_drain] —
+      the generator flags rather than silently under-designs *)
+}
+
+val required_strap_width :
+  Technology.Process.t -> Technology.Layer.t -> current:float -> int
+(** Electromigration-driven wire width in lambda for a given DC current on
+    a routing layer, floored at the layer's minimum width. *)
+
+val required_contacts : Technology.Process.t -> current:float -> int
+(** Number of contact cuts needed to carry [current]. *)
+
+val generate : Technology.Process.t -> spec -> result
+(** Generate the motif.  W and L are snapped to the lambda grid (per
+    finger), which may slightly alter the electrical size — the layout-grid
+    effect the paper mentions. *)
+
+val drawn_active_area : result -> net:[ `Drain | `Source ] -> float
+(** Sum of drawn diffusion strip areas on the net, m^2 — equals
+    [drawn_geom.ad] / [.as_]. *)

@@ -1,0 +1,174 @@
+type style = Interdigitated | Common_centroid
+
+let style_to_string = function
+  | Interdigitated -> "interdigitated"
+  | Common_centroid -> "common-centroid"
+
+type spec = {
+  a_name : string;
+  b_name : string;
+  mtype : Technology.Electrical.mos_type;
+  w : float;
+  l : float;
+  nf : int;
+  tail_net : string;
+  a_drain : string;
+  b_drain : string;
+  a_gate : string;
+  b_gate : string;
+  bulk_net : string;
+  current : float;
+  style : style;
+}
+
+type metrics = {
+  centroid_offset_a : float;
+  centroid_offset_b : float;
+  orientation_imbalance_a : int;
+  orientation_imbalance_b : int;
+}
+
+type result = {
+  cell : Cell.t;
+  rows : Stack.placement list;
+  drain_area_a : float;
+  drain_area_b : float;
+  geom_a : Device.Folding.geom;
+  geom_b : Device.Folding.geom;
+  metrics : metrics;
+}
+
+let stack_spec spec ~units_per_device =
+  {
+    Stack.elements =
+      [
+        { Stack.el_name = spec.a_name; units = units_per_device;
+          drain_net = spec.a_drain; current = spec.current };
+        { Stack.el_name = spec.b_name; units = units_per_device;
+          drain_net = spec.b_drain; current = spec.current };
+      ];
+    mtype = spec.mtype;
+    unit_w = spec.w /. float_of_int spec.nf;
+    l = spec.l;
+    source_net = spec.tail_net;
+    gate = Stack.Rails [ (spec.a_name, spec.a_gate); (spec.b_name, spec.b_gate) ];
+    bulk_net = spec.bulk_net;
+    dummies = true;
+  }
+
+let mirror placement =
+  let n = Array.length placement in
+  Array.init n (fun i -> placement.(n - 1 - i))
+
+(* Pairs use strict A B A B alternation (with end dummies) rather than the
+   nested mirror interleave: alternation maps A-positions onto B-positions
+   under reflection, so the two devices see *identical* drain diffusion
+   geometry — the matching property that dominates offset.  The price is a
+   uniform current direction per device in a single row; the two-row common
+   centroid style restores the orientation balance. *)
+let alternating spec ~units_per_device =
+  let core =
+    Array.init (2 * units_per_device) (fun i ->
+      Stack.Unit (if i mod 2 = 0 then spec.a_name else spec.b_name))
+  in
+  Array.concat [ [| Stack.Dummy |]; core; [| Stack.Dummy |] ]
+
+let area_of result name =
+  try List.assoc name result.Stack.drain_areas with Not_found -> 0.0
+
+(* As-drawn diffusion geometry of one pair device across the given stack
+   rows: its own drain strips plus half of the shared source net. *)
+let geom_of spec rows_results name =
+  let module F = Device.Folding in
+  let sum f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows_results in
+  let drain r =
+    try List.assoc name r.Stack.drain_diffusion
+    with Not_found -> { Stack.area = 0.0; perim = 0.0 }
+  in
+  {
+    F.ad = sum (fun r -> (drain r).Stack.area);
+    as_ = sum (fun r -> r.Stack.source_diffusion.Stack.area) /. 2.0;
+    pd = sum (fun r -> (drain r).Stack.perim);
+    ps = sum (fun r -> r.Stack.source_diffusion.Stack.perim) /. 2.0;
+    finger_w = spec.w /. float_of_int spec.nf;
+    drain_strips = spec.nf / 2;
+    source_strips = (spec.nf / 2) + 1;
+  }
+
+let metrics_of rows a b =
+  (* combine rows by concatenation for the 1D metrics; for two mirrored
+     rows the x-centroids average out exactly, which the per-row offsets
+     expose (offset row2 = -offset row1) *)
+  let offset name =
+    match rows with
+    | [ one ] -> Stack.centroid_offset one name
+    | [ r1; r2 ] ->
+      (* mirrored rows: signed offsets cancel; report the residual of the
+         average, which is 0 when r2 is the exact mirror of r1 *)
+      let signed row =
+        let ps =
+          Array.to_list row
+          |> List.mapi (fun i s -> (i, s))
+          |> List.filter_map (fun (i, s) ->
+            match s with
+            | Stack.Unit n when n = name -> Some (float_of_int i)
+            | Stack.Unit _ | Stack.Dummy -> None)
+        in
+        match ps with
+        | [] -> 0.0
+        | _ ->
+          let mid = float_of_int (Array.length row - 1) /. 2.0 in
+          (List.fold_left ( +. ) 0.0 ps /. float_of_int (List.length ps)) -. mid
+      in
+      Float.abs ((signed r1 +. signed r2) /. 2.0)
+    | [] | _ :: _ :: _ :: _ -> 0.0
+  in
+  let imbalance name =
+    List.fold_left (fun acc row -> acc + Stack.orientation_imbalance row name) 0 rows
+  in
+  {
+    centroid_offset_a = offset a;
+    centroid_offset_b = offset b;
+    orientation_imbalance_a = imbalance a;
+    orientation_imbalance_b = imbalance b;
+  }
+
+let generate proc spec =
+  assert (spec.nf >= 1);
+  match spec.style with
+  | Interdigitated ->
+    let sspec = stack_spec spec ~units_per_device:spec.nf in
+    let r =
+      Stack.generate_with_placement proc sspec
+        (alternating spec ~units_per_device:spec.nf)
+    in
+    {
+      cell = r.Stack.cell;
+      rows = [ r.Stack.placement ];
+      drain_area_a = area_of r spec.a_name;
+      drain_area_b = area_of r spec.b_name;
+      geom_a = geom_of spec [ r ] spec.a_name;
+      geom_b = geom_of spec [ r ] spec.b_name;
+      metrics = metrics_of [ r.Stack.placement ] spec.a_name spec.b_name;
+    }
+  | Common_centroid ->
+    if spec.nf mod 2 <> 0 then
+      invalid_arg "Pair.generate: common centroid requires an even finger count";
+    let sspec = stack_spec spec ~units_per_device:(spec.nf / 2) in
+    let row1 = alternating spec ~units_per_device:(spec.nf / 2) in
+    let row2 = mirror row1 in
+    let r1 = Stack.generate_with_placement proc sspec row1 in
+    let r2 = Stack.generate_with_placement proc sspec row2 in
+    let _, h1 = Cell.size r1.Stack.cell in
+    let gap = 2 * proc.Technology.Process.rules.Technology.Rules.active_space in
+    let c2 = Cell.translate ~dx:0 ~dy:(h1 + gap) r2.Stack.cell in
+    let cell = Cell.normalize (Cell.merge "pair" [ r1.Stack.cell; c2 ]) in
+    {
+      cell;
+      rows = [ row1; row2 ];
+      drain_area_a = area_of r1 spec.a_name +. area_of r2 spec.a_name;
+      drain_area_b = area_of r1 spec.b_name +. area_of r2 spec.b_name;
+      geom_a = geom_of spec [ r1; r2 ] spec.a_name;
+      geom_b = geom_of spec [ r1; r2 ] spec.b_name;
+      metrics = metrics_of [ row1; row2 ] spec.a_name spec.b_name;
+    }

@@ -1,0 +1,45 @@
+(** Differential-pair device generators: interdigitated (single row, ABBA
+    nesting) and common-centroid (two mirrored rows) styles, both with end
+    dummies — the paper's matching-constraint options for the input pair. *)
+
+type style = Interdigitated | Common_centroid
+
+val style_to_string : style -> string
+
+type spec = {
+  a_name : string;
+  b_name : string;
+  mtype : Technology.Electrical.mos_type;
+  w : float;             (** total width of EACH device, m *)
+  l : float;
+  nf : int;              (** fingers per device; even and >= 2 for
+                             common centroid *)
+  tail_net : string;     (** common source *)
+  a_drain : string;
+  b_drain : string;
+  a_gate : string;
+  b_gate : string;
+  bulk_net : string;
+  current : float;       (** drain current of each device, A *)
+  style : style;
+}
+
+type metrics = {
+  centroid_offset_a : float;   (** unit pitches *)
+  centroid_offset_b : float;
+  orientation_imbalance_a : int;
+  orientation_imbalance_b : int;
+}
+
+type result = {
+  cell : Cell.t;
+  rows : Stack.placement list;  (** one row (interdigitated) or two *)
+  drain_area_a : float;         (** drawn drain diffusion, m^2 *)
+  drain_area_b : float;
+  geom_a : Device.Folding.geom; (** as-drawn diffusion geometry per device
+                                    (source = half of the shared tail) *)
+  geom_b : Device.Folding.geom;
+  metrics : metrics;
+}
+
+val generate : Technology.Process.t -> spec -> result

@@ -1,0 +1,15 @@
+(** Layout rendering: ASCII art for terminal inspection (used by the
+    examples and the benchmark harness to show Fig. 3 / Fig. 5 style
+    output) and a simple SVG writer. *)
+
+val ascii : ?max_cols:int -> Cell.t -> string
+(** Paint the cell onto a character grid, one char per sampled lambda cell
+    (downsampled to fit [max_cols], default 100).  Layers are painted in
+    {!Technology.Layer.drawing_order}; each grid cell shows the topmost
+    layer's character. *)
+
+val svg : Cell.t -> string
+(** Standalone SVG document with one translucent polygon per rectangle. *)
+
+val legend : string
+(** ASCII legend mapping characters to layers. *)

@@ -1,0 +1,46 @@
+(** Channel routing with parasitic estimation.  Nets are routed with one
+    horizontal trunk per net in a channel above the placed modules
+    (one track each, EM-sized width) and vertical metal1 branches dropping
+    to every port.  This fully determines wire widths and positions, so
+    the routing capacitances — area, fringe and coupling between adjacent
+    tracks — are computed exactly from the drawn geometry, as the paper's
+    parasitic-calculation mode requires. *)
+
+type net_request = {
+  net : string;
+  current : float;  (** worst-case DC current carried by the net, A *)
+}
+
+type net_wire = {
+  net : string;
+  track : int;              (** track index in the channel, 0 = lowest *)
+  trunk_x0 : int;           (** lambda *)
+  trunk_x1 : int;
+  trunk_y : int;
+  width : int;              (** trunk width, lambda *)
+  branch_length : int;      (** total vertical branch length, lambda *)
+  cap_ground : float;       (** area + fringe capacitance to substrate, F *)
+  coupling : (string * float) list;  (** to neighbouring trunks, F *)
+}
+
+type result = {
+  wires : net_wire list;
+  channel_height : int;     (** lambda *)
+  cell : Cell.t;            (** drawn trunks, branches and vias *)
+}
+
+val route :
+  Technology.Process.t ->
+  placed:Cell.t ->
+  nets:net_request list ->
+  result
+(** Route every requested net that has at least one port in [placed].
+    Nets with a single port get no trunk but still a stub branch.  Ports on
+    nets not listed in [nets] are ignored (supply rails handled by the
+    caller). *)
+
+val cap_of_wire :
+  Technology.Process.t -> layer:Technology.Layer.t ->
+  length:int -> width:int -> float
+(** Area + fringe capacitance of a straight wire segment given in
+    lambda. *)

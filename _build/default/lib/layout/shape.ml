@@ -1,0 +1,78 @@
+type choice =
+  | Variant of int
+  | Compose of int * int
+
+type point = { w : int; h : int; choice : choice }
+
+type t = point array
+
+(* Keep only Pareto-optimal points: sort by (w, h) and drop any point whose
+   height is not strictly below every narrower point's height. *)
+let pareto pts =
+  let sorted =
+    List.sort
+      (fun a b -> if a.w = b.w then compare a.h b.h else compare a.w b.w)
+      pts
+  in
+  let rec keep acc best_h = function
+    | [] -> List.rev acc
+    | p :: rest ->
+      if p.h < best_h then keep (p :: acc) p.h rest else keep acc best_h rest
+  in
+  Array.of_list (keep [] max_int sorted)
+
+let of_variants variants =
+  pareto (List.mapi (fun i (w, h) -> { w; h; choice = Variant i }) variants)
+
+let cross f a b =
+  let pts = ref [] in
+  Array.iteri
+    (fun i pa ->
+      Array.iteri (fun j pb -> pts := f i pa j pb :: !pts) b)
+    a;
+  pareto !pts
+
+let combine_h a b =
+  cross
+    (fun i pa j pb ->
+      { w = pa.w + pb.w; h = max pa.h pb.h; choice = Compose (i, j) })
+    a b
+
+let combine_v a b =
+  cross
+    (fun i pa j pb ->
+      { w = max pa.w pb.w; h = pa.h + pb.h; choice = Compose (i, j) })
+    a b
+
+let points t = Array.to_list t
+
+let best ?max_w ?max_h ?aspect t =
+  let ok p =
+    (match max_w with Some m -> p.w <= m | None -> true)
+    && (match max_h with Some m -> p.h <= m | None -> true)
+    &&
+    match aspect with
+    | None -> true
+    | Some (lo, hi) ->
+      let r = float_of_int p.w /. float_of_int (max 1 p.h) in
+      r >= lo && r <= hi
+  in
+  let besti = ref None in
+  Array.iteri
+    (fun i p ->
+      if ok p then
+        match !besti with
+        | None -> besti := Some i
+        | Some j ->
+          let area q = q.w * q.h in
+          if area p < area t.(j) then besti := Some i)
+    t;
+  !besti
+
+let is_pareto t =
+  let n = Array.length t in
+  let rec go i =
+    i >= n - 1
+    || (t.(i).w < t.(i + 1).w && t.(i).h > t.(i + 1).h && go (i + 1))
+  in
+  go 0

@@ -1,0 +1,35 @@
+(** Shape functions for slicing-structure area optimisation (Stockmeyer).
+    A shape function is the Pareto frontier of realisable (width, height)
+    boxes of a module; composing two modules horizontally or vertically
+    merges the frontiers.  Each point remembers how it was obtained so the
+    chosen floorplan can be realised top-down. *)
+
+type choice =
+  | Variant of int            (** leaf: index into the variant list *)
+  | Compose of int * int      (** indices into the two children's points *)
+
+type point = { w : int; h : int; choice : choice }
+
+type t = point array
+(** Sorted by increasing width, strictly decreasing height (Pareto). *)
+
+val of_variants : (int * int) list -> t
+(** Leaf shape function from realisable (w, h) variants; dominated
+    variants are pruned but their indices are preserved in [choice]. *)
+
+val combine_h : t -> t -> t
+(** Side-by-side: w = w1 + w2, h = max h1 h2. *)
+
+val combine_v : t -> t -> t
+(** Stacked: w = max w1 w2, h = h1 + h2. *)
+
+val points : t -> point list
+
+val best :
+  ?max_w:int -> ?max_h:int -> ?aspect:float * float -> t -> int option
+(** Index of the minimum-area point satisfying all given constraints
+    ([aspect] is a (min, max) range on w/h).  [None] when no point
+    fits. *)
+
+val is_pareto : t -> bool
+(** For tests: widths strictly increase and heights strictly decrease. *)

@@ -1,0 +1,87 @@
+type 'a t =
+  | Leaf of 'a * (int * int) list
+  | H of 'a t * 'a t
+  | V of 'a t * 'a t
+
+type 'a placement = {
+  payload : 'a;
+  variant : int;
+  x : int;
+  y : int;
+  w : int;
+  h : int;
+}
+
+(* Annotated tree caching each node's shape function so realisation can
+   walk back down. *)
+type 'a ann =
+  | ALeaf of 'a * Shape.t
+  | AH of 'a ann * 'a ann * Shape.t
+  | AV of 'a ann * 'a ann * Shape.t
+
+let shape_of = function
+  | ALeaf (_, s) | AH (_, _, s) | AV (_, _, s) -> s
+
+let rec annotate = function
+  | Leaf (p, variants) ->
+    assert (variants <> []);
+    ALeaf (p, Shape.of_variants variants)
+  | H (a, b) ->
+    let aa = annotate a and ab = annotate b in
+    AH (aa, ab, Shape.combine_h (shape_of aa) (shape_of ab))
+  | V (a, b) ->
+    let aa = annotate a and ab = annotate b in
+    AV (aa, ab, Shape.combine_v (shape_of aa) (shape_of ab))
+
+let shape_function t = shape_of (annotate t)
+
+(* Realise point [i] of the annotated node at (x, y), accumulating leaf
+   placements.  Children are aligned to the bottom-left of their slice. *)
+let rec realize node i ~x ~y acc =
+  let s = shape_of node in
+  let pt = s.(i) in
+  match (node, pt.Shape.choice) with
+  | ALeaf (payload, _), Shape.Variant v ->
+    { payload; variant = v; x; y; w = pt.Shape.w; h = pt.Shape.h } :: acc
+  | AH (a, b, _), Shape.Compose (ia, ib) ->
+    let wa = (shape_of a).(ia).Shape.w in
+    let acc = realize a ia ~x ~y acc in
+    realize b ib ~x:(x + wa) ~y acc
+  | AV (a, b, _), Shape.Compose (ia, ib) ->
+    let ha = (shape_of a).(ia).Shape.h in
+    let acc = realize a ia ~x ~y acc in
+    realize b ib ~x ~y:(y + ha) acc
+  | ALeaf _, Shape.Compose _ | (AH _ | AV _), Shape.Variant _ ->
+    assert false
+
+let optimize ?max_w ?max_h ?aspect t =
+  let ann = annotate t in
+  let s = shape_of ann in
+  match Shape.best ?max_w ?max_h ?aspect s with
+  | None -> None
+  | Some i ->
+    let pt = s.(i) in
+    let placements = List.rev (realize ann i ~x:0 ~y:0 []) in
+    Some (placements, (pt.Shape.w, pt.Shape.h))
+
+let rec leaves = function
+  | Leaf (p, _) -> [ p ]
+  | H (a, b) | V (a, b) -> leaves a @ leaves b
+
+let enumerate_area_brute_force t =
+  (* Returns min area over all combinations by enumerating full (w, h)
+     sets per node. *)
+  let rec boxes = function
+    | Leaf (_, variants) -> variants
+    | H (a, b) ->
+      List.concat_map
+        (fun (wa, ha) ->
+          List.map (fun (wb, hb) -> (wa + wb, max ha hb)) (boxes b))
+        (boxes a)
+    | V (a, b) ->
+      List.concat_map
+        (fun (wa, ha) ->
+          List.map (fun (wb, hb) -> (max wa wb, ha + hb)) (boxes b))
+        (boxes a)
+  in
+  List.fold_left (fun acc (w, h) -> min acc (w * h)) max_int (boxes t)

@@ -1,0 +1,35 @@
+(** Slicing trees over modules with multiple realisable variants.  The area
+    optimiser computes shape functions bottom-up (Stockmeyer) and realises
+    the best point top-down into leaf placements — this is what fixes the
+    number of folds of every transistor under the global shape
+    constraint. *)
+
+type 'a t =
+  | Leaf of 'a * (int * int) list
+      (** payload plus its realisable (w, h) variants in lambda *)
+  | H of 'a t * 'a t  (** children side by side (left, right) *)
+  | V of 'a t * 'a t  (** children stacked (bottom, top) *)
+
+type 'a placement = {
+  payload : 'a;
+  variant : int;  (** chosen variant index into the leaf's variant list *)
+  x : int;        (** lower-left corner, lambda *)
+  y : int;
+  w : int;
+  h : int;
+}
+
+val shape_function : 'a t -> Shape.t
+
+val optimize :
+  ?max_w:int -> ?max_h:int -> ?aspect:float * float ->
+  'a t -> ('a placement list * (int * int)) option
+(** Minimum-area realisation under the shape constraint: placements of all
+    leaves (children aligned bottom-left within their slice) and the total
+    bounding box.  [None] when no realisation satisfies the constraint. *)
+
+val leaves : 'a t -> 'a list
+
+val enumerate_area_brute_force : 'a t -> int
+(** Exhaustive minimum bounding-box area over all variant combinations —
+    exponential; only for cross-checking the optimiser in tests. *)

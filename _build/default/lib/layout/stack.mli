@@ -1,0 +1,83 @@
+(** Matched transistor stacks (current mirrors and the like), following the
+    paper's matching constraints: unit transistors interleaved so every
+    element is centred on the stack midpoint, dummy transistors at both
+    ends, current-direction (channel orientation) balancing, and
+    EM-driven wire widths and contact counts inside the module.
+
+    An element of ratio k contributes k unit transistors; the placement
+    algorithm assigns symmetric position pairs from the centre outwards to
+    the element with the most remaining units, which yields exact common
+    centroids for even unit counts and minimal offset otherwise. *)
+
+type element = {
+  el_name : string;
+  units : int;            (** ratio (number of unit transistors), >= 1 *)
+  drain_net : string;
+  current : float;        (** DC drain current of the whole element, A *)
+}
+
+type gate_style =
+  | Common of string
+      (** all gates tied by one strap to the given net (current mirror) *)
+  | Rails of (string * string) list
+      (** per-element gate nets: the first listed element's gates route to
+          a rail above the row, the second's to a rail below (differential
+          structures).  At most two distinct nets are supported. *)
+
+type spec = {
+  elements : element list;
+  mtype : Technology.Electrical.mos_type;
+  unit_w : float;         (** width of one unit transistor, m *)
+  l : float;
+  source_net : string;
+  gate : gate_style;
+  bulk_net : string;
+  dummies : bool;         (** add a dummy unit at each end *)
+}
+
+type slot = Dummy | Unit of string  (** element name *)
+
+type placement = slot array
+(** Left-to-right unit sequence, including dummies when requested. *)
+
+val interleave : spec -> placement
+
+val centroid_offset : placement -> string -> float
+(** Distance between an element's unit centroid and the stack midpoint, in
+    unit pitches.  0 for perfectly centred elements. *)
+
+val orientation_imbalance : placement -> string -> int
+(** |units at even positions - units at odd positions| for the element: in
+    a shared-diffusion stack, position parity flips the current direction,
+    so 0 means the element's current-direction mismatch cancels
+    (Malavasi-Pandini criterion). *)
+
+type diffusion = { area : float; perim : float }
+(** Drawn junction geometry, m^2 / m (perimeter excludes gate edges). *)
+
+type result = {
+  cell : Cell.t;
+  placement : placement;
+  drain_areas : (string * float) list;
+      (** per element: drawn drain diffusion area, m^2 *)
+  drain_diffusion : (string * diffusion) list;
+  source_diffusion : diffusion;
+      (** whole shared source net (split among elements by the caller) *)
+  strap_widths : (string * int) list;
+      (** per element: EM-driven metal strap width, lambda *)
+  contacts_per_strip : int;
+}
+
+val generate_with_placement :
+  Technology.Process.t -> spec -> placement -> result
+(** Realise an explicitly given unit sequence (used by the common-centroid
+    pair generator, which mirrors a row). *)
+
+val generate : Technology.Process.t -> spec -> result
+(** Geometric realisation: a single row of units with shared source strips,
+    drain strips shared only between adjacent units of the same element
+    (different-element drains are split with an active break), poly gates
+    tied by a strap, dummies tied to the source net. *)
+
+val pp_placement : Format.formatter -> placement -> unit
+(** e.g. ["D 3 2 3 3 1 3 3 2 3 D"]. *)

@@ -1,0 +1,1 @@
+lib/linalg/linalg.ml: Dense Field

@@ -1,0 +1,1 @@
+lib/linalg/dense.ml: Array Field Float Format

@@ -1,0 +1,141 @@
+exception Singular of int
+
+module Make (F : Field.S) = struct
+  type t = { r : int; c : int; a : F.t array array }
+
+  let create r c = { r; c; a = Array.make_matrix r c F.zero }
+
+  let identity n =
+    let m = create n n in
+    for i = 0 to n - 1 do
+      m.a.(i).(i) <- F.one
+    done;
+    m
+
+  let rows m = m.r
+  let cols m = m.c
+  let get m i j = m.a.(i).(j)
+  let set m i j x = m.a.(i).(j) <- x
+  let add_to m i j x = m.a.(i).(j) <- F.add m.a.(i).(j) x
+  let copy m = { m with a = Array.map Array.copy m.a }
+
+  let of_arrays a =
+    let r = Array.length a in
+    assert (r > 0);
+    let c = Array.length a.(0) in
+    Array.iter (fun row -> assert (Array.length row = c)) a;
+    { r; c; a = Array.map Array.copy a }
+
+  let to_arrays m = Array.map Array.copy m.a
+  let map f m = { m with a = Array.map (Array.map f) m.a }
+
+  let matvec m v =
+    assert (Array.length v = m.c);
+    Array.init m.r (fun i ->
+      let acc = ref F.zero in
+      for j = 0 to m.c - 1 do
+        acc := F.add !acc (F.mul m.a.(i).(j) v.(j))
+      done;
+      !acc)
+
+  let matmul x y =
+    assert (x.c = y.r);
+    let z = create x.r y.c in
+    for i = 0 to x.r - 1 do
+      for k = 0 to x.c - 1 do
+        let xik = x.a.(i).(k) in
+        if F.magnitude xik > 0.0 then
+          for j = 0 to y.c - 1 do
+            z.a.(i).(j) <- F.add z.a.(i).(j) (F.mul xik y.a.(k).(j))
+          done
+      done
+    done;
+    z
+
+  let transpose m =
+    let t = create m.c m.r in
+    for i = 0 to m.r - 1 do
+      for j = 0 to m.c - 1 do
+        t.a.(j).(i) <- m.a.(i).(j)
+      done
+    done;
+    t
+
+  type lu = { n : int; lu_a : F.t array array; perm : int array }
+
+  (* Doolittle LU with partial pivoting, stored in place in a copy of the
+     input.  The permutation records row swaps for the solve phase. *)
+  let lu_factor m =
+    assert (m.r = m.c);
+    let n = m.r in
+    let a = Array.map Array.copy m.a in
+    let perm = Array.init n (fun i -> i) in
+    for k = 0 to n - 1 do
+      (* pivot selection *)
+      let pivot = ref k and best = ref (F.magnitude a.(k).(k)) in
+      for i = k + 1 to n - 1 do
+        let v = F.magnitude a.(i).(k) in
+        if v > !best then begin
+          best := v;
+          pivot := i
+        end
+      done;
+      if !best < 1e-300 then raise (Singular k);
+      if !pivot <> k then begin
+        let tmp = a.(k) in
+        a.(k) <- a.(!pivot);
+        a.(!pivot) <- tmp;
+        let tp = perm.(k) in
+        perm.(k) <- perm.(!pivot);
+        perm.(!pivot) <- tp
+      end;
+      let akk = a.(k).(k) in
+      for i = k + 1 to n - 1 do
+        let factor = F.div a.(i).(k) akk in
+        a.(i).(k) <- factor;
+        if F.magnitude factor > 0.0 then
+          for j = k + 1 to n - 1 do
+            a.(i).(j) <- F.sub a.(i).(j) (F.mul factor a.(k).(j))
+          done
+      done
+    done;
+    { n; lu_a = a; perm }
+
+  let lu_solve { n; lu_a = a; perm } b =
+    assert (Array.length b = n);
+    let x = Array.init n (fun i -> b.(perm.(i))) in
+    (* forward substitution, unit lower triangle *)
+    for i = 1 to n - 1 do
+      for j = 0 to i - 1 do
+        x.(i) <- F.sub x.(i) (F.mul a.(i).(j) x.(j))
+      done
+    done;
+    (* back substitution *)
+    for i = n - 1 downto 0 do
+      for j = i + 1 to n - 1 do
+        x.(i) <- F.sub x.(i) (F.mul a.(i).(j) x.(j))
+      done;
+      x.(i) <- F.div x.(i) a.(i).(i)
+    done;
+    x
+
+  let solve a b = lu_solve (lu_factor a) b
+
+  let residual_norm m x b =
+    let ax = matvec m x in
+    let worst = ref 0.0 in
+    Array.iteri
+      (fun i axi -> worst := Float.max !worst (F.magnitude (F.sub axi b.(i))))
+      ax;
+    !worst
+
+  let pp fmt m =
+    for i = 0 to m.r - 1 do
+      Format.fprintf fmt "[";
+      for j = 0 to m.c - 1 do
+        if j > 0 then Format.fprintf fmt ", ";
+        F.pp fmt m.a.(i).(j)
+      done;
+      Format.fprintf fmt "]@."
+    done
+end

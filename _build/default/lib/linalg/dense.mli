@@ -1,0 +1,52 @@
+(** Dense matrices over an abstract field with LU factorisation and linear
+    solve.  Sized for MNA systems of a few dozen unknowns; no sparsity is
+    exploited (circuits in this repository have < 100 nodes). *)
+
+exception Singular of int
+(** Raised by the factorisation when no usable pivot exists in the given
+    column. *)
+
+module Make (F : Field.S) : sig
+  type t
+  (** Mutable dense matrix. *)
+
+  val create : int -> int -> t
+  (** [create rows cols] is a zero-filled matrix. *)
+
+  val identity : int -> t
+  val rows : t -> int
+  val cols : t -> int
+  val get : t -> int -> int -> F.t
+  val set : t -> int -> int -> F.t -> unit
+
+  val add_to : t -> int -> int -> F.t -> unit
+  (** [add_to m i j x] accumulates [x] into [m.(i).(j)] — the MNA "stamp"
+      primitive. *)
+
+  val copy : t -> t
+  val of_arrays : F.t array array -> t
+  val to_arrays : t -> F.t array array
+  val map : (F.t -> F.t) -> t -> t
+  val matvec : t -> F.t array -> F.t array
+  val matmul : t -> t -> t
+  val transpose : t -> t
+
+  type lu
+  (** Packed LU factorisation with its row-permutation. *)
+
+  val lu_factor : t -> lu
+  (** Factor with partial pivoting.  Raises {!Singular} when a column has no
+      pivot above the numerical threshold.  The input matrix is not
+      modified. *)
+
+  val lu_solve : lu -> F.t array -> F.t array
+  (** Solve [A x = b] given the factorisation of [A]. *)
+
+  val solve : t -> F.t array -> F.t array
+  (** [solve a b] factors and solves in one call. *)
+
+  val residual_norm : t -> F.t array -> F.t array -> float
+  (** [residual_norm a x b] is the max-norm of [A x - b], for tests. *)
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,23 @@
+(** Abstract scalar field for the dense linear algebra functor.  Two
+    instances are provided: {!Real} (floats, used by the DC Newton solver)
+    and {!Cx} (complex numbers, used by the AC analysis). *)
+
+module type S = sig
+  type t
+
+  val zero : t
+  val one : t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val neg : t -> t
+  val magnitude : t -> float
+  (** Modulus, used for pivot selection and residual norms. *)
+
+  val of_float : float -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+module Real : S with type t = float
+module Cx : S with type t = Complex.t

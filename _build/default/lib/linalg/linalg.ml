@@ -1,0 +1,9 @@
+(** Convenience instantiations of the dense linear algebra functor. *)
+
+module Field = Field
+module Dense = Dense
+
+module Real = Dense.Make (Field.Real)
+module Cx = Dense.Make (Field.Cx)
+
+exception Singular = Dense.Singular

@@ -1,0 +1,1 @@
+lib/netlist/circuit.ml: Device Element Format List Set String

@@ -1,0 +1,1 @@
+lib/netlist/element.ml: Device Format Technology

@@ -1,0 +1,1 @@
+lib/netlist/element.mli: Device Format

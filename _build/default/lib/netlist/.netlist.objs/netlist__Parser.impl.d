@@ -1,0 +1,1 @@
+lib/netlist/parser.ml: Char Circuit Device Element List String Technology

@@ -1,0 +1,176 @@
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+(* SPICE engineering suffixes; longest match first so "meg" beats "m".
+   Any trailing alphabetic unit (F, Hz, ohm, ...) after the suffix is
+   ignored. *)
+let parse_value s =
+  let s = String.lowercase_ascii (String.trim s) in
+  if s = "" then failwith "parse_value: empty";
+  (* split numeric prefix from the alphabetic tail *)
+  let n = String.length s in
+  let rec numeric_end i =
+    if i >= n then i
+    else
+      match s.[i] with
+      | '0' .. '9' | '.' | '-' | '+' -> numeric_end (i + 1)
+      | 'e'
+        when i + 1 < n
+             && (match s.[i + 1] with
+                 | '0' .. '9' | '-' | '+' -> true
+                 | _ -> false) -> numeric_end (i + 2)
+      | _ -> i
+  in
+  let stop = numeric_end 0 in
+  if stop = 0 then failwith ("parse_value: " ^ s);
+  let mantissa = float_of_string (String.sub s 0 stop) in
+  let tail = String.sub s stop (n - stop) in
+  let scale =
+    if tail = "" then 1.0
+    else if String.length tail >= 3 && String.sub tail 0 3 = "meg" then 1e6
+    else
+      match tail.[0] with
+      | 'f' -> 1e-15
+      | 'p' -> 1e-12
+      | 'n' -> 1e-9
+      | 'u' -> 1e-6
+      | 'm' -> 1e-3
+      | 'k' -> 1e3
+      | 'g' -> 1e9
+      | 't' -> 1e12
+      | 'a' .. 'z' -> 1.0 (* bare unit like "v" or "hz" *)
+      | _ -> failwith ("parse_value: bad suffix " ^ tail)
+  in
+  mantissa *. scale
+
+let split_fields line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+(* key=value attributes on a MOS card *)
+let parse_attrs line_no fields =
+  List.map
+    (fun f ->
+      match String.index_opt f '=' with
+      | Some i ->
+        ( String.lowercase_ascii (String.sub f 0 i),
+          String.sub f (i + 1) (String.length f - i - 1) )
+      | None -> fail line_no ("expected key=value, got " ^ f))
+    fields
+
+let parse_mos line_no name fields =
+  match fields with
+  | d :: g :: s :: b :: model :: attrs ->
+    let mtype =
+      match String.lowercase_ascii model with
+      | "nch" | "nmos" -> Technology.Electrical.Nmos
+      | "pch" | "pmos" -> Technology.Electrical.Pmos
+      | other -> fail line_no ("unknown model " ^ other)
+    in
+    let attrs = parse_attrs line_no attrs in
+    let get key =
+      match List.assoc_opt key attrs with
+      | Some v -> Some (parse_value v)
+      | None -> None
+    in
+    let require key =
+      match get key with
+      | Some v -> v
+      | None -> fail line_no ("MOS card missing " ^ key)
+    in
+    let w = require "w" and l = require "l" in
+    let nf =
+      match List.assoc_opt "nf" attrs with
+      | Some v -> int_of_float (parse_value v)
+      | None -> 1
+    in
+    let style = { Device.Folding.nf; drain_internal = true } in
+    let diffusion =
+      match (get "ad", get "as", get "pd", get "ps") with
+      | Some ad, Some as_, Some pd, Some ps ->
+        Some
+          { Device.Folding.ad; as_; pd; ps;
+            finger_w = w /. float_of_int nf;
+            drain_strips = max 1 (nf / 2);
+            source_strips = (nf / 2) + 1 }
+      | None, _, _, _ | _, None, _, _ | _, _, None, _ | _, _, _, None -> None
+    in
+    let dev = Device.Mos.make ~style ?diffusion ~name ~mtype ~w ~l () in
+    Element.Mos { dev; d; g; s; b }
+  | _ -> fail line_no "malformed MOS card"
+
+let parse_two_terminal line_no name fields ~mk =
+  match fields with
+  | p :: n :: rest -> mk name p n rest
+  | _ -> fail line_no "malformed two-terminal card"
+
+let parse_source line_no rest =
+  (* "DC v AC a" in any order, or a bare value *)
+  let rec go dc ac = function
+    | [] -> { Element.dc; ac; wave = None }
+    | "dc" :: v :: tl | "DC" :: v :: tl -> go (parse_value v) ac tl
+    | "ac" :: v :: tl | "AC" :: v :: tl -> go dc (parse_value v) tl
+    | [ v ] -> go (parse_value v) ac []
+    | tok :: _ -> fail line_no ("unexpected source token " ^ tok)
+  in
+  go 0.0 0.0 rest
+
+let parse_card line_no line =
+  match split_fields line with
+  | [] -> None
+  | card :: fields ->
+    let kind = Char.lowercase_ascii card.[0] in
+    let name = String.sub card 1 (String.length card - 1) in
+    (match kind with
+     | 'm' -> Some (parse_mos line_no name fields)
+     | 'r' ->
+       Some
+         (parse_two_terminal line_no name fields ~mk:(fun name p n rest ->
+            match rest with
+            | [ v ] -> Element.Resistor { name; p; n; r = parse_value v }
+            | _ -> fail line_no "resistor needs exactly one value"))
+     | 'c' ->
+       Some
+         (parse_two_terminal line_no name fields ~mk:(fun name p n rest ->
+            match rest with
+            | [ v ] -> Element.Capacitor { name; p; n; c = parse_value v }
+            | _ -> fail line_no "capacitor needs exactly one value"))
+     | 'i' ->
+       Some
+         (parse_two_terminal line_no name fields ~mk:(fun name p n rest ->
+            Element.Isource { name; p; n; i = parse_source line_no rest }))
+     | 'v' ->
+       Some
+         (parse_two_terminal line_no name fields ~mk:(fun name p n rest ->
+            Element.Vsource { name; p; n; v = parse_source line_no rest }))
+     | _ -> fail line_no ("unknown card type " ^ card))
+
+let parse_lines lines =
+  match lines with
+  | [] -> Circuit.create ~title:""
+  | first :: rest ->
+    let title =
+      let t = String.trim first in
+      if String.length t > 0 && t.[0] = '*' then
+        String.trim (String.sub t 1 (String.length t - 1))
+      else t
+    in
+    let circuit = ref (Circuit.create ~title) in
+    List.iteri
+      (fun i line ->
+        let line_no = i + 2 in
+        let t = String.trim line in
+        if t = "" || t.[0] = '*' then ()
+        else if String.lowercase_ascii t = ".end" then ()
+        else if t.[0] = '.' then () (* other directives ignored *)
+        else
+          match parse_card line_no t with
+          | Some e -> circuit := Circuit.add !circuit e
+          | None -> ())
+      rest;
+    !circuit
+
+let parse text = parse_lines (String.split_on_char '\n' text)
+let roundtrip c = parse (Circuit.to_spice c)

@@ -1,0 +1,21 @@
+(** SPICE-deck reader for the subset this library prints: comment/title
+    lines, M (MOS with W/L/NF and optional AD/AS/PD/PS), R, C, I and V
+    cards with DC/AC values, and [.end].  Together with
+    {!Circuit.to_spice} this gives a round-trip text format for
+    circuits (waveform sources cannot round-trip and parse as DC). *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val parse_value : string -> float
+(** Engineering-notation number: accepts SPICE suffixes f p n u m k meg g
+    and ignores a trailing unit (e.g. ["3pF"], ["10k"], ["2.5"]).
+    Raises [Failure] on garbage. *)
+
+val parse : string -> Circuit.t
+(** Parse a whole deck.  The first line is the title. *)
+
+val parse_lines : string list -> Circuit.t
+
+val roundtrip : Circuit.t -> Circuit.t
+(** [parse (Circuit.to_spice c)] — used by tests. *)

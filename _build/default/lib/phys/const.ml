@@ -1,0 +1,7 @@
+let boltzmann = 1.380649e-23
+let electron_charge = 1.602176634e-19
+let eps_0 = 8.8541878128e-12
+let eps_sio2 = 3.9 *. eps_0
+let eps_si = 11.7 *. eps_0
+let room_temperature = 300.15
+let thermal_voltage t = boltzmann *. t /. electron_charge

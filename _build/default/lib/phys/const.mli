@@ -1,0 +1,23 @@
+(** Physical constants used throughout the device models and the noise
+    analysis.  All values are in SI units. *)
+
+val boltzmann : float
+(** Boltzmann constant [J/K]. *)
+
+val electron_charge : float
+(** Elementary charge [C]. *)
+
+val eps_0 : float
+(** Vacuum permittivity [F/m]. *)
+
+val eps_sio2 : float
+(** Permittivity of silicon dioxide [F/m]. *)
+
+val eps_si : float
+(** Permittivity of silicon [F/m]. *)
+
+val room_temperature : float
+(** Default analysis temperature [K] (300.15 K = 27 C). *)
+
+val thermal_voltage : float -> float
+(** [thermal_voltage t] is kT/q at temperature [t] in kelvin. *)

@@ -1,0 +1,44 @@
+let femto = 1e-15
+let pico = 1e-12
+let nano = 1e-9
+let micro = 1e-6
+let milli = 1e-3
+let kilo = 1e3
+let mega = 1e6
+let giga = 1e9
+
+let prefixes =
+  [ (1e-18, "a"); (1e-15, "f"); (1e-12, "p"); (1e-9, "n"); (1e-6, "u");
+    (1e-3, "m"); (1.0, ""); (1e3, "k"); (1e6, "M"); (1e9, "G"); (1e12, "T") ]
+
+(* Largest prefix whose scale does not exceed |x|; values below 1e-18 use the
+   smallest prefix. *)
+let with_prefix x =
+  if x = 0.0 || Float.is_nan x || Float.is_nan (x -. x) then (x, "")
+  else
+    let mag = Float.abs x in
+    let rec find best = function
+      | [] -> best
+      | (scale, _) as p :: rest -> if scale <= mag then find p rest else best
+    in
+    let scale, name = find (List.hd prefixes) prefixes in
+    (x /. scale, name)
+
+let trim_zeros s =
+  if String.contains s '.' then begin
+    let rec last i = if i > 0 && s.[i] = '0' then last (i - 1) else i in
+    let i = last (String.length s - 1) in
+    let i = if s.[i] = '.' then i - 1 else i in
+    String.sub s 0 (i + 1)
+  end
+  else s
+
+let to_si_string ?(digits = 3) unit x =
+  if Float.is_nan x then "nan"
+  else if x = 0.0 then Printf.sprintf "0 %s" unit
+  else
+    let m, p = with_prefix x in
+    Printf.sprintf "%s %s%s" (trim_zeros (Printf.sprintf "%.*f" digits m)) p unit
+
+let pp_si ?digits unit fmt x =
+  Format.pp_print_string fmt (to_si_string ?digits unit x)

@@ -1,0 +1,24 @@
+(** Engineering-notation helpers: SI prefixes for building values and for
+    pretty-printing reports (e.g. ["65.0 MHz"], ["3.0 pF"]). *)
+
+val femto : float
+val pico : float
+val nano : float
+val micro : float
+val milli : float
+val kilo : float
+val mega : float
+val giga : float
+
+val with_prefix : float -> float * string
+(** [with_prefix x] scales [x] into [1.0, 1000.0) and returns the scaled
+    mantissa with the matching SI prefix string ("" for unit scale).
+    [with_prefix 6.5e7 = (65.0, "M")].  Zero maps to [(0.0, "")]. *)
+
+val pp_si : ?digits:int -> string -> Format.formatter -> float -> unit
+(** [pp_si ~digits unit fmt x] prints [x] in engineering notation followed by
+    [unit], e.g. [pp_si "Hz" fmt 6.5e7] prints ["65 MHz"].  [digits] is the
+    number of significant decimal places of the mantissa (default 3). *)
+
+val to_si_string : ?digits:int -> string -> float -> string
+(** String version of {!pp_si}. *)

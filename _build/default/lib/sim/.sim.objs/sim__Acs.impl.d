@@ -1,0 +1,1 @@
+lib/sim/acs.ml: Array Complex Dcop Device Float Indexing Linalg List Netlist

@@ -1,0 +1,1 @@
+lib/sim/acs.mli: Complex Dcop

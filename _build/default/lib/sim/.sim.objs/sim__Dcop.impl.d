@@ -1,0 +1,1 @@
+lib/sim/dcop.ml: Array Device Float Format Indexing Linalg List Netlist Phys Stamps Technology

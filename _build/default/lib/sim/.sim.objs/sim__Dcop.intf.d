@@ -1,0 +1,1 @@
+lib/sim/dcop.mli: Device Format Indexing Netlist Technology

@@ -1,0 +1,1 @@
+lib/sim/indexing.ml: Array List Map Netlist Printf String

@@ -1,0 +1,1 @@
+lib/sim/indexing.mli: Netlist

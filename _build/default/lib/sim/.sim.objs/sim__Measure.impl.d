@@ -1,0 +1,1 @@
+lib/sim/measure.ml: Acs Array Complex Float Phys

@@ -1,0 +1,1 @@
+lib/sim/noise.ml: Acs Complex Dcop Device List Netlist Phys

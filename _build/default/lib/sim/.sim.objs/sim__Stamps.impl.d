@@ -1,0 +1,1 @@
+lib/sim/stamps.ml: Array Device Indexing Linalg Technology

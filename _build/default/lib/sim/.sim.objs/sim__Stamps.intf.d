@@ -1,0 +1,1 @@
+lib/sim/stamps.mli: Device Indexing Linalg Technology

@@ -1,0 +1,1 @@
+lib/sim/tran.ml: Array Dcop Device Float Indexing Linalg List Map Netlist Phys Printf Stamps String

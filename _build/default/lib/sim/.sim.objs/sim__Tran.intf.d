@@ -1,0 +1,1 @@
+lib/sim/tran.mli: Device Netlist Technology

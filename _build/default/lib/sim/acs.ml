@@ -1,0 +1,152 @@
+module C = Linalg.Cx
+module El = Netlist.Element
+
+type node = int option
+
+type stamp = {
+  conds : (node * node * float) list;
+  caps : (node * node * float) list;
+  vccs : (node * node * node * node * float) list;
+  (* (out_p, out_n, ctrl_p, ctrl_n, gm): current gm (v_cp - v_cn) flows
+     out_p -> out_n *)
+  vrows : (int * node * node * float) list; (* (row, p, n, ac magnitude) *)
+  irhs : (node * node * float) list;        (* current p -> n, magnitude *)
+}
+
+type t = {
+  idx : Indexing.t;
+  stamp : stamp;
+}
+
+let cx re = { Complex.re; im = 0.0 }
+
+let prepare dcop =
+  let idx = Dcop.indexing dcop in
+  let circuit = Dcop.circuit dcop in
+  let ni name = Indexing.node_index idx name in
+  let acc = ref { conds = []; caps = []; vccs = []; vrows = []; irhs = [] } in
+  let add_cond p n g = acc := { !acc with conds = (p, n, g) :: !acc.conds } in
+  let add_cap p n c = if c > 0.0 then acc := { !acc with caps = (p, n, c) :: !acc.caps } in
+  let add_vccs op on cp cn gm =
+    if gm <> 0.0 then acc := { !acc with vccs = (op, on, cp, cn, gm) :: !acc.vccs }
+  in
+  let handle = function
+    | El.Resistor { p; n; r; _ } -> add_cond (ni p) (ni n) (1.0 /. r)
+    | El.Capacitor { p; n; c; _ } -> add_cap (ni p) (ni n) c
+    | El.Isource { p; n; i; _ } ->
+      if i.El.ac <> 0.0 then
+        acc := { !acc with irhs = (ni p, ni n, i.El.ac) :: !acc.irhs }
+    | El.Vsource { name; p; n; v; _ } ->
+      let k = Indexing.vsource_index idx name in
+      acc := { !acc with vrows = (k, ni p, ni n, v.El.ac) :: !acc.vrows }
+    | El.Mos { dev; d; g; s; b } ->
+      let op = Dcop.device_op dcop dev.Device.Mos.name in
+      let e = op.Device.Op.eval and cc = op.Device.Op.caps in
+      let nd = ni d and ng = ni g and ns = ni s and nb = ni b in
+      add_cond nd ns e.Device.Model.gds;
+      add_vccs nd ns ng ns e.Device.Model.gm;
+      add_vccs nd ns nb ns e.Device.Model.gmb;
+      add_cap ng ns cc.Device.Caps.cgs;
+      add_cap ng nd cc.Device.Caps.cgd;
+      add_cap ng nb cc.Device.Caps.cgb;
+      add_cap nd nb cc.Device.Caps.cdb;
+      add_cap ns nb cc.Device.Caps.csb
+  in
+  List.iter handle (Netlist.Circuit.elements circuit);
+  { idx; stamp = !acc }
+
+type factored = {
+  net : t;
+  lu : C.lu;
+}
+
+let assemble net ~freq =
+  let n = Indexing.size net.idx in
+  let y = C.create n n in
+  let quad p q v =
+    (* conductance-style 4-point stamp *)
+    let add i j x = C.add_to y i j x in
+    (match p with Some i -> add i i v | None -> ());
+    (match q with Some j -> add j j v | None -> ());
+    (match (p, q) with
+     | Some i, Some j ->
+       add i j (Complex.neg v);
+       add j i (Complex.neg v)
+     | Some _, None | None, Some _ | None, None -> ())
+  in
+  List.iter (fun (p, q, g) -> quad p q (cx g)) net.stamp.conds;
+  let w = 2.0 *. Float.pi *. freq in
+  List.iter
+    (fun (p, q, c) -> quad p q { Complex.re = 0.0; im = w *. c })
+    net.stamp.caps;
+  List.iter
+    (fun (op, on, cp, cn, gm) ->
+      let g = cx gm in
+      let add_out out sign =
+        match out with
+        | None -> ()
+        | Some i ->
+          (match cp with Some j -> C.add_to y i j (if sign then g else Complex.neg g) | None -> ());
+          (match cn with Some j -> C.add_to y i j (if sign then Complex.neg g else g) | None -> ())
+      in
+      add_out op true;
+      add_out on false)
+    net.stamp.vccs;
+  List.iter
+    (fun (k, p, q, _ac) ->
+      (match p with
+       | Some i ->
+         C.add_to y i k Complex.one;
+         C.add_to y k i Complex.one
+       | None -> ());
+      (match q with
+       | Some j ->
+         C.add_to y j k (Complex.neg Complex.one);
+         C.add_to y k j (Complex.neg Complex.one)
+       | None -> ()))
+    net.stamp.vrows;
+  (* tiny gmin keeps Y regular at very low frequency on isolated nodes *)
+  for i = 0 to Indexing.node_count net.idx - 1 do
+    C.add_to y i i (cx 1e-15)
+  done;
+  y
+
+let factor net ~freq = { net; lu = C.lu_factor (assemble net ~freq) }
+
+let rhs_sources net =
+  let n = Indexing.size net.idx in
+  let j = Array.make n Complex.zero in
+  List.iter
+    (fun (p, q, mag) ->
+      (* current p -> n: leaves p, enters n *)
+      (match p with Some i -> j.(i) <- Complex.sub j.(i) (cx mag) | None -> ());
+      (match q with Some i -> j.(i) <- Complex.add j.(i) (cx mag) | None -> ()))
+    net.stamp.irhs;
+  List.iter (fun (k, _, _, ac) -> j.(k) <- cx ac) net.stamp.vrows;
+  j
+
+let solve_sources f = C.lu_solve f.lu (rhs_sources f.net)
+
+let solve_injection f ~p ~n =
+  let nn = Indexing.size f.net.idx in
+  let j = Array.make nn Complex.zero in
+  (match Indexing.node_index f.net.idx p with
+   | Some i -> j.(i) <- Complex.sub j.(i) Complex.one
+   | None -> ());
+  (match Indexing.node_index f.net.idx n with
+   | Some i -> j.(i) <- Complex.add j.(i) Complex.one
+   | None -> ());
+  C.lu_solve f.lu j
+
+let voltage net x name =
+  match Indexing.node_index net.idx name with
+  | None -> Complex.zero
+  | Some i -> x.(i)
+
+let transfer net ~freq ~out =
+  let f = factor net ~freq in
+  voltage net (solve_sources f) out
+
+let output_impedance net ~freq ~out =
+  let f = factor net ~freq in
+  voltage net (solve_injection f ~p:Netlist.Element.ground ~n:out) out

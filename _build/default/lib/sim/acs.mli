@@ -1,0 +1,36 @@
+(** Small-signal AC analysis: the circuit is linearised at a DC operating
+    point (MOS devices become gm/gmb sources, gds conductances and the five
+    Meyer/junction capacitances) and the complex MNA system
+    (G + j w C) x = J is solved per frequency.
+
+    The factorisation at a given frequency is exposed so that the noise
+    analysis can reuse it for many right-hand sides (one injection per
+    noisy device). *)
+
+type t
+(** Prepared linear network. *)
+
+val prepare : Dcop.t -> t
+
+type factored
+(** LU factorisation of Y(w) at one frequency. *)
+
+val factor : t -> freq:float -> factored
+
+val solve_sources : factored -> Complex.t array
+(** Response to the circuit's own AC sources (the [ac] magnitudes of V and
+    I sources), as phasors over all MNA unknowns. *)
+
+val solve_injection : factored -> p:string -> n:string -> Complex.t array
+(** Response to a unit AC current injected from node [p] to node [n]
+    (circuit AC sources zeroed).  Used for output impedance and noise
+    transfer functions. *)
+
+val voltage : t -> Complex.t array -> string -> Complex.t
+(** Extract a node phasor from a solution vector (ground is 0). *)
+
+val transfer : t -> freq:float -> out:string -> Complex.t
+(** One-call helper: response at node [out] to the circuit AC sources. *)
+
+val output_impedance : t -> freq:float -> out:string -> Complex.t
+(** V(out) for a unit current injected into [out] with sources zeroed. *)

@@ -1,0 +1,138 @@
+module R = Linalg.Real
+module El = Netlist.Element
+
+type t = {
+  idx : Indexing.t;
+  x : float array;
+  ops : (string * Device.Op.t) list;
+  iters : int;
+  circ : Netlist.Circuit.t;
+  proc : Technology.Process.t;
+  kind : Device.Model.kind;
+}
+
+(* Residual f(x) (KCL: currents leaving each node) and Jacobian.  [alpha]
+   scales all independent sources for source stepping; [gmin] is a
+   conductance to ground on every node. *)
+let build proc kind circuit idx ~gmin ~alpha x =
+  let ctx = Stamps.make idx x in
+  let stamp_elem = function
+    | El.Resistor { p; n; r; _ } -> Stamps.resistor ctx ~p ~n ~r
+    | El.Capacitor _ -> ()
+    | El.Isource { p; n; i; _ } -> Stamps.isource ctx ~p ~n (alpha *. i.El.dc)
+    | El.Vsource { name; p; n; v; _ } ->
+      let row = Indexing.vsource_index idx name in
+      Stamps.vsource ctx ~row ~p ~n (alpha *. v.El.dc)
+    | El.Mos { dev; d; g; s; b } -> Stamps.mos proc kind ctx ~dev ~d ~g ~s ~b
+  in
+  List.iter stamp_elem (Netlist.Circuit.elements circuit);
+  Stamps.gmin_all ctx gmin;
+  (ctx.Stamps.jac, ctx.Stamps.f)
+
+let max_abs a = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 a
+
+exception Diverged
+
+(* One Newton solve at fixed gmin/alpha.  Raises [Diverged] on failure. *)
+let newton proc kind circuit idx ~gmin ~alpha ~max_iter x0 =
+  let n = Indexing.size idx in
+  assert (Array.length x0 = n);
+  let x = Array.copy x0 in
+  let step_limit = 0.5 in
+  let rec loop iter =
+    if iter >= max_iter then raise Diverged
+    else begin
+      let jac, f = build proc kind circuit idx ~gmin ~alpha x in
+      let delta =
+        try R.solve jac (Array.map (fun v -> -.v) f)
+        with Linalg.Singular _ -> raise Diverged
+      in
+      let m = max_abs delta in
+      if Float.is_nan m then raise Diverged;
+      let scale = if m > step_limit then step_limit /. m else 1.0 in
+      Array.iteri (fun i d -> x.(i) <- x.(i) +. scale *. d) delta;
+      if m *. scale < 1e-9 && max_abs f < 1e-9 then (x, iter + 1)
+      else loop (iter + 1)
+    end
+  in
+  loop 0
+
+let initial_guess idx guess =
+  let n = Indexing.size idx in
+  let x = Array.make n 0.0 in
+  Array.iteri
+    (fun i name -> match guess name with Some v -> x.(i) <- v | None -> ())
+    (Indexing.node_names idx);
+  x
+
+let device_ops_at proc kind circuit volt =
+  List.map
+    (fun (dev, d, g, s, b) ->
+      let bias =
+        Stamps.device_bias dev ~vd:(volt d) ~vg:(volt g) ~vs:(volt s) ~vb:(volt b)
+      in
+      (dev.Device.Mos.name, Device.Op.compute proc kind dev bias))
+    (Netlist.Circuit.mos_devices circuit)
+
+let solve ?(guess = fun _ -> None) ?(max_iter = 100) ~proc ~kind circuit =
+  let idx = Indexing.build circuit in
+  let x0 = initial_guess idx guess in
+  let total_iters = ref 0 in
+  let attempt ~gmin ~alpha x =
+    let x, it = newton proc kind circuit idx ~gmin ~alpha ~max_iter x in
+    total_iters := !total_iters + it;
+    x
+  in
+  let final_gmin = 1e-12 in
+  let x =
+    try attempt ~gmin:final_gmin ~alpha:1.0 x0
+    with Diverged ->
+      (* gmin stepping: heavy damping to ground first, relaxed gradually;
+         each stage starts from the previous stage's solution. *)
+      let try_gmin_stepping x0 =
+        let gmins = [ 1e-2; 1e-4; 1e-6; 1e-8; 1e-10; final_gmin ] in
+        List.fold_left (fun x gmin -> attempt ~gmin ~alpha:1.0 x) x0 gmins
+      in
+      (try try_gmin_stepping x0
+       with Diverged ->
+         (* source stepping from a de-energised circuit *)
+         (try
+            let alphas = [ 0.0; 0.1; 0.25; 0.4; 0.55; 0.7; 0.85; 1.0 ] in
+            let x =
+              List.fold_left
+                (fun x alpha -> attempt ~gmin:1e-9 ~alpha x)
+                (Array.make (Indexing.size idx) 0.0)
+                alphas
+            in
+            attempt ~gmin:final_gmin ~alpha:1.0 x
+          with Diverged ->
+            raise (Phys.Numerics.No_convergence "Dcop.solve: DC analysis failed")))
+  in
+  let volt node =
+    match Indexing.node_index idx node with None -> 0.0 | Some i -> x.(i)
+  in
+  let ops = device_ops_at proc kind circuit volt in
+  { idx; x; ops; iters = !total_iters; circ = circuit; proc; kind }
+
+let voltage t node =
+  match Indexing.node_index t.idx node with None -> 0.0 | Some i -> t.x.(i)
+
+let vsource_current t name = t.x.(Indexing.vsource_index t.idx name)
+let device_op t name = List.assoc name t.ops
+let device_ops t = t.ops
+let iterations t = t.iters
+let indexing t = t.idx
+let circuit t = t.circ
+let process t = t.proc
+let model_kind t = t.kind
+let supply_current t name = Float.abs (vsource_current t name)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>operating point (%d Newton iterations):@," t.iters;
+  Array.iteri
+    (fun i name -> Format.fprintf fmt "  V(%s) = %.6f V@," name t.x.(i))
+    (Indexing.node_names t.idx);
+  List.iter
+    (fun (name, op) -> Format.fprintf fmt "  %s: %a@," name Device.Op.pp op)
+    t.ops;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,41 @@
+(** DC operating point by Newton-Raphson on the MNA equations, with gmin
+    stepping and source stepping as continuation fallbacks.  Capacitors are
+    open at DC; voltage sources contribute branch-current unknowns. *)
+
+type t
+(** A converged operating point. *)
+
+val solve :
+  ?guess:(string -> float option) ->
+  ?max_iter:int ->
+  proc:Technology.Process.t ->
+  kind:Device.Model.kind ->
+  Netlist.Circuit.t -> t
+(** Solve for the operating point.  [guess] seeds node voltages (nodes not
+    covered start at 0 V); the sizing tool passes its intended bias point
+    here.  Raises [Phys.Numerics.No_convergence] when every continuation
+    strategy fails. *)
+
+val voltage : t -> string -> float
+(** Node voltage; ground is 0. Raises [Invalid_argument] on unknown nets. *)
+
+val vsource_current : t -> string -> float
+(** Branch current through a voltage source (flowing p -> n inside the
+    source). *)
+
+val device_op : t -> string -> Device.Op.t
+(** Operating point of a MOS device, by device name.  Raises [Not_found]. *)
+
+val device_ops : t -> (string * Device.Op.t) list
+val iterations : t -> int
+(** Total Newton iterations spent (including continuation phases). *)
+
+val indexing : t -> Indexing.t
+val circuit : t -> Netlist.Circuit.t
+val process : t -> Technology.Process.t
+val model_kind : t -> Device.Model.kind
+val supply_current : t -> string -> float
+(** Convenience: |current| drawn from the named supply voltage source. *)
+
+val pp : Format.formatter -> t -> unit
+(** Operating-point report: node voltages and device summaries. *)

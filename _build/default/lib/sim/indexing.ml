@@ -1,0 +1,53 @@
+module SM = Map.Make (String)
+
+type t = {
+  node_of : int SM.t;
+  vsrc_of : int SM.t;
+  names : string array;
+  n_nodes : int;
+  n_total : int;
+}
+
+let build circuit =
+  let nodes = Netlist.Circuit.nodes circuit in
+  let node_of =
+    List.fold_left
+      (fun (m, i) name -> (SM.add name i m, i + 1))
+      (SM.empty, 0) nodes
+    |> fst
+  in
+  let n_nodes = List.length nodes in
+  let vsrc_of, n_total =
+    List.fold_left
+      (fun (m, i) e ->
+        match e with
+        | Netlist.Element.Vsource { name; _ } -> (SM.add name i m, i + 1)
+        | Netlist.Element.Mos _ | Netlist.Element.Resistor _
+        | Netlist.Element.Capacitor _ | Netlist.Element.Isource _ -> (m, i))
+      (SM.empty, n_nodes)
+      (Netlist.Circuit.elements circuit)
+  in
+  { node_of; vsrc_of; names = Array.of_list nodes; n_nodes; n_total }
+
+let size t = t.n_total
+let node_count t = t.n_nodes
+
+let node_index t name =
+  if name = Netlist.Element.ground then None
+  else
+    match SM.find_opt name t.node_of with
+    | Some i -> Some i
+    | None -> invalid_arg (Printf.sprintf "Indexing.node_index: unknown node %s" name)
+
+let node_index_exn t name =
+  match node_index t name with
+  | Some i -> i
+  | None -> invalid_arg "Indexing.node_index_exn: ground node"
+
+let vsource_index t name =
+  match SM.find_opt name t.vsrc_of with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Indexing.vsource_index: unknown source %s" name)
+
+let node_names t = t.names
+let vsource_names t = List.map fst (SM.bindings t.vsrc_of)

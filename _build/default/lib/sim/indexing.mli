@@ -1,0 +1,26 @@
+(** MNA unknown numbering shared by all analyses: one unknown per non-ground
+    node, plus one branch-current unknown per voltage source. *)
+
+type t
+
+val build : Netlist.Circuit.t -> t
+val size : t -> int
+(** Total number of unknowns. *)
+
+val node_count : t -> int
+
+val node_index : t -> string -> int option
+(** [None] for the ground node. *)
+
+val node_index_exn : t -> string -> int
+(** Raises [Invalid_argument] for ground or unknown nodes — use
+    {!node_index} when ground is legal. *)
+
+val vsource_index : t -> string -> int
+(** Index of the branch-current unknown of a voltage source, by name. *)
+
+val node_names : t -> string array
+(** Names indexed by node unknowns; [node_names t .(i)] for [i <
+    node_count t]. *)
+
+val vsource_names : t -> string list

@@ -1,0 +1,31 @@
+(** Circuit noise analysis.  For each noisy element (MOS channel thermal +
+    flicker, resistor thermal) a unit AC current is injected across its
+    noise branch and the transfer impedance to the output node is computed
+    on the factored AC system; output noise is the PSD-weighted sum of
+    squared transfer magnitudes.  Input-referred noise divides by the
+    squared gain magnitude supplied by the caller's testbench. *)
+
+type contribution = {
+  element : string;
+  thermal : float;  (** contribution to output voltage PSD, V^2/Hz *)
+  flicker : float;
+}
+
+val output_psd :
+  Dcop.t -> Acs.t -> out:string -> freq:float -> float * contribution list
+(** Total output voltage noise PSD at [freq] and the per-element split. *)
+
+val input_referred_psd :
+  Dcop.t -> Acs.t -> out:string -> gain:Complex.t -> freq:float -> float
+(** Output PSD divided by |gain|^2 — the caller provides the gain of its
+    input of interest at the same frequency. *)
+
+val integrated_output_noise :
+  Dcop.t -> Acs.t -> out:string -> fmin:float -> fmax:float -> float
+(** RMS output noise voltage over [fmin, fmax], by log-spaced integration
+    of the PSD. *)
+
+val integrated_input_noise :
+  Dcop.t -> Acs.t -> out:string -> gain_at:(float -> Complex.t) ->
+  fmin:float -> fmax:float -> float
+(** RMS input-referred noise voltage over the band. *)

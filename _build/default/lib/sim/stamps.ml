@@ -1,0 +1,87 @@
+module R = Linalg.Real
+module Mdl = Device.Model
+
+type ctx = {
+  idx : Indexing.t;
+  jac : R.t;
+  f : float array;
+  x : float array;
+}
+
+let make idx x =
+  let n = Indexing.size idx in
+  assert (Array.length x = n);
+  { idx; jac = R.create n n; f = Array.make n 0.0; x }
+
+let volt ctx node =
+  match Indexing.node_index ctx.idx node with
+  | None -> 0.0
+  | Some i -> ctx.x.(i)
+
+let with_idx ctx node k =
+  match Indexing.node_index ctx.idx node with None -> () | Some i -> k i
+
+let add_current ctx node value =
+  with_idx ctx node (fun i -> ctx.f.(i) <- ctx.f.(i) +. value)
+
+let add_jac ctx np nq value =
+  match Indexing.node_index ctx.idx np with
+  | None -> ()
+  | Some i ->
+    (match Indexing.node_index ctx.idx nq with
+     | None -> ()
+     | Some j -> R.add_to ctx.jac i j value)
+
+let conductor ctx ~p ~n ~g ~i_extra =
+  let i = g *. (volt ctx p -. volt ctx n) +. i_extra in
+  add_current ctx p i;
+  add_current ctx n (-.i);
+  add_jac ctx p p g;
+  add_jac ctx p n (-.g);
+  add_jac ctx n n g;
+  add_jac ctx n p (-.g)
+
+let resistor ctx ~p ~n ~r = conductor ctx ~p ~n ~g:(1.0 /. r) ~i_extra:0.0
+
+let isource ctx ~p ~n value =
+  add_current ctx p value;
+  add_current ctx n (-.value)
+
+let vsource ctx ~row ~p ~n value =
+  let k = row in
+  add_current ctx p ctx.x.(k);
+  add_current ctx n (-.(ctx.x.(k)));
+  with_idx ctx p (fun i -> R.add_to ctx.jac i k 1.0);
+  with_idx ctx n (fun i -> R.add_to ctx.jac i k (-1.0));
+  ctx.f.(k) <- volt ctx p -. volt ctx n -. value;
+  with_idx ctx p (fun i -> R.add_to ctx.jac k i 1.0);
+  with_idx ctx n (fun i -> R.add_to ctx.jac k i (-1.0))
+
+let gmin_all ctx gmin =
+  for i = 0 to Indexing.node_count ctx.idx - 1 do
+    ctx.f.(i) <- ctx.f.(i) +. gmin *. ctx.x.(i);
+    R.add_to ctx.jac i i gmin
+  done
+
+let device_bias dev ~vd ~vg ~vs ~vb =
+  let sgn = Technology.Electrical.mos_type_sign dev.Device.Mos.mtype in
+  { Mdl.vgs = sgn *. (vg -. vs);
+    vds = sgn *. (vd -. vs);
+    vbs = sgn *. (vb -. vs) }
+
+let mos proc kind ctx ~dev ~d ~g ~s ~b =
+  let vd = volt ctx d and vg = volt ctx g and vs = volt ctx s and vb = volt ctx b in
+  let bias = device_bias dev ~vd ~vg ~vs ~vb in
+  let p = Device.Mos.params proc dev in
+  let e = Mdl.evaluate kind p ~w:dev.Device.Mos.w ~l:dev.Device.Mos.l bias in
+  let sgn = Technology.Electrical.mos_type_sign dev.Device.Mos.mtype in
+  let id_phys = sgn *. e.Mdl.ids in
+  add_current ctx d id_phys;
+  add_current ctx s (-.id_phys);
+  (* dI_D/dvg = gm, /dvd = gds, /dvb = gmb, /dvs = -(gm + gds + gmb): the
+     polarity signs cancel, so the entries are identical for both types. *)
+  let gm = e.Mdl.gm and gds = e.Mdl.gds and gmb = e.Mdl.gmb in
+  let gs = -.(gm +. gds +. gmb) in
+  add_jac ctx d g gm; add_jac ctx d d gds; add_jac ctx d b gmb; add_jac ctx d s gs;
+  add_jac ctx s g (-.gm); add_jac ctx s d (-.gds); add_jac ctx s b (-.gmb);
+  add_jac ctx s s (-.gs)

@@ -1,0 +1,45 @@
+(** Shared MNA stamping primitives for the nonlinear analyses (DC Newton
+    and transient): residual accumulation (KCL currents leaving each node)
+    and Jacobian entries.  The AC analysis uses its own complex assembly. *)
+
+type ctx = {
+  idx : Indexing.t;
+  jac : Linalg.Real.t;
+  f : float array;
+  x : float array;  (** current iterate *)
+}
+
+val make : Indexing.t -> float array -> ctx
+(** Fresh zeroed Jacobian and residual around iterate [x]. *)
+
+val volt : ctx -> string -> float
+val add_current : ctx -> string -> float -> unit
+(** Accumulate a current leaving the node into the residual. *)
+
+val add_jac : ctx -> string -> string -> float -> unit
+(** [add_jac ctx np nq v]: d(residual at np)/d(voltage at nq) += v;
+    silently skipped when either node is ground. *)
+
+val resistor : ctx -> p:string -> n:string -> r:float -> unit
+
+val conductor : ctx -> p:string -> n:string -> g:float -> i_extra:float -> unit
+(** Linear companion branch: current [g * (vp - vn) + i_extra] from [p] to
+    [n] — used for capacitor companions in transient analysis. *)
+
+val isource : ctx -> p:string -> n:string -> float -> unit
+(** DC current value flowing p -> n through the source. *)
+
+val vsource : ctx -> row:int -> p:string -> n:string -> float -> unit
+(** Ideal voltage source with branch-current unknown at [row]. *)
+
+val gmin_all : ctx -> float -> unit
+
+val device_bias :
+  Device.Mos.t -> vd:float -> vg:float -> vs:float -> vb:float -> Device.Model.bias
+(** Internal-polarity bias of a MOS from its node voltages. *)
+
+val mos :
+  Technology.Process.t -> Device.Model.kind -> ctx ->
+  dev:Device.Mos.t -> d:string -> g:string -> s:string -> b:string -> unit
+(** Nonlinear MOS stamp: drain current residual plus gm/gds/gmb Jacobian
+    entries (polarity-independent, see the model documentation). *)

@@ -1,0 +1,1 @@
+lib/sizing/amp.ml: Device Format List Netlist

@@ -1,0 +1,1 @@
+lib/sizing/amp.mli: Device Format Netlist

@@ -1,0 +1,1 @@
+lib/sizing/folded_cascode.ml: Amp Device Float Format List Netlist Parasitics Phys Spec Technology

@@ -1,0 +1,1 @@
+lib/sizing/folded_cascode.mli: Amp Device Format Parasitics Spec Technology

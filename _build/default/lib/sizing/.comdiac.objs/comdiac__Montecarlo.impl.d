@@ -1,0 +1,1 @@
+lib/sizing/montecarlo.ml: Amp Device Float Format Fun List Netlist Phys Random Sim Testbench

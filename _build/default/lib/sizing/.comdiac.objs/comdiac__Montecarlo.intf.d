@@ -1,0 +1,1 @@
+lib/sizing/montecarlo.mli: Amp Device Format Spec Technology

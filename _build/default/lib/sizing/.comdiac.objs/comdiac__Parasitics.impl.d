@@ -1,0 +1,1 @@
+lib/sizing/parasitics.ml: Device Float List

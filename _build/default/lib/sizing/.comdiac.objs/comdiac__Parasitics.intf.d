@@ -1,0 +1,1 @@
+lib/sizing/parasitics.mli: Device

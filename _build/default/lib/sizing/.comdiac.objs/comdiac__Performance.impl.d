@@ -1,0 +1,1 @@
+lib/sizing/performance.ml: Format List Printf

@@ -1,0 +1,1 @@
+lib/sizing/performance.mli: Format

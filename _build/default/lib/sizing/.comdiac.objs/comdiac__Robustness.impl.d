@@ -1,0 +1,1 @@
+lib/sizing/robustness.ml: Float Format List Phys Sim Spec Technology Testbench

@@ -1,0 +1,1 @@
+lib/sizing/robustness.mli: Amp Device Format Spec Technology

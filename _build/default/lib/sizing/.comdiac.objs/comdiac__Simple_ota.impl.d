@@ -1,0 +1,1 @@
+lib/sizing/simple_ota.ml: Amp Device Float Format Netlist Parasitics Phys Spec Technology

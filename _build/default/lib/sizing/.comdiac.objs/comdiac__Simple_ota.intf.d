@@ -1,0 +1,1 @@
+lib/sizing/simple_ota.mli: Amp Device Format Parasitics Spec Technology

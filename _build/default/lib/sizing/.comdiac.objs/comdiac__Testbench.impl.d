@@ -1,0 +1,1 @@
+lib/sizing/testbench.ml: Amp Array Device Float Netlist Performance Phys Sim Spec Technology

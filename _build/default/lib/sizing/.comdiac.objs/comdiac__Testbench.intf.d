@@ -1,0 +1,1 @@
+lib/sizing/testbench.mli: Amp Device Performance Sim Spec Technology

@@ -1,0 +1,1 @@
+lib/sizing/two_stage.ml: Amp Device Float Format Netlist Parasitics Phys Spec Technology Testbench

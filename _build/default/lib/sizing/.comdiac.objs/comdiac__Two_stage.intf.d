@@ -1,0 +1,1 @@
+lib/sizing/two_stage.mli: Amp Device Format Parasitics Spec Technology

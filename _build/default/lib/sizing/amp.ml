@@ -1,0 +1,67 @@
+module El = Netlist.Element
+
+type t = {
+  topology : string;
+  devices : El.t list;
+  bias_sources : (string * float) list;
+  node_caps : (string * float) list;
+  guess : (string * float) list;
+  quiescent_out : float;
+  tail_current : float;
+  supply_current : float;
+  gm1 : float;
+  internal_nets : string list;
+}
+
+let add_to t circuit =
+  let circuit = List.fold_left Netlist.Circuit.add circuit t.devices in
+  let circuit =
+    List.fold_left
+      (fun c (net, v) ->
+        Netlist.Circuit.add_vsource c ~name:("b_" ^ net) ~p:net ~n:El.ground
+          (El.dc_source v))
+      circuit t.bias_sources
+  in
+  List.fold_left
+    (fun c (net, cap) ->
+      Netlist.Circuit.add_node_cap c ~name:("par_" ^ net) ~node:net ~c:cap)
+    circuit t.node_caps
+
+let guess_fn t ~extra name =
+  match List.assoc_opt name t.guess with
+  | Some v -> Some v
+  | None -> List.assoc_opt name extra
+
+let mos_devices t =
+  List.filter_map
+    (function
+      | El.Mos { dev; _ } -> Some dev
+      | El.Resistor _ | El.Capacitor _ | El.Isource _ | El.Vsource _ -> None)
+    t.devices
+
+let find_device t name =
+  match List.find_opt (fun d -> d.Device.Mos.name = name) (mos_devices t) with
+  | Some d -> d
+  | None -> raise Not_found
+
+let map_devices f t =
+  let devices =
+    List.map
+      (function
+        | El.Mos m -> El.Mos { m with dev = f m.dev }
+        | (El.Resistor _ | El.Capacitor _ | El.Isource _ | El.Vsource _) as e -> e)
+      t.devices
+  in
+  { t with devices }
+
+let with_node_caps node_caps t = { t with node_caps }
+
+let pp_sizes fmt t =
+  Format.fprintf fmt "@[<v>%s:@," t.topology;
+  List.iter
+    (fun d -> Format.fprintf fmt "  %a@," Device.Mos.pp d)
+    (mos_devices t);
+  List.iter
+    (fun (net, v) -> Format.fprintf fmt "  bias %-6s = %.4f V@," net v)
+    t.bias_sources;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,34 @@
+(** A sized amplifier: the output of a topology design plan.  Amp netlists
+    use canonical net names ([inp], [inn], [out], [vdd], ground ["0"]);
+    testbenches attach sources to those nets. *)
+
+type t = {
+  topology : string;
+  devices : Netlist.Element.t list;
+      (** MOS elements on canonical nets, fully sized and styled *)
+  bias_sources : (string * float) list;
+      (** ideal bias voltages (net, value) the design plan computed *)
+  node_caps : (string * float) list;
+      (** parasitic node capacitances assumed by the sizing (F) *)
+  guess : (string * float) list;
+      (** DC node-voltage guesses, including internal nodes *)
+  quiescent_out : float;
+  tail_current : float;          (** slewing current available at the output *)
+  supply_current : float;        (** predicted quiescent current from VDD *)
+  gm1 : float;                   (** input-pair transconductance *)
+  internal_nets : string list;
+}
+
+val add_to : t -> Netlist.Circuit.t -> Netlist.Circuit.t
+(** Add the amp devices, bias sources and assumed parasitic capacitors to a
+    circuit. *)
+
+val guess_fn : t -> extra:(string * float) list -> string -> float option
+(** Newton seed combining the amp's internal guesses with testbench
+    nodes. *)
+
+val mos_devices : t -> Device.Mos.t list
+val find_device : t -> string -> Device.Mos.t
+val map_devices : (Device.Mos.t -> Device.Mos.t) -> t -> t
+val with_node_caps : (string * float) list -> t -> t
+val pp_sizes : Format.formatter -> t -> unit

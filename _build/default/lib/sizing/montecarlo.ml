@@ -1,0 +1,113 @@
+module El = Netlist.Element
+
+type sample = {
+  offset : float;
+  dc_gain_db : float;
+  gbw : float;
+}
+
+type stats = {
+  n : int;
+  mean : float;
+  std : float;
+  minimum : float;
+  maximum : float;
+}
+
+type result = {
+  samples : sample list;
+  offset_stats : stats;
+  gain_stats : stats;
+  gbw_stats : stats;
+  predicted_offset_sigma : float;
+}
+
+let stats_of values =
+  let n = List.length values in
+  assert (n > 0);
+  let nf = float_of_int n in
+  let mean = List.fold_left ( +. ) 0.0 values /. nf in
+  let var =
+    List.fold_left (fun acc v -> acc +. ((v -. mean) ** 2.0)) 0.0 values /. nf
+  in
+  {
+    n;
+    mean;
+    std = sqrt var;
+    minimum = List.fold_left Float.min infinity values;
+    maximum = List.fold_left Float.max neg_infinity values;
+  }
+
+(* Box-Muller with an explicit random state. *)
+let gaussian st =
+  let u1 = Float.max 1e-12 (Random.State.float st 1.0) in
+  let u2 = Random.State.float st 1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let perturb proc st amp =
+  Amp.map_devices
+    (fun dev ->
+      let sigma_vt, sigma_beta = Device.Mos.mismatch_sigma proc dev in
+      Device.Mos.with_mismatch
+        ~vto_shift:(sigma_vt *. gaussian st)
+        ~beta_scale:(1.0 +. (sigma_beta *. gaussian st))
+        dev)
+    amp
+
+let input_pair_sigma proc amp =
+  (* the device whose gate is the non-inverting input *)
+  let input_dev =
+    List.find_map
+      (fun e ->
+        match e with
+        | El.Mos { dev; g = "inp"; _ } -> Some dev
+        | El.Mos _ | El.Resistor _ | El.Capacitor _ | El.Isource _
+        | El.Vsource _ -> None)
+      amp.Amp.devices
+  in
+  match input_dev with
+  | Some dev ->
+    let sigma_vt, _ = Device.Mos.mismatch_sigma proc dev in
+    sqrt 2.0 *. sigma_vt
+  | None -> 0.0
+
+let run ?(seed = 42) ?(n = 50) ~proc ~kind ~spec amp =
+  assert (n > 0);
+  let st = Random.State.make [| seed |] in
+  let one () =
+    let amp' = perturb proc st amp in
+    match Testbench.make ~proc ~kind ~spec amp' with
+    | tb ->
+      Some
+        {
+          offset = Testbench.offset tb;
+          dc_gain_db = Sim.Measure.db (Testbench.dc_gain tb);
+          gbw =
+            (match Testbench.gbw tb with Some f -> f | None -> Float.nan);
+        }
+    | exception (Phys.Numerics.No_convergence _ | Failure _) -> None
+  in
+  let samples = List.filter_map (fun _ -> one ()) (List.init n Fun.id) in
+  if samples = [] then failwith "Montecarlo.run: no sample converged";
+  let finite = List.filter (fun v -> not (Float.is_nan v)) in
+  {
+    samples;
+    offset_stats = stats_of (List.map (fun s -> s.offset) samples);
+    gain_stats = stats_of (List.map (fun s -> s.dc_gain_db) samples);
+    gbw_stats = stats_of (finite (List.map (fun s -> s.gbw) samples));
+    predicted_offset_sigma = input_pair_sigma proc amp;
+  }
+
+let pp fmt r =
+  let p name unit scale (s : stats) =
+    Format.fprintf fmt
+      "  %-8s mean %10.3f %-4s sigma %9.3f  range [%.3f, %.3f] (n=%d)@." name
+      (s.mean /. scale) unit (s.std /. scale) (s.minimum /. scale)
+      (s.maximum /. scale) s.n
+  in
+  Format.fprintf fmt "@[<v>monte carlo:@,";
+  p "offset" "mV" 1e-3 r.offset_stats;
+  p "gain" "dB" 1.0 r.gain_stats;
+  p "gbw" "MHz" 1e6 r.gbw_stats;
+  Format.fprintf fmt "  input-pair Pelgrom prediction: sigma_vos >= %.3f mV@]"
+    (r.predicted_offset_sigma /. 1e-3)

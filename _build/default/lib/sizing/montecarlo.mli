@@ -1,0 +1,46 @@
+(** Statistical (Monte Carlo) verification — the paper's "statistical
+    analysis to check the reliability of the synthesized circuit".
+
+    Each sample perturbs every transistor's threshold voltage and current
+    factor with independent Gaussian mismatch of Pelgrom standard
+    deviation (avt / sqrt(WL), abeta / sqrt(WL)) and re-measures the
+    offset, DC gain and GBW on the simulator.  The random state is
+    explicit so runs are reproducible. *)
+
+type sample = {
+  offset : float;     (** input-referred offset, V *)
+  dc_gain_db : float;
+  gbw : float;        (** Hz; nan when the gain never crosses unity *)
+}
+
+type stats = {
+  n : int;
+  mean : float;
+  std : float;
+  minimum : float;
+  maximum : float;
+}
+
+type result = {
+  samples : sample list;
+  offset_stats : stats;
+  gain_stats : stats;
+  gbw_stats : stats;
+  predicted_offset_sigma : float;
+      (** analytic input-pair-dominated prediction:
+          sqrt(2) sigma_vt(P1) combined with the mirror's contribution
+          scaled by gm ratios *)
+}
+
+val stats_of : float list -> stats
+
+val run :
+  ?seed:int -> ?n:int ->
+  proc:Technology.Process.t ->
+  kind:Device.Model.kind ->
+  spec:Spec.t ->
+  Amp.t -> result
+(** Default 50 samples, seed 42.  Raises if the nominal amp fails to
+    bias. *)
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,70 @@
+module F = Device.Folding
+
+type diffusion_mode =
+  | No_diffusion
+  | Assume_single_fold
+  | Layout_exact
+
+type t = {
+  diffusion : diffusion_mode;
+  styles : (string * F.style) list;
+  drains : (string * F.geom) list;
+  node_caps : (string * float) list;
+}
+
+let none = { diffusion = No_diffusion; styles = []; drains = []; node_caps = [] }
+
+let single_fold =
+  { diffusion = Assume_single_fold; styles = []; drains = []; node_caps = [] }
+
+let exact ?(node_caps = []) ~styles ~drains () =
+  { diffusion = Layout_exact; styles; drains; node_caps }
+
+let style_of t name =
+  match t.diffusion with
+  | No_diffusion | Assume_single_fold -> F.default
+  | Layout_exact ->
+    (match List.assoc_opt name t.styles with
+     | Some s -> s
+     | None -> F.default)
+
+let drain_of t name =
+  match t.diffusion with
+  | No_diffusion | Assume_single_fold -> None
+  | Layout_exact -> List.assoc_opt name t.drains
+
+let node_cap t net =
+  match List.assoc_opt net t.node_caps with Some c -> c | None -> 0.0
+
+let apply_to_device t dev =
+  let name = dev.Device.Mos.name in
+  let style = style_of t name in
+  let dev = Device.Mos.with_style style dev in
+  match drain_of t name with
+  | None -> dev
+  | Some g -> { dev with Device.Mos.diffusion = Some g }
+
+let rel_diff a b =
+  if a = 0.0 && b = 0.0 then 0.0
+  else Float.abs (a -. b) /. Float.max 1e-18 (Float.max (Float.abs a) (Float.abs b))
+
+let max_distance a b =
+  let nets =
+    List.sort_uniq compare (List.map fst a.node_caps @ List.map fst b.node_caps)
+  in
+  let cap_dist =
+    List.fold_left
+      (fun acc net -> Float.max acc (rel_diff (node_cap a net) (node_cap b net)))
+      0.0 nets
+  in
+  let devs =
+    List.sort_uniq compare (List.map fst a.drains @ List.map fst b.drains)
+  in
+  let area_of t name =
+    match List.assoc_opt name t.drains with
+    | Some g -> g.F.ad
+    | None -> 0.0
+  in
+  List.fold_left
+    (fun acc d -> Float.max acc (rel_diff (area_of a d) (area_of b d)))
+    cap_dist devs

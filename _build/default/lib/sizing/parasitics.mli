@@ -1,0 +1,50 @@
+(** The parasitic knowledge available to the sizing tool — the independent
+    variable of the paper's Table 1 experiment.
+
+    - {!none}: no layout capacitances at all (case 1);
+    - {!single_fold}: junction capacitances assuming one fold per
+      transistor, no routing (case 2 — over-estimates diffusion);
+    - {!exact}: fold-exact diffusion from a layout-tool report, optionally
+      with routing/coupling/well capacitances (cases 3 and 4). *)
+
+type diffusion_mode =
+  | No_diffusion            (** ignore junction capacitances entirely *)
+  | Assume_single_fold      (** nf = 1 geometry regardless of layout *)
+  | Layout_exact            (** use the styles/geometry below *)
+
+type t = {
+  diffusion : diffusion_mode;
+  styles : (string * Device.Folding.style) list;
+      (** folding per device, from the layout tool *)
+  drains : (string * Device.Folding.geom) list;
+      (** as-drawn diffusion override per device *)
+  node_caps : (string * float) list;
+      (** routing + coupling + well capacitance per amp net (amp-local
+          net names), F *)
+}
+
+val none : t
+val single_fold : t
+
+val exact :
+  ?node_caps:(string * float) list ->
+  styles:(string * Device.Folding.style) list ->
+  drains:(string * Device.Folding.geom) list -> unit -> t
+
+val style_of : t -> string -> Device.Folding.style
+(** Folding style the sizing tool assumes for a device (single fold unless
+    [Layout_exact] supplies one). *)
+
+val drain_of : t -> string -> Device.Folding.geom option
+val node_cap : t -> string -> float
+
+val apply_to_device : t -> Device.Mos.t -> Device.Mos.t
+(** Rewrite a device's folding style and diffusion override according to
+    this parasitic knowledge ([No_diffusion] leaves geometry alone — the
+    *evaluation* decides to ignore junction caps, see
+    {!Folded_cascode}). *)
+
+val max_distance : t -> t -> float
+(** Largest relative difference between the node capacitances (and drain
+    areas) of two parasitic states — the layout-oriented loop's
+    convergence measure. *)

@@ -1,0 +1,58 @@
+type t = {
+  dc_gain_db : float;
+  gbw : float;
+  phase_margin : float;
+  slew_rate : float;
+  cmrr_db : float;
+  offset : float;
+  output_resistance : float;
+  input_noise : float;
+  thermal_noise_density : float;
+  flicker_noise_density : float;
+  power : float;
+}
+
+let row_labels = [
+  "DC gain (dB)";
+  "GBW (MHz)";
+  "Phase margin (deg)";
+  "Slew rate (V/us)";
+  "CMRR (dB)";
+  "Offset voltage (mV)";
+  "Output resistance (Mohm)";
+  "Input noise voltage (uV)";
+  "Thermal noise density (nV/rtHz)";
+  "Flicker noise at 1 Hz (uV/rtHz)";
+  "Power dissipation (mW)";
+]
+
+let values t = [
+  t.dc_gain_db;
+  t.gbw /. 1e6;
+  t.phase_margin;
+  t.slew_rate /. 1e6;
+  t.cmrr_db;
+  t.offset /. 1e-3;
+  t.output_resistance /. 1e6;
+  t.input_noise /. 1e-6;
+  t.thermal_noise_density /. 1e-9;
+  t.flicker_noise_density /. 1e-6;
+  t.power /. 1e-3;
+]
+
+let rows t =
+  List.map2 (fun l v -> (l, Printf.sprintf "%.2f" v)) row_labels (values t)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun (l, v) -> Format.fprintf fmt "%-32s %10s@," l v) (rows t);
+  Format.fprintf fmt "@]"
+
+let pp_pair fmt (synth, extracted) =
+  Format.fprintf fmt "@[<v>";
+  List.iter2
+    (fun label (vs, ve) ->
+      Format.fprintf fmt "%-32s %10.2f (%.2f)@," label vs ve)
+    row_labels
+    (List.combine (values synth) (values extracted));
+  Format.fprintf fmt "@]"

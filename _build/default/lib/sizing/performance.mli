@@ -1,0 +1,27 @@
+(** The measured performance record — one column of the paper's Table 1
+    (eleven rows). *)
+
+type t = {
+  dc_gain_db : float;
+  gbw : float;                   (** unity-gain frequency, Hz *)
+  phase_margin : float;          (** degrees *)
+  slew_rate : float;             (** V/s (printed as V/us) *)
+  cmrr_db : float;
+  offset : float;                (** input-referred, V *)
+  output_resistance : float;     (** ohm *)
+  input_noise : float;           (** integrated RMS input noise, V *)
+  thermal_noise_density : float; (** white-region input density, V/sqrt(Hz) *)
+  flicker_noise_density : float; (** input density at 1 Hz, V/sqrt(Hz) *)
+  power : float;                 (** quiescent dissipation, W *)
+}
+
+val row_labels : string list
+(** The Table-1 row names, in order. *)
+
+val rows : t -> (string * string) list
+(** Label and pretty-printed value per row. *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_pair : Format.formatter -> t * t -> unit
+(** Print [synthesized (extracted)] pairs like the paper's table cells. *)

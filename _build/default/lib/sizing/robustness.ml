@@ -1,0 +1,108 @@
+module C = Technology.Corner
+
+type point = {
+  corner : C.t;
+  temperature : float;
+  gbw : float;
+  phase_margin : float;
+  dc_gain_db : float;
+  power : float;
+  biased : bool;
+}
+
+type result = {
+  points : point list;
+  worst_gbw : float;
+  worst_pm : float;
+  all_biased : bool;
+}
+
+let default_corners = C.all
+let default_temperatures = [ C.celsius 27.0 ]
+let extra_tt_temperatures = [ C.celsius (-40.0); C.celsius 85.0 ]
+
+let measure_point ?rebias ~proc ~kind ~spec ~corner ~temperature amp =
+  let proc = C.at_temperature temperature (C.apply corner proc) in
+  let amp = match rebias with Some f -> f proc | None -> amp in
+  match Testbench.make ~proc ~kind ~spec amp with
+  | tb ->
+    {
+      corner;
+      temperature;
+      gbw = (match Testbench.gbw tb with Some f -> f | None -> Float.nan);
+      phase_margin =
+        (match Testbench.phase_margin tb with Some p -> p | None -> Float.nan);
+      dc_gain_db = Sim.Measure.db (Testbench.dc_gain tb);
+      power = Testbench.power tb;
+      biased = true;
+    }
+  | exception (Phys.Numerics.No_convergence _ | Failure _) ->
+    {
+      corner;
+      temperature;
+      gbw = Float.nan;
+      phase_margin = Float.nan;
+      dc_gain_db = Float.nan;
+      power = Float.nan;
+      biased = false;
+    }
+
+let run ?corners ?temperatures ?rebias ~proc ~kind ~spec amp =
+  let grid =
+    match (corners, temperatures) with
+    | Some cs, Some ts ->
+      List.concat_map (fun c -> List.map (fun t -> (c, t)) ts) cs
+    | Some cs, None ->
+      List.concat_map (fun c -> List.map (fun t -> (c, t)) default_temperatures) cs
+    | None, Some ts ->
+      List.concat_map (fun c -> List.map (fun t -> (c, t)) ts) default_corners
+    | None, None ->
+      List.concat_map
+        (fun c -> List.map (fun t -> (c, t)) default_temperatures)
+        default_corners
+      @ List.map (fun t -> (C.TT, t)) extra_tt_temperatures
+  in
+  let points =
+    List.map
+      (fun (corner, temperature) ->
+        measure_point ?rebias ~proc ~kind ~spec ~corner ~temperature amp)
+      grid
+  in
+  let biased = List.filter (fun p -> p.biased) points in
+  let fold f init xs = List.fold_left f init xs in
+  {
+    points;
+    worst_gbw =
+      fold (fun acc p -> if Float.is_nan p.gbw then acc else Float.min acc p.gbw)
+        infinity biased;
+    worst_pm =
+      fold
+        (fun acc p ->
+          if Float.is_nan p.phase_margin then acc else Float.min acc p.phase_margin)
+        infinity biased;
+    all_biased = List.for_all (fun p -> p.biased) points;
+  }
+
+let meets r ~spec ~gbw_slack ~pm_slack =
+  r.all_biased
+  && r.worst_gbw >= (1.0 -. gbw_slack) *. spec.Spec.gbw
+  && r.worst_pm >= spec.Spec.phase_margin -. pm_slack
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v>corner / temperature verification:@,";
+  List.iter
+    (fun p ->
+      if p.biased then
+        Format.fprintf fmt
+          "  %-3s %6.1f C: GBW %7.2f MHz  PM %5.1f deg  gain %5.1f dB  \
+           power %5.2f mW@,"
+          (C.to_string p.corner)
+          (p.temperature -. 273.15)
+          (p.gbw /. 1e6) p.phase_margin p.dc_gain_db (p.power /. 1e-3)
+      else
+        Format.fprintf fmt "  %-3s %6.1f C: FAILED TO BIAS@,"
+          (C.to_string p.corner)
+          (p.temperature -. 273.15))
+    r.points;
+  Format.fprintf fmt "  worst: GBW %.2f MHz, PM %.1f deg@]"
+    (r.worst_gbw /. 1e6) r.worst_pm

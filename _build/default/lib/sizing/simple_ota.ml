@@ -1,0 +1,95 @@
+module El = Netlist.Element
+module E = Technology.Electrical
+module P = Technology.Process
+module M = Device.Model
+
+type design = {
+  amp : Amp.t;
+  i1 : float;
+  predicted_gbw : float;
+  predicted_gain_db : float;
+}
+
+let device_names = [ "M1"; "M2"; "M3"; "M4"; "M5" ]
+
+let size ~proc ~kind ~spec ~parasitics =
+  (match Spec.validate spec with
+   | Ok () -> ()
+   | Error msg -> failwith ("Simple_ota.size: " ^ msg));
+  let nmos = proc.P.electrical.E.nmos and pmos = proc.P.electrical.E.pmos in
+  let vdd = spec.Spec.vdd in
+  let vcm = Float.max (Spec.input_common_mode spec) (nmos.E.vto +. 0.45) in
+  let out_q = Spec.output_quiescent spec in
+  let lmin = P.lmin proc in
+  let l = 2.0 *. lmin in
+  let veff1 = 0.20 and veff_load = 0.30 and veff_tail = 0.25 in
+  let v_tail = vcm -. (nmos.E.vto +. veff1) in
+  let gm1 = 2.0 *. Float.pi *. spec.Spec.gbw *. spec.Spec.cload in
+  let w_unit = 1e-6 in
+  let eval1 =
+    M.evaluate kind nmos ~w:w_unit ~l
+      { M.vgs = nmos.E.vto +. veff1; vds = 1.0; vbs = -.v_tail }
+  in
+  let w1 = gm1 /. eval1.M.gm *. w_unit in
+  let i1 = eval1.M.ids *. (w1 /. w_unit) in
+  let vgs_load = pmos.E.vto +. veff_load in
+  let w3 =
+    M.w_for_current kind pmos ~l ~ids:i1
+      { M.vgs = vgs_load; vds = vgs_load; vbs = 0.0 }
+  in
+  let w5 =
+    M.w_for_current kind nmos ~l ~ids:(2.0 *. i1)
+      { M.vgs = nmos.E.vto +. veff_tail; vds = v_tail; vbs = 0.0 }
+  in
+  let vb =
+    M.vgs_for_current kind nmos ~w:w5 ~l ~ids:(2.0 *. i1) ~vds:v_tail ~vbs:0.0
+  in
+  let dev name mtype w = Parasitics.apply_to_device parasitics
+      (Device.Mos.make ~name ~mtype ~w ~l ()) in
+  let mos name mtype w ~d ~g ~s ~b = El.Mos { dev = dev name mtype w; d; g; s; b } in
+  let devices =
+    [
+      mos "M1" E.Nmos w1 ~d:"x1" ~g:"inp" ~s:"tail" ~b:"0";
+      mos "M2" E.Nmos w1 ~d:"out" ~g:"inn" ~s:"tail" ~b:"0";
+      mos "M3" E.Pmos w3 ~d:"x1" ~g:"x1" ~s:"vdd" ~b:"vdd";
+      mos "M4" E.Pmos w3 ~d:"out" ~g:"x1" ~s:"vdd" ~b:"vdd";
+      mos "M5" E.Nmos w5 ~d:"tail" ~g:"vb" ~s:"0" ~b:"0";
+    ]
+  in
+  let eval_at w veff =
+    M.evaluate kind nmos ~w ~l { M.vgs = nmos.E.vto +. veff; vds = 1.0; vbs = 0.0 }
+  in
+  let gds1 = (eval_at w1 veff1).M.gds in
+  let gds4 =
+    (M.evaluate kind pmos ~w:w3 ~l { M.vgs = vgs_load; vds = vdd -. out_q; vbs = 0.0 }).M.gds
+  in
+  let gain = gm1 /. (gds1 +. gds4) in
+  let amp =
+    {
+      Amp.topology = "simple 5T OTA";
+      devices;
+      bias_sources = [ ("vb", vb) ];
+      node_caps = [];
+      guess =
+        [
+          ("tail", v_tail); ("x1", vdd -. vgs_load); ("out", out_q);
+          ("inp", vcm); ("inn", vcm); ("vdd", vdd); ("vb", vb);
+        ];
+      quiescent_out = out_q;
+      tail_current = 2.0 *. i1;
+      supply_current = 2.0 *. i1;
+      gm1;
+      internal_nets = [ "tail"; "x1" ];
+    }
+  in
+  {
+    amp;
+    i1;
+    predicted_gbw = spec.Spec.gbw;
+    predicted_gain_db = 20.0 *. log10 gain;
+  }
+
+let pp_design fmt d =
+  Format.fprintf fmt "@[<v>simple OTA design:@,\
+                      \  I1 = %s  predicted gain %.1f dB@,%a@]"
+    (Phys.Units.to_si_string "A" d.i1) d.predicted_gain_db Amp.pp_sizes d.amp

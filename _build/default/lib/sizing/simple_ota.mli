@@ -1,0 +1,21 @@
+(** Third topology: the classic single-stage five-transistor OTA (NMOS
+    input pair, PMOS mirror load, NMOS tail).  Small gain, single pole —
+    useful as a quickstart example and as the baseline topology in the
+    design-space exploration example. *)
+
+type design = {
+  amp : Amp.t;
+  i1 : float;
+  predicted_gbw : float;
+  predicted_gain_db : float;
+}
+
+val size :
+  proc:Technology.Process.t ->
+  kind:Device.Model.kind ->
+  spec:Spec.t ->
+  parasitics:Parasitics.t ->
+  design
+
+val device_names : string list
+val pp_design : Format.formatter -> design -> unit

@@ -1,0 +1,233 @@
+module El = Netlist.Element
+module Ckt = Netlist.Circuit
+
+type t = {
+  proc : Technology.Process.t;
+  kind : Device.Model.kind;
+  spec : Spec.t;
+  amp : Amp.t;
+  vos : float;               (* nulled differential input *)
+  dc : Sim.Dcop.t;           (* offset-nulled differential bench *)
+  net_dm : Sim.Acs.t;        (* differential AC view *)
+  net_cm : Sim.Acs.t;        (* common-mode AC view *)
+}
+
+(* Open-loop bench: supply, load and the two input sources around the
+   common-mode voltage.  [ac] selects differential (+1/2, -1/2) or
+   common-mode (+1, +1) stimulus. *)
+let open_loop_circuit ?vcm spec amp ~vdiff ~ac_dm ~ac_cm =
+  let vcm =
+    match vcm with Some v -> v | None -> Spec.input_common_mode spec
+  in
+  let c = Ckt.create ~title:("bench " ^ amp.Amp.topology) in
+  let c = Amp.add_to amp c in
+  let c = Ckt.add_vsource c ~name:"dd" ~p:"vdd" ~n:El.ground (El.dc_source spec.Spec.vdd) in
+  let c =
+    Ckt.add_vsource c ~name:"ip" ~p:"inp" ~n:El.ground
+      { El.dc = vcm +. (vdiff /. 2.0); ac = (ac_dm /. 2.0) +. ac_cm; wave = None }
+  in
+  let c =
+    Ckt.add_vsource c ~name:"in" ~p:"inn" ~n:El.ground
+      { El.dc = vcm -. (vdiff /. 2.0); ac = (-.ac_dm /. 2.0) +. ac_cm; wave = None }
+  in
+  Ckt.add_capacitor c ~name:"load" ~p:"out" ~n:El.ground ~c:spec.Spec.cload
+
+(* Supply-rejection bench: the AC stimulus rides on VDD instead. *)
+let psrr_circuit spec amp ~vdiff =
+  let vcm = Spec.input_common_mode spec in
+  let c = Ckt.create ~title:("psrr bench " ^ amp.Amp.topology) in
+  let c = Amp.add_to amp c in
+  let c =
+    Ckt.add_vsource c ~name:"dd" ~p:"vdd" ~n:El.ground
+      (El.ac_source ~dc:spec.Spec.vdd 1.0)
+  in
+  let c =
+    Ckt.add_vsource c ~name:"ip" ~p:"inp" ~n:El.ground
+      (El.dc_source (vcm +. (vdiff /. 2.0)))
+  in
+  let c =
+    Ckt.add_vsource c ~name:"in" ~p:"inn" ~n:El.ground
+      (El.dc_source (vcm -. (vdiff /. 2.0)))
+  in
+  Ckt.add_capacitor c ~name:"load" ~p:"out" ~n:El.ground ~c:spec.Spec.cload
+
+let solve_dc proc kind spec amp circuit =
+  let extra = [ ("vdd", spec.Spec.vdd) ] in
+  Sim.Dcop.solve ~guess:(Amp.guess_fn amp ~extra) ~proc ~kind circuit
+
+(* Null the offset: find the differential input that puts the output at
+   the quiescent target.  The output saturates outside a tiny input
+   window, so bracket adaptively before bisection. *)
+let null_offset ?vcm proc kind spec amp =
+  let target = amp.Amp.quiescent_out in
+  let f vdiff =
+    let c = open_loop_circuit ?vcm spec amp ~vdiff ~ac_dm:1.0 ~ac_cm:0.0 in
+    let dc = solve_dc proc kind spec amp c in
+    Sim.Dcop.voltage dc "out" -. target
+  in
+  let rec bracket w =
+    if w > 0.3 then failwith "Testbench: cannot bracket the offset"
+    else if f (-.w) *. f w <= 0.0 then w
+    else bracket (w *. 4.0)
+  in
+  let w = bracket 2e-3 in
+  Phys.Numerics.brent ~tol:1e-9 ~max_iter:80 ~f (-.w) w
+
+let make ~proc ~kind ~spec amp =
+  let vos = null_offset proc kind spec amp in
+  let circuit_dm = open_loop_circuit spec amp ~vdiff:vos ~ac_dm:1.0 ~ac_cm:0.0 in
+  let dc = solve_dc proc kind spec amp circuit_dm in
+  let net_dm = Sim.Acs.prepare dc in
+  let circuit_cm = open_loop_circuit spec amp ~vdiff:vos ~ac_dm:0.0 ~ac_cm:1.0 in
+  let dc_cm = solve_dc proc kind spec amp circuit_cm in
+  let net_cm = Sim.Acs.prepare dc_cm in
+  { proc; kind; spec; amp; vos; dc; net_dm; net_cm }
+
+let offset t = t.vos
+let dc_gain t = Sim.Measure.dc_gain t.net_dm ~out:"out"
+let gbw t = Sim.Measure.unity_gain_freq t.net_dm ~out:"out"
+let phase_margin t = Sim.Measure.phase_margin t.net_dm ~out:"out"
+let output_resistance t = Sim.Measure.output_resistance t.net_dm ~out:"out"
+
+let cmrr t =
+  let adm = Sim.Measure.dc_gain t.net_dm ~out:"out" in
+  let acm = Sim.Measure.dc_gain t.net_cm ~out:"out" in
+  adm /. Float.max 1e-12 acm
+
+let power t =
+  t.spec.Spec.vdd *. Sim.Dcop.supply_current t.dc "dd"
+
+(* Unity-gain follower step: inn strapped to out through a 0 V source, a
+   symmetric step within the output range drives inp. *)
+let slew_rate t =
+  let spec = t.spec and amp = t.amp in
+  let lo, hi = spec.Spec.output_range in
+  let v0 = lo +. (0.15 *. (hi -. lo)) and v1 = hi -. (0.15 *. (hi -. lo)) in
+  let sr_est = amp.Amp.tail_current /. spec.Spec.cload in
+  let t_slew = (v1 -. v0) /. sr_est in
+  (* settled at v1, step down at t1 (falling edge), back up at t2 (rising
+     edge), each with several slew times to settle *)
+  let t1 = 1.0 *. t_slew and t2 = 6.0 *. t_slew in
+  let tstop = 11.0 *. t_slew in
+  let wave t = if t < t1 then v1 else if t < t2 then v0 else v1 in
+  let c = Ckt.create ~title:"slew bench" in
+  let c = Amp.add_to amp c in
+  let c = Ckt.add_vsource c ~name:"dd" ~p:"vdd" ~n:El.ground (El.dc_source spec.Spec.vdd) in
+  let c = Ckt.add_vsource c ~name:"ip" ~p:"inp" ~n:El.ground (El.wave_source ~dc:v1 wave) in
+  let c = Ckt.add_vsource c ~name:"fb" ~p:"inn" ~n:"out" (El.dc_source 0.0) in
+  let c = Ckt.add_capacitor c ~name:"load" ~p:"out" ~n:El.ground ~c:spec.Spec.cload in
+  let extra = [ ("vdd", spec.Spec.vdd); ("inp", v1); ("inn", v1); ("out", v1) ] in
+  let res =
+    Sim.Tran.run ~proc:t.proc ~kind:t.kind ~tstop ~dt:(t_slew /. 200.0)
+      ~guess:(Amp.guess_fn amp ~extra) c
+  in
+  (* 10-90% edge timing rejects the capacitive feedthrough spike that a
+     raw max-slope measurement would report *)
+  let ts = Sim.Tran.times res in
+  let w = Sim.Tran.waveform res "out" in
+  let crossing ~from_i ~level ~falling =
+    let n = Array.length w in
+    let rec go i =
+      if i >= n then None
+      else if (falling && w.(i) <= level) || ((not falling) && w.(i) >= level)
+      then Some ts.(i)
+      else go (i + 1)
+    in
+    go from_i
+  in
+  let idx_of tm =
+    let rec go i = if i >= Array.length ts || ts.(i) >= tm then i else go (i + 1) in
+    go 0
+  in
+  let dv = v1 -. v0 in
+  let edge ~start ~falling =
+    let hi_level = if falling then v1 -. (0.1 *. dv) else v0 +. (0.9 *. dv) in
+    let lo_level = if falling then v1 -. (0.9 *. dv) else v0 +. (0.1 *. dv) in
+    let first = if falling then hi_level else lo_level in
+    let second = if falling then lo_level else hi_level in
+    match crossing ~from_i:(idx_of start) ~level:first ~falling with
+    | None -> None
+    | Some ta ->
+      (match crossing ~from_i:(idx_of ta) ~level:second ~falling with
+       | None -> None
+       | Some tb when tb > ta -> Some (0.8 *. dv /. (tb -. ta))
+       | Some _ -> None)
+  in
+  match (edge ~start:t1 ~falling:true, edge ~start:t2 ~falling:false) with
+  | Some f, Some r -> Float.min f r
+  | Some s, None | None, Some s -> s
+  | None, None -> Float.nan
+
+let gain_at t f = Sim.Acs.transfer t.net_dm ~freq:f ~out:"out"
+
+let input_noise_density t ~freq =
+  let psd =
+    Sim.Noise.input_referred_psd t.dc t.net_dm ~out:"out" ~gain:(gain_at t freq)
+      ~freq
+  in
+  sqrt psd
+
+let integrated_input_noise t ~fmin ~fmax =
+  Sim.Noise.integrated_input_noise t.dc t.net_dm ~out:"out"
+    ~gain_at:(gain_at t) ~fmin ~fmax
+
+let performance t =
+  let fu = match gbw t with Some f -> f | None -> Float.nan in
+  let pm = match phase_margin t with Some p -> p | None -> Float.nan in
+  let white_freq =
+    if Float.is_nan fu then 10e6 else Float.max 1e5 (fu /. 4.0)
+  in
+  let fmax = if Float.is_nan fu then 100e6 else fu in
+  {
+    Performance.dc_gain_db = Sim.Measure.db (dc_gain t);
+    gbw = fu;
+    phase_margin = pm;
+    slew_rate = slew_rate t;
+    cmrr_db = Sim.Measure.db (cmrr t);
+    offset = offset t;
+    output_resistance = output_resistance t;
+    input_noise = integrated_input_noise t ~fmin:1.0 ~fmax;
+    thermal_noise_density = input_noise_density t ~freq:white_freq;
+    flicker_noise_density = input_noise_density t ~freq:1.0;
+    power = power t;
+  }
+
+let operating_point t = t.dc
+
+let psrr t =
+  let adm = Sim.Measure.dc_gain t.net_dm ~out:"out" in
+  let c = psrr_circuit t.spec t.amp ~vdiff:t.vos in
+  let dc = solve_dc t.proc t.kind t.spec t.amp c in
+  let net = Sim.Acs.prepare dc in
+  let avdd = Sim.Measure.dc_gain net ~out:"out" in
+  adm /. Float.max 1e-12 avdd
+
+let gain_at_vcm t vcm =
+  match null_offset ~vcm t.proc t.kind t.spec t.amp with
+  | vdiff ->
+    let c = open_loop_circuit ~vcm t.spec t.amp ~vdiff ~ac_dm:1.0 ~ac_cm:0.0 in
+    let dc = solve_dc t.proc t.kind t.spec t.amp c in
+    let net = Sim.Acs.prepare dc in
+    Sim.Measure.dc_gain net ~out:"out"
+  | exception (Failure _ | Phys.Numerics.No_convergence _) -> 0.0
+
+let common_mode_range ?(points = 34) t =
+  let vdd = t.spec.Spec.vdd in
+  let vcms = Phys.Numerics.linspace 0.0 vdd points in
+  let gains = Array.map (fun vcm -> gain_at_vcm t vcm) vcms in
+  let peak = Array.fold_left Float.max 0.0 gains in
+  let ok g = g >= peak /. sqrt 2.0 in
+  (* contiguous valid interval containing the nominal common mode *)
+  let nominal = Spec.input_common_mode t.spec in
+  let nearest = ref 0 in
+  Array.iteri
+    (fun i v ->
+      if Float.abs (v -. nominal) < Float.abs (vcms.(!nearest) -. nominal)
+      then nearest := i)
+    vcms;
+  let rec down i = if i > 0 && ok gains.(i - 1) then down (i - 1) else i in
+  let rec up i =
+    if i < points - 1 && ok gains.(i + 1) then up (i + 1) else i
+  in
+  if not (ok gains.(!nearest)) then (nominal, nominal)
+  else (vcms.(down !nearest), vcms.(up !nearest))

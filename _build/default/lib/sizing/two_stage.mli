@@ -1,0 +1,24 @@
+(** Second topology: a two-stage Miller-compensated OTA (NMOS input pair
+    with PMOS mirror load, PMOS common-source second stage, Miller
+    capacitor with nulling resistor).  Demonstrates the hierarchical
+    design-plan structure: adding a topology reuses the same blocks
+    (pair, mirror, bias inversion) and the same {!Testbench}. *)
+
+type design = {
+  amp : Amp.t;
+  i1 : float;          (** first-stage branch current, A *)
+  i6 : float;          (** second-stage current, A *)
+  cc : float;          (** Miller capacitor, F *)
+  rz : float;          (** nulling resistor, ohm *)
+  predicted_gbw : float;
+}
+
+val size :
+  proc:Technology.Process.t ->
+  kind:Device.Model.kind ->
+  spec:Spec.t ->
+  parasitics:Parasitics.t ->
+  design
+
+val device_names : string list
+val pp_design : Format.formatter -> design -> unit

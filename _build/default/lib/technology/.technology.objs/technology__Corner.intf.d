@@ -1,0 +1,1 @@
+lib/technology/corner.mli: Process

@@ -1,0 +1,1 @@
+lib/technology/electrical.ml: Format Layer Phys

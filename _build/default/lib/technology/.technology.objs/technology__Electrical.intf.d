@@ -1,0 +1,1 @@
+lib/technology/electrical.mli: Format Layer

@@ -1,0 +1,1 @@
+lib/technology/layer.ml: Format Stdlib

@@ -1,0 +1,1 @@
+lib/technology/layer.mli: Format

@@ -1,0 +1,1 @@
+lib/technology/process.ml: Electrical Float Format List Phys Rules

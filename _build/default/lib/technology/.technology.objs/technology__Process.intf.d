@@ -1,0 +1,1 @@
+lib/technology/process.mli: Electrical Format Rules

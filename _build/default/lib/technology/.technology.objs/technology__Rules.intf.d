@@ -1,0 +1,1 @@
+lib/technology/rules.mli:

@@ -1,0 +1,62 @@
+type t = TT | SS | FF | SF | FS
+
+let all = [ TT; SS; FF; SF; FS ]
+
+let to_string = function
+  | TT -> "TT"
+  | SS -> "SS"
+  | FF -> "FF"
+  | SF -> "SF"
+  | FS -> "FS"
+
+let delta_vto = 0.05
+let mobility_factor = 0.10
+
+type speed = Slow | Typical | Fast
+
+let speeds = function
+  | TT -> (Typical, Typical)
+  | SS -> (Slow, Slow)
+  | FF -> (Fast, Fast)
+  | SF -> (Slow, Fast)
+  | FS -> (Fast, Slow)
+
+let shift_card speed (card : Electrical.mos_params) =
+  match speed with
+  | Typical -> card
+  | Slow ->
+    { card with
+      Electrical.vto = card.Electrical.vto +. delta_vto;
+      u0 = card.Electrical.u0 *. (1.0 -. mobility_factor) }
+  | Fast ->
+    { card with
+      Electrical.vto = card.Electrical.vto -. delta_vto;
+      u0 = card.Electrical.u0 *. (1.0 +. mobility_factor) }
+
+let apply corner (proc : Process.t) =
+  let n_speed, p_speed = speeds corner in
+  let electrical =
+    { proc.Process.electrical with
+      Electrical.nmos = shift_card n_speed proc.Process.electrical.Electrical.nmos;
+      pmos = shift_card p_speed proc.Process.electrical.Electrical.pmos }
+  in
+  { proc with
+    Process.name = proc.Process.name ^ "-" ^ to_string corner;
+    electrical }
+
+let retemp_card t0 t (card : Electrical.mos_params) =
+  { card with
+    Electrical.vto = card.Electrical.vto -. (1.5e-3 *. (t -. t0));
+    u0 = card.Electrical.u0 *. ((t /. t0) ** -1.5) }
+
+let at_temperature t (proc : Process.t) =
+  assert (t > 0.0);
+  let t0 = proc.Process.temperature in
+  let electrical =
+    { proc.Process.electrical with
+      Electrical.nmos = retemp_card t0 t proc.Process.electrical.Electrical.nmos;
+      pmos = retemp_card t0 t proc.Process.electrical.Electrical.pmos }
+  in
+  { proc with Process.temperature = t; electrical }
+
+let celsius c = c +. 273.15

@@ -1,0 +1,30 @@
+(** Process corners and temperature as transformations of a process
+    description: every analysis downstream (models, sizing, simulation)
+    automatically sees the cornered device cards.
+
+    Corners use the classic two-letter convention (NMOS then PMOS):
+    slow devices have a higher threshold magnitude and lower mobility,
+    fast devices the opposite.  Temperature shifts the thresholds by
+    -1.5 mV/K and scales mobility as (T/T0)^-1.5; junction and oxide
+    capacitances are treated as temperature independent. *)
+
+type t = TT | SS | FF | SF | FS
+
+val all : t list
+val to_string : t -> string
+
+val apply : t -> Process.t -> Process.t
+(** Corner a process (thresholds +/- [delta_vto], mobility -/+
+    [mobility_factor]). *)
+
+val at_temperature : float -> Process.t -> Process.t
+(** Retarget a process to an analysis temperature in kelvin. *)
+
+val celsius : float -> float
+(** Convert a temperature from Celsius to kelvin. *)
+
+val delta_vto : float
+(** Threshold shift magnitude per slow/fast step, V (50 mV). *)
+
+val mobility_factor : float
+(** Relative mobility change per slow/fast step (10%). *)

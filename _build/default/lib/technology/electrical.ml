@@ -1,0 +1,62 @@
+type mos_type = Nmos | Pmos
+
+let pp_mos_type fmt = function
+  | Nmos -> Format.pp_print_string fmt "nmos"
+  | Pmos -> Format.pp_print_string fmt "pmos"
+
+let mos_type_sign = function Nmos -> 1.0 | Pmos -> -1.0
+
+type mos_params = {
+  vto : float;
+  u0 : float;
+  tox : float;
+  gamma : float;
+  phi : float;
+  clm_coeff : float;
+  cj : float;
+  cjsw : float;
+  mj : float;
+  mjsw : float;
+  pb : float;
+  cgso : float;
+  cgdo : float;
+  cgbo : float;
+  kf : float;
+  af : float;
+  avt : float;
+  abeta : float;
+  theta : float;
+  ecrit : float;
+  dvt_l : float;
+  lt : float;
+}
+
+let cox p = Phys.Const.eps_sio2 /. p.tox
+let kp p = p.u0 *. cox p
+
+type wire_params = {
+  area_cap : float;
+  fringe_cap : float;
+  coupling_cap : float;
+  sheet_res : float;
+  jmax : float;
+}
+
+type t = {
+  nmos : mos_params;
+  pmos : mos_params;
+  poly_wire : wire_params;
+  metal1_wire : wire_params;
+  metal2_wire : wire_params;
+  contact_imax : float;
+  via_imax : float;
+  nwell_cap_area : float;
+  nwell_cap_perim : float;
+}
+
+let wire_of_layer t = function
+  | Layer.Poly -> Some t.poly_wire
+  | Layer.Metal1 -> Some t.metal1_wire
+  | Layer.Metal2 -> Some t.metal2_wire
+  | Layer.Nwell | Layer.Active | Layer.Pplus | Layer.Nplus
+  | Layer.Contact | Layer.Via1 -> None

@@ -1,0 +1,66 @@
+(** Electrical parameters of a process: MOS model cards, interconnect
+    capacitances and electromigration limits.  All values in SI units
+    (F/m^2, F/m, A/m, ...). *)
+
+type mos_type = Nmos | Pmos
+
+val pp_mos_type : Format.formatter -> mos_type -> unit
+val mos_type_sign : mos_type -> float
+(** +1.0 for NMOS, -1.0 for PMOS: polarity of terminal voltages and
+    currents in the model equations. *)
+
+type mos_params = {
+  vto : float;       (** zero-bias threshold, V (positive for both types) *)
+  u0 : float;        (** low-field mobility, m^2/Vs *)
+  tox : float;       (** gate oxide thickness, m *)
+  gamma : float;     (** body-effect coefficient, sqrt(V) *)
+  phi : float;       (** surface potential, V *)
+  clm_coeff : float; (** channel-length modulation: lambda = clm_coeff / L, m/V *)
+  cj : float;        (** zero-bias junction area capacitance, F/m^2 *)
+  cjsw : float;      (** zero-bias junction sidewall capacitance, F/m *)
+  mj : float;        (** area grading coefficient *)
+  mjsw : float;      (** sidewall grading coefficient *)
+  pb : float;        (** junction built-in potential, V *)
+  cgso : float;      (** gate-source overlap capacitance, F/m *)
+  cgdo : float;      (** gate-drain overlap capacitance, F/m *)
+  cgbo : float;      (** gate-bulk overlap capacitance, F/m *)
+  kf : float;        (** flicker noise coefficient *)
+  af : float;        (** flicker noise current exponent *)
+  avt : float;       (** Pelgrom threshold matching coefficient, V.m *)
+  abeta : float;     (** Pelgrom current-factor matching coefficient, m *)
+  (* BSIM-lite second-order parameters *)
+  theta : float;     (** vertical-field mobility degradation, 1/V *)
+  ecrit : float;     (** velocity-saturation critical field, V/m *)
+  dvt_l : float;     (** Vth roll-off amplitude with L, V *)
+  lt : float;        (** Vth roll-off characteristic length, m *)
+}
+
+val cox : mos_params -> float
+(** Oxide capacitance per unit area, F/m^2. *)
+
+val kp : mos_params -> float
+(** Process transconductance u0 * cox, A/V^2. *)
+
+type wire_params = {
+  area_cap : float;      (** to substrate, F/m^2 *)
+  fringe_cap : float;    (** per edge length, F/m *)
+  coupling_cap : float;  (** to a parallel neighbour at minimum spacing, F/m *)
+  sheet_res : float;     (** ohm / square *)
+  jmax : float;          (** electromigration limit, A per metre of width *)
+}
+
+type t = {
+  nmos : mos_params;
+  pmos : mos_params;
+  poly_wire : wire_params;
+  metal1_wire : wire_params;
+  metal2_wire : wire_params;
+  contact_imax : float;     (** max DC current per contact cut, A *)
+  via_imax : float;
+  nwell_cap_area : float;   (** floating-well junction capacitance, F/m^2 *)
+  nwell_cap_perim : float;  (** F/m *)
+}
+
+val wire_of_layer : t -> Layer.t -> wire_params option
+(** Interconnect parameters of a routing layer; [None] for non-routing
+    layers. *)

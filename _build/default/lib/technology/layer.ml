@@ -1,0 +1,49 @@
+type t =
+  | Nwell
+  | Active
+  | Pplus
+  | Nplus
+  | Poly
+  | Contact
+  | Metal1
+  | Via1
+  | Metal2
+
+let all = [ Nwell; Active; Pplus; Nplus; Poly; Contact; Metal1; Via1; Metal2 ]
+
+let to_string = function
+  | Nwell -> "nwell"
+  | Active -> "active"
+  | Pplus -> "pplus"
+  | Nplus -> "nplus"
+  | Poly -> "poly"
+  | Contact -> "contact"
+  | Metal1 -> "metal1"
+  | Via1 -> "via1"
+  | Metal2 -> "metal2"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let ascii_char = function
+  | Nwell -> 'w'
+  | Active -> '#'
+  | Pplus -> 'p'
+  | Nplus -> 'n'
+  | Poly -> '|'
+  | Contact -> 'x'
+  | Metal1 -> '='
+  | Via1 -> 'o'
+  | Metal2 -> '%'
+
+let drawing_order = function
+  | Nwell -> 0
+  | Pplus -> 1
+  | Nplus -> 2
+  | Active -> 3
+  | Poly -> 4
+  | Contact -> 5
+  | Metal1 -> 6
+  | Via1 -> 7
+  | Metal2 -> 8
+
+let compare a b = Stdlib.compare (drawing_order a) (drawing_order b)

@@ -1,0 +1,26 @@
+(** Mask layers of the symbolic layout.  The layout generator works on a
+    lambda grid and emits rectangles tagged with these layers; the design
+    rules of {!Rules} are keyed on them. *)
+
+type t =
+  | Nwell
+  | Active        (** diffusion (source/drain) *)
+  | Pplus         (** p+ select *)
+  | Nplus         (** n+ select *)
+  | Poly
+  | Contact       (** active/poly to metal1 cut *)
+  | Metal1
+  | Via1
+  | Metal2
+
+val all : t list
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val ascii_char : t -> char
+(** One-character code used by the ASCII layout renderer. *)
+
+val compare : t -> t -> int
+
+val drawing_order : t -> int
+(** Painter's order for rendering: wells first, metals last. *)

@@ -1,0 +1,214 @@
+type t = {
+  name : string;
+  lambda : float;
+  rules : Rules.t;
+  electrical : Electrical.t;
+  vdd_nominal : float;
+  temperature : float;
+}
+
+(* 0.6 um, 3.3 V CMOS-class parameters: tox 13 nm, VTH ~0.75 V, junction
+   capacitances and interconnect values representative of that node.  The
+   absolute values do not need to match any proprietary kit — they only need
+   to keep diffusion, routing and gate capacitances in their realistic
+   relative proportions, which is what the paper's methodology exploits. *)
+let c06_nmos : Electrical.mos_params = {
+  vto = 0.75;
+  u0 = 0.046;
+  tox = 13e-9;
+  gamma = 0.55;
+  phi = 0.70;
+  clm_coeff = 0.08e-6;
+  cj = 0.56e-3;
+  cjsw = 0.35e-9;
+  mj = 0.45;
+  mjsw = 0.20;
+  pb = 0.90;
+  cgso = 0.30e-9;
+  cgdo = 0.30e-9;
+  cgbo = 0.15e-9;
+  kf = 4.0e-28;
+  af = 1.0;
+  avt = 11e-9;      (* 11 mV.um: typical 0.6 um NMOS *)
+  abeta = 0.018e-6; (* 1.8 %.um *)
+  theta = 0.15;
+  ecrit = 4.0e6;
+  dvt_l = 0.06;
+  lt = 0.30e-6;
+}
+
+let c06_pmos : Electrical.mos_params = {
+  vto = 0.85;
+  u0 = 0.016;
+  tox = 13e-9;
+  gamma = 0.45;
+  phi = 0.70;
+  clm_coeff = 0.09e-6;
+  cj = 0.94e-3;
+  cjsw = 0.32e-9;
+  mj = 0.50;
+  mjsw = 0.30;
+  pb = 0.90;
+  cgso = 0.30e-9;
+  cgdo = 0.30e-9;
+  cgbo = 0.15e-9;
+  kf = 1.5e-28;
+  af = 1.0;
+  avt = 13e-9;
+  abeta = 0.022e-6;
+  theta = 0.12;
+  ecrit = 1.0e7;
+  dvt_l = 0.05;
+  lt = 0.35e-6;
+}
+
+let c06_metal1 : Electrical.wire_params = {
+  area_cap = 2.5e-5;
+  fringe_cap = 4.0e-11;
+  coupling_cap = 8.0e-11;
+  sheet_res = 0.07;
+  jmax = 1000.0;
+}
+
+let c06_metal2 : Electrical.wire_params = {
+  area_cap = 1.5e-5;
+  fringe_cap = 3.5e-11;
+  coupling_cap = 8.0e-11;
+  sheet_res = 0.05;
+  jmax = 2000.0;
+}
+
+let c06_poly : Electrical.wire_params = {
+  area_cap = 6.0e-5;
+  fringe_cap = 3.0e-11;
+  coupling_cap = 5.0e-11;
+  sheet_res = 25.0;
+  jmax = 300.0;
+}
+
+let c06 = {
+  name = "c06";
+  lambda = 0.3e-6;
+  rules = Rules.scmos;
+  electrical = {
+    nmos = c06_nmos;
+    pmos = c06_pmos;
+    poly_wire = c06_poly;
+    metal1_wire = c06_metal1;
+    metal2_wire = c06_metal2;
+    contact_imax = 0.6e-3;
+    via_imax = 0.8e-3;
+    nwell_cap_area = 1.0e-4;
+    nwell_cap_perim = 4.0e-10;
+  };
+  vdd_nominal = 3.3;
+  temperature = Phys.Const.room_temperature;
+}
+
+let c035 = {
+  name = "c035";
+  lambda = 0.2e-6;
+  rules = Rules.scmos;
+  electrical = {
+    nmos = { c06_nmos with
+             vto = 0.60; u0 = 0.040; tox = 7.6e-9; clm_coeff = 0.03e-6;
+             cj = 0.90e-3; cjsw = 0.28e-9; cgso = 0.25e-9; cgdo = 0.25e-9;
+             kf = 2.5e-28; avt = 8e-9; abeta = 0.015e-6;
+             dvt_l = 0.08; lt = 0.20e-6 };
+    pmos = { c06_pmos with
+             vto = 0.65; u0 = 0.014; tox = 7.6e-9; clm_coeff = 0.04e-6;
+             cj = 1.10e-3; cjsw = 0.30e-9; cgso = 0.25e-9; cgdo = 0.25e-9;
+             kf = 1.0e-28; avt = 10e-9; abeta = 0.018e-6;
+             dvt_l = 0.07; lt = 0.22e-6 };
+    poly_wire = { c06_poly with area_cap = 7.0e-5; sheet_res = 8.0 };
+    metal1_wire = { c06_metal1 with area_cap = 3.0e-5; coupling_cap = 1.0e-10 };
+    metal2_wire = { c06_metal2 with area_cap = 1.8e-5; coupling_cap = 1.0e-10 };
+    contact_imax = 0.4e-3;
+    via_imax = 0.5e-3;
+    nwell_cap_area = 1.2e-4;
+    nwell_cap_perim = 4.5e-10;
+  };
+  vdd_nominal = 3.3;
+  temperature = Phys.Const.room_temperature;
+}
+
+let builtin = [ c06; c035 ]
+
+let find name =
+  match List.find_opt (fun p -> p.name = name) builtin with
+  | Some p -> p
+  | None -> raise Not_found
+
+let um p n = float_of_int n *. p.lambda
+
+let to_lambda p x =
+  let g = p.rules.Rules.grid in
+  let raw = x /. p.lambda in
+  let snapped = int_of_float (Float.ceil (raw /. float_of_int g -. 1e-9)) * g in
+  max g snapped
+
+let lmin p = um p p.rules.Rules.poly_width
+let wmin p = um p p.rules.Rules.active_width
+
+type evaluation = {
+  proc_name : string;
+  kp_n : float;
+  kp_p : float;
+  cox_areal : float;
+  ft_n_at_veff : float;
+  ft_p_at_veff : float;
+  gate_cap_min : float;
+  diff_cap_per_width : float;
+  metal1_cap_per_len : float;
+}
+
+let evaluate p =
+  let e = p.electrical in
+  let cox = Electrical.cox e.nmos in
+  let l = lmin p in
+  let veff = 0.2 in
+  (* intrinsic f_T = gm / (2 pi Cgs), with Cgs = 2/3 W L Cox in saturation;
+     W cancels out. *)
+  let ft mp =
+    mp.Electrical.u0 *. veff /. (2.0 *. Float.pi *. (2.0 /. 3.0) *. l *. l)
+  in
+  let w = wmin p in
+  let sd = um p (Rules.sd_contacted p.rules) in
+  let diff_cap_per_w =
+    (* junction cap of a contacted drain per metre of transistor width:
+       area term plus the two lateral sidewalls (the width-side sidewall is
+       amortised over W and ignored here). *)
+    e.nmos.Electrical.cj *. sd +. 2.0 *. e.nmos.Electrical.cjsw
+  in
+  let m1w = um p p.rules.Rules.metal1_width in
+  {
+    proc_name = p.name;
+    kp_n = Electrical.kp e.nmos;
+    kp_p = Electrical.kp e.pmos;
+    cox_areal = cox;
+    ft_n_at_veff = ft e.nmos;
+    ft_p_at_veff = ft e.pmos;
+    gate_cap_min = cox *. w *. l;
+    diff_cap_per_width = diff_cap_per_w;
+    metal1_cap_per_len =
+      e.metal1_wire.Electrical.area_cap *. m1w
+      +. 2.0 *. e.metal1_wire.Electrical.fringe_cap;
+  }
+
+let pp_evaluation fmt ev =
+  let si = Phys.Units.to_si_string in
+  Format.fprintf fmt
+    "@[<v>technology %s:@,\
+     \  KPn = %s   KPp = %s@,\
+     \  Cox = %.3g F/m^2@,\
+     \  fT(n, Veff=0.2V, Lmin) = %s   fT(p) = %s@,\
+     \  min gate cap = %s@,\
+     \  contacted drain cap = %s per um of W@,\
+     \  metal1 wire cap = %s per um@]"
+    ev.proc_name
+    (si "A/V^2" ev.kp_n) (si "A/V^2" ev.kp_p)
+    ev.cox_areal
+    (si "Hz" ev.ft_n_at_veff) (si "Hz" ev.ft_p_at_veff)
+    (si "F" ev.gate_cap_min)
+    (si "F" (ev.diff_cap_per_width *. 1e-6))
+    (si "F" (ev.metal1_cap_per_len *. 1e-6))

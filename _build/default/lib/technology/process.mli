@@ -1,0 +1,56 @@
+(** A complete process description: symbolic rules plus the lambda value
+    that instantiates them, electrical parameters and supply limits.  Two
+    built-in processes are provided: {!c06} (0.6 um, 3.3 V — the paper's
+    technology class) and {!c035} (0.35 um, 3.3 V) to demonstrate
+    technology independence. *)
+
+type t = {
+  name : string;
+  lambda : float;          (** metres per lambda *)
+  rules : Rules.t;
+  electrical : Electrical.t;
+  vdd_nominal : float;
+  temperature : float;     (** K *)
+}
+
+val c06 : t
+val c035 : t
+val builtin : t list
+val find : string -> t
+(** [find name] looks a built-in process up by name.  Raises [Not_found]. *)
+
+val um : t -> int -> float
+(** [um p n] converts [n] lambda to metres. *)
+
+val to_lambda : t -> float -> int
+(** [to_lambda p x] converts a length in metres to lambda, rounding up to
+    the placement grid.  This is the layout-grid snapping that slightly
+    modifies transistor widths during generation (source of the residual
+    offset in Table 1, case 2). *)
+
+val lmin : t -> float
+(** Minimum gate length in metres (poly_width * lambda). *)
+
+val wmin : t -> float
+(** Minimum gate width in metres (active_width * lambda). *)
+
+(** {2 Technology evaluation interface}
+
+    COMDIAC provides a "technology evaluation interface [that] allows to
+    easily characterize different technologies"; these helpers reproduce
+    it. *)
+
+type evaluation = {
+  proc_name : string;
+  kp_n : float;            (** A/V^2 *)
+  kp_p : float;
+  cox_areal : float;       (** F/m^2 *)
+  ft_n_at_veff : float;    (** intrinsic f_T of min-L NMOS at Veff=0.2 V, Hz *)
+  ft_p_at_veff : float;
+  gate_cap_min : float;    (** gate cap of a min-size device, F *)
+  diff_cap_per_width : float; (** contacted drain junction cap per metre of W, F/m *)
+  metal1_cap_per_len : float; (** min-width metal1 cap per metre, F/m *)
+}
+
+val evaluate : t -> evaluation
+val pp_evaluation : Format.formatter -> evaluation -> unit

@@ -1,0 +1,77 @@
+type t = {
+  poly_width : int;
+  poly_space : int;
+  poly_gate_extension : int;
+  active_width : int;
+  active_space : int;
+  contact_size : int;
+  contact_space : int;
+  contact_to_gate : int;
+  active_contact_enclosure : int;
+  poly_contact_enclosure : int;
+  metal1_width : int;
+  metal1_space : int;
+  metal1_contact_enclosure : int;
+  metal2_width : int;
+  metal2_space : int;
+  via1_size : int;
+  via1_space : int;
+  metal_via_enclosure : int;
+  well_active_enclosure : int;
+  well_space : int;
+  select_active_enclosure : int;
+  grid : int;
+}
+
+let scmos = {
+  poly_width = 2;
+  poly_space = 3;
+  poly_gate_extension = 2;
+  active_width = 3;
+  active_space = 3;
+  contact_size = 2;
+  contact_space = 2;
+  contact_to_gate = 2;
+  active_contact_enclosure = 1;
+  poly_contact_enclosure = 1;
+  metal1_width = 3;
+  metal1_space = 3;
+  metal1_contact_enclosure = 1;
+  metal2_width = 3;
+  metal2_space = 4;
+  via1_size = 2;
+  via1_space = 3;
+  metal_via_enclosure = 1;
+  well_active_enclosure = 5;
+  well_space = 6;
+  select_active_enclosure = 2;
+  grid = 1;
+}
+
+let sd_contacted r = r.contact_to_gate + r.contact_size + r.active_contact_enclosure
+let sd_shared_contacted r = r.contact_to_gate + r.contact_size + r.contact_to_gate
+let sd_shared_plain r = r.poly_space
+
+let check_positive r =
+  let fields = [
+    ("poly_width", r.poly_width); ("poly_space", r.poly_space);
+    ("poly_gate_extension", r.poly_gate_extension);
+    ("active_width", r.active_width); ("active_space", r.active_space);
+    ("contact_size", r.contact_size); ("contact_space", r.contact_space);
+    ("contact_to_gate", r.contact_to_gate);
+    ("active_contact_enclosure", r.active_contact_enclosure);
+    ("poly_contact_enclosure", r.poly_contact_enclosure);
+    ("metal1_width", r.metal1_width); ("metal1_space", r.metal1_space);
+    ("metal1_contact_enclosure", r.metal1_contact_enclosure);
+    ("metal2_width", r.metal2_width); ("metal2_space", r.metal2_space);
+    ("via1_size", r.via1_size); ("via1_space", r.via1_space);
+    ("metal_via_enclosure", r.metal_via_enclosure);
+    ("well_active_enclosure", r.well_active_enclosure);
+    ("well_space", r.well_space);
+    ("select_active_enclosure", r.select_active_enclosure);
+    ("grid", r.grid);
+  ] in
+  let bad = List.filter (fun (_, v) -> v <= 0) fields in
+  match bad with
+  | [] -> ()
+  | (name, _) :: _ -> invalid_arg (Printf.sprintf "Rules.check_positive: %s" name)

@@ -1,0 +1,50 @@
+(** Symbolic (lambda-based) design rules.  All distances are expressed in
+    lambda so that the layout procedures are technology independent; a
+    process fixes the lambda value in metres (see {!Process}).  The rule set
+    follows the scalable-CMOS style (contact 2x2 lambda, metal1 width 3
+    lambda, ...). *)
+
+type t = {
+  poly_width : int;            (** minimum gate length, lambda *)
+  poly_space : int;
+  poly_gate_extension : int;   (** poly endcap past active *)
+  active_width : int;
+  active_space : int;
+  contact_size : int;          (** square contact side *)
+  contact_space : int;
+  contact_to_gate : int;       (** contact cut to poly gate spacing *)
+  active_contact_enclosure : int; (** active ring around a contact *)
+  poly_contact_enclosure : int;
+  metal1_width : int;
+  metal1_space : int;
+  metal1_contact_enclosure : int;
+  metal2_width : int;
+  metal2_space : int;
+  via1_size : int;
+  via1_space : int;
+  metal_via_enclosure : int;
+  well_active_enclosure : int; (** n-well ring around p-active *)
+  well_space : int;
+  select_active_enclosure : int;
+  grid : int;                  (** placement grid for device widths, lambda *)
+}
+
+val scmos : t
+(** The scalable-CMOS-like rule set used by both built-in processes. *)
+
+val sd_contacted : t -> int
+(** Length (along the channel direction) of a contacted source/drain
+    diffusion at the *edge* of a transistor stack:
+    contact_to_gate + contact_size + active_contact_enclosure. *)
+
+val sd_shared_contacted : t -> int
+(** Length of a contacted diffusion *shared* between two gates of a folded
+    transistor: contact_to_gate + contact_size + contact_to_gate. *)
+
+val sd_shared_plain : t -> int
+(** Length of an uncontacted shared diffusion (minimum poly spacing over
+    active). *)
+
+val check_positive : t -> unit
+(** Sanity check: every rule is strictly positive.  Raises
+    [Invalid_argument] otherwise. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Float List Phys QCheck_alcotest

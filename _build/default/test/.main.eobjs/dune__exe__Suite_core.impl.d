@@ -1,0 +1,1 @@
+test/suite_core.ml: Alcotest Cairo_layout Comdiac Core Device Float Helpers Lazy List Netlist String Technology

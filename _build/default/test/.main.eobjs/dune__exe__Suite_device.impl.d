@@ -1,0 +1,1 @@
+test/suite_device.ml: Alcotest Device Float Helpers QCheck Technology

@@ -1,0 +1,1 @@
+test/suite_layout.ml: Alcotest Array Cairo_layout Device Format Helpers List Phys Printf QCheck String Technology

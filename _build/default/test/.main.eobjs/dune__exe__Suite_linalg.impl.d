@@ -1,0 +1,1 @@
+test/suite_linalg.ml: Alcotest Array Complex Float Helpers Linalg QCheck Random

@@ -1,0 +1,1 @@
+test/suite_netlist.ml: Alcotest Device Format Helpers Netlist String Technology

@@ -1,0 +1,1 @@
+test/suite_parser.ml: Alcotest Comdiac Device Helpers List Netlist Phys QCheck Technology

@@ -1,0 +1,1 @@
+test/suite_phys.ml: Alcotest Array Float Gen Helpers List Phys QCheck

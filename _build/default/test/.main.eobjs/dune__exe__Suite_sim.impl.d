@@ -1,0 +1,1 @@
+test/suite_sim.ml: Alcotest Comdiac Complex Device Float Helpers List Netlist Phys QCheck Sim Technology

@@ -1,0 +1,1 @@
+test/suite_sizing.ml: Alcotest Comdiac Device Float Helpers Lazy List QCheck Sim Technology

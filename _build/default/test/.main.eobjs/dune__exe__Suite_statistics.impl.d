@@ -1,0 +1,1 @@
+test/suite_statistics.ml: Alcotest Comdiac Device Helpers Lazy List Sim Technology

@@ -1,0 +1,1 @@
+test/suite_technology.ml: Alcotest Char Helpers List Technology

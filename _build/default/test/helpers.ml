@@ -1,0 +1,15 @@
+(* Shared assertion helpers for the test suites. *)
+
+let check_close ?(rel = 1e-9) ?(abs_tol = 1e-12) msg expected actual =
+  if not (Phys.Numerics.close ~rel ~abs_tol expected actual) then
+    Alcotest.failf "%s: expected %.9g, got %.9g (rel %.2g)" msg expected actual
+      (Float.abs (expected -. actual)
+       /. Float.max 1e-300 (Float.abs expected))
+
+let check_in_range msg lo hi actual =
+  if actual < lo || actual > hi then
+    Alcotest.failf "%s: %.9g not in [%.9g, %.9g]" msg actual lo hi
+
+let qcheck_cases tests = List.map QCheck_alcotest.to_alcotest tests
+
+let case name f = Alcotest.test_case name `Quick f

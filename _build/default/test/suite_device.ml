@@ -1,0 +1,281 @@
+open Helpers
+module F = Device.Folding
+module M = Device.Model
+module P = Technology.Process
+module E = Technology.Electrical
+
+let nmos = P.c06.P.electrical.E.nmos
+let pmos = P.c06.P.electrical.E.pmos
+
+(* --- folding / reduction factor ------------------------------------- *)
+
+let test_reduction_factor_values () =
+  check_close "nf=2 internal" 0.5 (F.reduction_factor F.Even_internal 2);
+  check_close "nf=8 internal" 0.5 (F.reduction_factor F.Even_internal 8);
+  check_close "nf=2 external" 1.0 (F.reduction_factor F.Even_external 2);
+  check_close "nf=4 external" 0.75 (F.reduction_factor F.Even_external 4);
+  check_close "nf=1 odd" 1.0 (F.reduction_factor F.Odd 1);
+  check_close "nf=3 odd" (2.0 /. 3.0) (F.reduction_factor F.Odd 3);
+  check_close "nf=5 odd" 0.6 (F.reduction_factor F.Odd 5)
+
+let test_case_of () =
+  Alcotest.(check bool) "even drain internal" true
+    (F.case_of ~nf:4 ~drain_internal:true ~drain:true = F.Even_internal);
+  Alcotest.(check bool) "even source external" true
+    (F.case_of ~nf:4 ~drain_internal:true ~drain:false = F.Even_external);
+  Alcotest.(check bool) "odd always odd" true
+    (F.case_of ~nf:3 ~drain_internal:true ~drain:true = F.Odd)
+
+let prop_geometry_matches_formula =
+  QCheck.Test.make
+    ~name:"strip geometry reproduces the paper's F factor (Eq. 1)" ~count:300
+    QCheck.(triple (int_range 1 24) (float_range 1.0 400.0) bool)
+    (fun (nf, w_um, drain_internal) ->
+      let w = w_um *. 1e-6 in
+      let style = { F.nf; drain_internal } in
+      let check drain =
+        let weff = F.effective_width P.c06 ~w style ~drain in
+        let case = F.case_of ~nf ~drain_internal ~drain in
+        let f = F.reduction_factor case nf in
+        Float.abs (weff -. (f *. w)) < 1e-12
+      in
+      check true && check false)
+
+let prop_strip_conservation =
+  QCheck.Test.make ~name:"drain + source strips = nf + 1" ~count:200
+    QCheck.(pair (int_range 1 24) bool)
+    (fun (nf, drain_internal) ->
+      let g = F.geometry P.c06 ~w:10e-6 { F.nf; drain_internal } in
+      g.F.drain_strips + g.F.source_strips = nf + 1)
+
+let test_folding_reduces_drain_area () =
+  let w = 50e-6 in
+  let g1 = F.geometry P.c06 ~w F.default in
+  let g4 = F.geometry P.c06 ~w { F.nf = 4; drain_internal = true } in
+  Alcotest.(check bool) "ad shrinks with folding" true (g4.F.ad < g1.F.ad);
+  Alcotest.(check bool) "pd shrinks with folding" true (g4.F.pd < g1.F.pd)
+
+let test_stack_pitch_grows () =
+  let p1 = F.stack_pitch P.c06 ~l:0.6e-6 { F.nf = 1; drain_internal = true } in
+  let p4 = F.stack_pitch P.c06 ~l:0.6e-6 { F.nf = 4; drain_internal = true } in
+  Alcotest.(check bool) "pitch grows with folds" true (p4 > p1)
+
+(* --- MOS model ------------------------------------------------------- *)
+
+let bias ?(vbs = 0.0) vgs vds = { M.vgs; vds; vbs }
+
+let test_level1_square_law () =
+  (* strong inversion saturation: ids ratio between two overdrive values
+     approximates (veff1/veff2)^2 *)
+  let w = 10e-6 and l = 1e-6 in
+  let vth = M.threshold M.Level1 nmos ~l ~vbs:0.0 in
+  let i1 = M.drain_current M.Level1 nmos ~w ~l (bias (vth +. 0.2) 2.0) in
+  let i2 = M.drain_current M.Level1 nmos ~w ~l (bias (vth +. 0.4) 2.0) in
+  check_in_range "square law ratio" 3.4 4.3 (i2 /. i1)
+
+let test_cutoff_current_small () =
+  let w = 10e-6 and l = 1e-6 in
+  let i = M.drain_current M.Level1 nmos ~w ~l (bias 0.2 2.0) in
+  Alcotest.(check bool) "cutoff leakage tiny" true (i < 1e-10 && i > 0.0)
+
+let test_triode_vs_saturation () =
+  let w = 10e-6 and l = 1e-6 in
+  let e_tri = M.evaluate M.Level1 nmos ~w ~l (bias 1.5 0.05) in
+  let e_sat = M.evaluate M.Level1 nmos ~w ~l (bias 1.5 2.5) in
+  Alcotest.(check string) "triode region" "triode"
+    (M.region_to_string e_tri.M.region);
+  Alcotest.(check string) "saturation region" "saturation"
+    (M.region_to_string e_sat.M.region);
+  Alcotest.(check bool) "gds larger in triode" true (e_tri.M.gds > e_sat.M.gds)
+
+let test_continuity_at_vdsat () =
+  let w = 10e-6 and l = 1e-6 in
+  let e = M.evaluate M.Level1 nmos ~w ~l (bias 1.5 1.0) in
+  let vdsat = e.M.vdsat in
+  let below = M.drain_current M.Level1 nmos ~w ~l (bias 1.5 (vdsat -. 1e-7)) in
+  let above = M.drain_current M.Level1 nmos ~w ~l (bias 1.5 (vdsat +. 1e-7)) in
+  check_close ~rel:1e-4 "C0 at vdsat" below above
+
+let test_symmetry_negative_vds () =
+  let w = 10e-6 and l = 1e-6 in
+  let fwd =
+    M.drain_current M.Level1 nmos ~w ~l
+      { M.vgs = 1.5 -. (-0.3); vds = 0.3; vbs = 0.0 -. (-0.3) }
+  in
+  let rev = M.drain_current M.Level1 nmos ~w ~l { M.vgs = 1.5; vds = -0.3; vbs = 0.0 } in
+  check_close ~rel:1e-9 "source/drain swap" (-.fwd) rev
+
+let test_body_effect () =
+  let l = 1e-6 in
+  let vth0 = M.threshold M.Level1 nmos ~l ~vbs:0.0 in
+  let vth_rev = M.threshold M.Level1 nmos ~l ~vbs:(-1.5) in
+  Alcotest.(check bool) "reverse body bias raises vth" true (vth_rev > vth0);
+  check_in_range "vth0 c06" 0.70 0.80 vth0
+
+let test_bsim_lite_degradation () =
+  let w = 10e-6 and l = 0.6e-6 in
+  let b = bias 2.0 2.5 in
+  let i_l1 = M.drain_current M.Level1 nmos ~w ~l b in
+  let i_bl = M.drain_current M.Bsim_lite nmos ~w ~l b in
+  Alcotest.(check bool) "bsim-lite carries less current at high veff" true
+    (i_bl < i_l1)
+
+let test_bsim_lite_vth_rolloff () =
+  let vth_short = M.threshold M.Bsim_lite nmos ~l:0.6e-6 ~vbs:0.0 in
+  let vth_long = M.threshold M.Bsim_lite nmos ~l:5e-6 ~vbs:0.0 in
+  Alcotest.(check bool) "short channel lowers vth" true (vth_short < vth_long)
+
+let test_w_for_current_inversion () =
+  let l = 1.2e-6 in
+  let b = bias 1.2 1.5 in
+  let target = 100e-6 in
+  let w = M.w_for_current M.Level1 nmos ~l ~ids:target b in
+  let back = M.drain_current M.Level1 nmos ~w ~l b in
+  check_close ~rel:1e-9 "w inversion" target back
+
+let test_vgs_for_current_inversion () =
+  let w = 20e-6 and l = 1.2e-6 in
+  let target = 50e-6 in
+  let vgs = M.vgs_for_current M.Level1 nmos ~w ~l ~ids:target ~vds:1.5 ~vbs:0.0 in
+  let back = M.drain_current M.Level1 nmos ~w ~l (bias vgs 1.5) in
+  check_close ~rel:1e-6 "vgs inversion" target back
+
+let prop_monotone_in_w =
+  QCheck.Test.make ~name:"ids monotone increasing in W" ~count:200
+    QCheck.(triple (float_range 1.0 100.0) (float_range 1.0 100.0)
+              (float_range 0.9 2.5))
+    (fun (w1_um, w2_um, vgs) ->
+      QCheck.assume (Float.abs (w1_um -. w2_um) > 1e-3);
+      let l = 1e-6 in
+      let i w_um =
+        M.drain_current M.Level1 nmos ~w:(w_um *. 1e-6) ~l (bias vgs 1.5)
+      in
+      (w1_um < w2_um) = (i w1_um < i w2_um))
+
+let prop_monotone_in_vgs =
+  QCheck.Test.make ~name:"ids monotone increasing in vgs" ~count:200
+    QCheck.(pair (float_range 0.0 2.5) (float_range 0.0 2.5))
+    (fun (v1, v2) ->
+      QCheck.assume (Float.abs (v1 -. v2) > 1e-4);
+      let i v = M.drain_current M.Level1 nmos ~w:10e-6 ~l:1e-6 (bias v 1.5) in
+      (v1 < v2) = (i v1 < i v2))
+
+let prop_gm_positive_sat =
+  QCheck.Test.make ~name:"gm, gds positive in saturation" ~count:200
+    QCheck.(pair (float_range 1.0 2.5) (float_range 1.0 3.0))
+    (fun (vgs, vds) ->
+      let e = M.evaluate M.Bsim_lite nmos ~w:10e-6 ~l:1e-6 (bias vgs vds) in
+      e.M.gm > 0.0 && e.M.gds > 0.0)
+
+(* --- capacitances ----------------------------------------------------- *)
+
+let test_meyer_saturation () =
+  let w = 10e-6 and l = 1e-6 in
+  let c = Device.Caps.meyer nmos ~w ~l ~nf:1 ~region:M.Saturation in
+  let cox_wl = E.cox nmos *. w *. l in
+  check_close ~rel:1e-9 "cgs sat"
+    ((2.0 /. 3.0 *. cox_wl) +. (nmos.E.cgso *. w)) c.Device.Caps.cgs;
+  check_close ~rel:1e-9 "cgd sat overlap only" (nmos.E.cgdo *. w) c.Device.Caps.cgd
+
+let test_junction_bias_dependence () =
+  let j v =
+    Device.Caps.junction_cap ~cj:nmos.E.cj ~cjsw:nmos.E.cjsw ~mj:nmos.E.mj
+      ~mjsw:nmos.E.mjsw ~pb:nmos.E.pb ~area:1e-11 ~perim:1e-5 ~vrev:v
+  in
+  Alcotest.(check bool) "reverse bias shrinks junction cap" true (j 2.0 < j 0.0);
+  check_close ~rel:1e-12 "forward clamped to zero-bias" (j 0.0) (j (-0.5))
+
+let test_folding_reduces_cdb () =
+  let mk nf =
+    Device.Mos.make ~name:"m" ~mtype:E.Nmos ~w:50e-6 ~l:1e-6
+      ~style:{ F.nf; drain_internal = true } ()
+  in
+  let op nf =
+    Device.Op.compute P.c06 M.Level1 (mk nf) (bias 1.2 1.5)
+  in
+  let c1 = (op 1).Device.Op.caps.Device.Caps.cdb in
+  let c4 = (op 4).Device.Op.caps.Device.Caps.cdb in
+  Alcotest.(check bool) "folding reduces drain junction cap" true (c4 < c1);
+  check_in_range "reduction roughly toward F=0.5 plus perimeter effects"
+    0.35 0.85 (c4 /. c1)
+
+let test_op_ft_gain () =
+  let dev = Device.Mos.make ~name:"m" ~mtype:E.Nmos ~w:20e-6 ~l:0.6e-6 () in
+  let op = Device.Op.compute P.c06 M.Bsim_lite dev (bias 1.1 1.5) in
+  check_in_range "ft plausible" 1e8 5e10 (Device.Op.ft op);
+  check_in_range "intrinsic gain plausible" 5.0 500.0 (Device.Op.intrinsic_gain op)
+
+let test_pmos_op () =
+  let dev = Device.Mos.make ~name:"mp" ~mtype:E.Pmos ~w:30e-6 ~l:1e-6 () in
+  let op = Device.Op.compute P.c06 M.Level1 dev (bias 1.2 1.5) in
+  Alcotest.(check bool) "pmos conducts with internal-positive bias" true
+    (op.Device.Op.eval.M.ids > 1e-6)
+
+let test_grid_snap () =
+  let dev =
+    Device.Mos.make ~name:"m" ~mtype:E.Nmos ~w:10.05e-6 ~l:0.73e-6
+      ~style:{ F.nf = 2; drain_internal = true } ()
+  in
+  let s = Device.Mos.snap_to_grid P.c06 dev in
+  (* per-finger width 5.025 um -> 17 lambda = 5.1 um -> W = 10.2 um *)
+  check_close ~rel:1e-9 "snapped W" 10.2e-6 s.Device.Mos.w;
+  check_close ~rel:1e-9 "snapped L" 0.9e-6 s.Device.Mos.l;
+  Alcotest.(check bool) "snapping changed W" true (s.Device.Mos.w <> dev.Device.Mos.w)
+
+(* --- noise ------------------------------------------------------------ *)
+
+let test_noise_corner () =
+  let gm = 1e-3 and ids = 100e-6 and l = 1e-6 in
+  let fc = Device.Noise.corner_frequency nmos ~l ~ids ~gm in
+  Alcotest.(check bool) "corner positive" true (fc > 0.0);
+  let at_corner =
+    Device.Noise.flicker_current_psd nmos ~l ~ids ~freq:fc
+  in
+  check_close ~rel:1e-9 "flicker equals thermal at corner"
+    (Device.Noise.thermal_current_psd gm) at_corner
+
+let test_flicker_one_over_f () =
+  let f1 = Device.Noise.flicker_current_psd nmos ~l:1e-6 ~ids:1e-4 ~freq:10.0 in
+  let f2 = Device.Noise.flicker_current_psd nmos ~l:1e-6 ~ids:1e-4 ~freq:100.0 in
+  check_close ~rel:1e-9 "1/f slope" 10.0 (f1 /. f2)
+
+let test_thermal_magnitude () =
+  (* 8kTgm/3 at gm = 1 mS: ~1.1e-23 A^2/Hz *)
+  check_in_range "thermal psd" 0.9e-23 1.3e-23
+    (Device.Noise.thermal_current_psd 1e-3)
+
+let suite =
+  ( "device",
+    [
+      case "F factor values (Fig. 2)" test_reduction_factor_values;
+      case "diffusion case selection" test_case_of;
+      case "folding reduces drain area" test_folding_reduces_drain_area;
+      case "stack pitch grows with folds" test_stack_pitch_grows;
+      case "level1 square law" test_level1_square_law;
+      case "cutoff leakage" test_cutoff_current_small;
+      case "triode vs saturation" test_triode_vs_saturation;
+      case "continuity at vdsat" test_continuity_at_vdsat;
+      case "source/drain symmetry" test_symmetry_negative_vds;
+      case "body effect" test_body_effect;
+      case "bsim-lite mobility degradation" test_bsim_lite_degradation;
+      case "bsim-lite vth rolloff" test_bsim_lite_vth_rolloff;
+      case "W inversion" test_w_for_current_inversion;
+      case "Vgs inversion" test_vgs_for_current_inversion;
+      case "meyer caps in saturation" test_meyer_saturation;
+      case "junction bias dependence" test_junction_bias_dependence;
+      case "folding reduces Cdb" test_folding_reduces_cdb;
+      case "operating point ft/gain" test_op_ft_gain;
+      case "pmos operating point" test_pmos_op;
+      case "grid snapping" test_grid_snap;
+      case "noise corner" test_noise_corner;
+      case "flicker 1/f slope" test_flicker_one_over_f;
+      case "thermal noise magnitude" test_thermal_magnitude;
+    ]
+    @ qcheck_cases
+        [
+          prop_geometry_matches_formula;
+          prop_strip_conservation;
+          prop_monotone_in_w;
+          prop_monotone_in_vgs;
+          prop_gm_positive_sat;
+        ] )

@@ -1,0 +1,106 @@
+open Helpers
+module R = Linalg.Real
+module C = Linalg.Cx
+
+let test_identity_solve () =
+  let a = R.identity 4 in
+  let b = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let x = R.solve a b in
+  Array.iteri (fun i v -> check_close "identity solve" b.(i) v) x
+
+let test_known_system () =
+  (* [[2,1],[1,3]] x = [3,5]  =>  x = [4/5, 7/5] *)
+  let a = R.of_arrays [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let x = R.solve a [| 3.0; 5.0 |] in
+  check_close "x0" 0.8 x.(0);
+  check_close "x1" 1.4 x.(1)
+
+let test_pivoting () =
+  (* zero leading pivot requires a row swap *)
+  let a = R.of_arrays [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  let x = R.solve a [| 2.0; 3.0 |] in
+  check_close "swap x0" 3.0 x.(0);
+  check_close "swap x1" 2.0 x.(1)
+
+let test_singular () =
+  let a = R.of_arrays [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  match R.solve a [| 1.0; 1.0 |] with
+  | exception Linalg.Singular _ -> ()
+  | _ -> Alcotest.fail "expected Singular"
+
+let test_matmul_identity () =
+  let a = R.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let p = R.matmul a (R.identity 2) in
+  check_close "a*I = a" 4.0 (R.get p 1 1);
+  check_close "a*I = a (0,1)" 2.0 (R.get p 0 1)
+
+let test_transpose () =
+  let a = R.of_arrays [| [| 1.0; 2.0; 3.0 |]; [| 4.0; 5.0; 6.0 |] |] in
+  let t = R.transpose a in
+  Alcotest.(check int) "rows" 3 (R.rows t);
+  check_close "t(2,1)" 6.0 (R.get t 2 1)
+
+let test_complex_solve () =
+  (* (1 + j) x = 2  =>  x = 1 - j *)
+  let a = C.of_arrays [| [| { Complex.re = 1.0; im = 1.0 } |] |] in
+  let x = C.solve a [| { Complex.re = 2.0; im = 0.0 } |] in
+  check_close "re" 1.0 x.(0).Complex.re;
+  check_close "im" (-1.0) x.(0).Complex.im
+
+let test_complex_rc () =
+  (* voltage divider: series R, shunt 1/(jwC): H = 1/(1 + jwRC) *)
+  let r = 1e3 and c = 1e-9 and w = 1e6 in
+  let g = 1.0 /. r in
+  let yc = { Complex.re = 0.0; im = w *. c } in
+  let y = C.of_arrays [| [| Complex.add { Complex.re = g; im = 0.0 } yc |] |] in
+  let x = C.solve y [| { Complex.re = g; im = 0.0 } |] in
+  let expect = Complex.div Complex.one { Complex.re = 1.0; im = w *. r *. c } in
+  check_close ~rel:1e-9 "rc re" expect.Complex.re x.(0).Complex.re;
+  check_close ~rel:1e-9 "rc im" expect.Complex.im x.(0).Complex.im
+
+let random_spd_system n seed =
+  (* diagonally dominant random system: always solvable *)
+  let st = Random.State.make [| seed |] in
+  let a = R.create n n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      R.set a i j (Random.State.float st 2.0 -. 1.0)
+    done;
+    R.set a i i (float_of_int n +. Random.State.float st 1.0)
+  done;
+  let b = Array.init n (fun _ -> Random.State.float st 10.0 -. 5.0) in
+  (a, b)
+
+let prop_lu_residual =
+  QCheck.Test.make ~name:"LU solve residual small on random dominant systems"
+    ~count:100
+    QCheck.(pair (int_range 1 20) (int_range 0 10000))
+    (fun (n, seed) ->
+      let a, b = random_spd_system n seed in
+      let x = R.solve a b in
+      R.residual_norm a x b < 1e-8)
+
+let prop_matvec_linear =
+  QCheck.Test.make ~name:"matvec is linear" ~count:100
+    QCheck.(triple (int_range 1 8) (int_range 0 1000) (float_range (-3.0) 3.0))
+    (fun (n, seed, k) ->
+      let a, b = random_spd_system n seed in
+      let scaled = R.matvec a (Array.map (fun v -> k *. v) b) in
+      let plain = R.matvec a b in
+      Array.for_all2
+        (fun s p -> Float.abs (s -. (k *. p)) < 1e-6 *. (1.0 +. Float.abs s))
+        scaled plain)
+
+let suite =
+  ( "linalg",
+    [
+      case "identity solve" test_identity_solve;
+      case "2x2 known system" test_known_system;
+      case "partial pivoting" test_pivoting;
+      case "singular detection" test_singular;
+      case "matmul with identity" test_matmul_identity;
+      case "transpose" test_transpose;
+      case "complex 1x1 solve" test_complex_solve;
+      case "complex RC divider" test_complex_rc;
+    ]
+    @ qcheck_cases [ prop_lu_residual; prop_matvec_linear ] )

@@ -1,0 +1,97 @@
+open Helpers
+module Ckt = Netlist.Circuit
+module El = Netlist.Element
+module E = Technology.Electrical
+
+let sample () =
+  let dev = Device.Mos.make ~name:"1" ~mtype:E.Nmos ~w:10e-6 ~l:1e-6 () in
+  Ckt.create ~title:"sample"
+  |> fun c -> Ckt.add_vsource c ~name:"dd" ~p:"vdd" ~n:"0" (El.dc_source 3.3)
+  |> fun c -> Ckt.add_mos c ~dev ~d:"out" ~g:"in" ~s:"0" ~b:"0"
+  |> fun c -> Ckt.add_resistor c ~name:"l" ~p:"vdd" ~n:"out" ~r:10e3
+  |> fun c -> Ckt.add_capacitor c ~name:"l" ~p:"out" ~n:"0" ~c:1e-12
+
+let test_nodes () =
+  let c = sample () in
+  Alcotest.(check (list string)) "nodes sorted, no ground"
+    [ "in"; "out"; "vdd" ] (Ckt.nodes c)
+
+let test_mos_listing () =
+  let c = sample () in
+  match Ckt.mos_devices c with
+  | [ (dev, d, g, s, b) ] ->
+    Alcotest.(check string) "name" "1" dev.Device.Mos.name;
+    Alcotest.(check (list string)) "terminals" [ "out"; "in"; "0"; "0" ]
+      [ d; g; s; b ]
+  | _ -> Alcotest.fail "expected exactly one mos"
+
+let test_find_and_update () =
+  let c = sample () in
+  let dev = Ckt.find_mos c "1" in
+  check_close "found W" 10e-6 dev.Device.Mos.w;
+  let c2 = Ckt.update_mos "1" (fun d -> { d with Device.Mos.w = 42e-6 }) c in
+  check_close "updated W" 42e-6 (Ckt.find_mos c2 "1").Device.Mos.w;
+  (* original untouched *)
+  check_close "persistent original" 10e-6 (Ckt.find_mos c "1").Device.Mos.w;
+  Alcotest.check_raises "missing mos" Not_found (fun () ->
+    ignore (Ckt.find_mos c "zz"))
+
+let test_node_caps () =
+  let c = sample () in
+  check_close "initial cap" 1e-12 (Ckt.total_cap_to_ground c "out");
+  let c2 = Ckt.add_node_cap c ~name:"par" ~node:"out" ~c:0.5e-12 in
+  check_close "accumulated" 1.5e-12 (Ckt.total_cap_to_ground c2 "out");
+  (* non-positive parasitics ignored *)
+  let c3 = Ckt.add_node_cap c2 ~name:"zero" ~node:"out" ~c:0.0 in
+  Alcotest.(check int) "no element added" (Ckt.element_count c2)
+    (Ckt.element_count c3)
+
+let test_spice_output () =
+  let c = sample () in
+  let s = Ckt.to_spice c in
+  let has needle =
+    let nl = String.length needle and sl = String.length s in
+    let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "title" true (has "* sample");
+  Alcotest.(check bool) "mos card" true (has "M1 out in 0 0 nch");
+  Alcotest.(check bool) "resistor card" true (has "Rl vdd out");
+  Alcotest.(check bool) "end card" true (has ".end")
+
+let test_source_kinds () =
+  let s = El.ac_source ~dc:1.0 0.5 in
+  check_close "ac dc" 1.0 s.El.dc;
+  check_close "ac mag" 0.5 s.El.ac;
+  let w = El.wave_source ~dc:0.2 (fun t -> 2.0 *. t) in
+  (match w.El.wave with
+   | Some f -> check_close "wave eval" 4.0 (f 2.0)
+   | None -> Alcotest.fail "wave missing")
+
+let test_spice_diffusion_annotation () =
+  let geom = Device.Folding.geometry Technology.Process.c06 ~w:10e-6
+      { Device.Folding.nf = 2; drain_internal = true } in
+  let dev =
+    Device.Mos.make ~diffusion:geom ~name:"x" ~mtype:E.Pmos ~w:10e-6 ~l:1e-6 ()
+  in
+  let card = Format.asprintf "%a" El.pp_spice
+      (El.Mos { dev; d = "d"; g = "g"; s = "s"; b = "b" }) in
+  let has needle =
+    let nl = String.length needle and sl = String.length card in
+    let rec go i = i + nl <= sl && (String.sub card i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "AD printed" true (has "AD=");
+  Alcotest.(check bool) "pch model" true (has "pch")
+
+let suite =
+  ( "netlist",
+    [
+      case "node collection" test_nodes;
+      case "mos listing" test_mos_listing;
+      case "find and update mos" test_find_and_update;
+      case "parasitic node caps" test_node_caps;
+      case "spice deck output" test_spice_output;
+      case "source constructors" test_source_kinds;
+      case "diffusion annotation in spice" test_spice_diffusion_annotation;
+    ] )

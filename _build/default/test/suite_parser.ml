@@ -1,0 +1,115 @@
+open Helpers
+module Pr = Netlist.Parser
+module Ckt = Netlist.Circuit
+module El = Netlist.Element
+module E = Technology.Electrical
+
+let test_parse_value () =
+  check_close "plain" 2.5 (Pr.parse_value "2.5");
+  check_close ~rel:1e-12 "pico with unit" 3e-12 (Pr.parse_value "3pF");
+  check_close ~rel:1e-12 "kilo" 4.7e3 (Pr.parse_value "4.7k");
+  check_close ~rel:1e-12 "meg not milli" 1e6 (Pr.parse_value "1meg");
+  check_close ~rel:1e-12 "milli" 1e-3 (Pr.parse_value "1m");
+  check_close ~rel:1e-12 "micro" 6.5e-6 (Pr.parse_value "6.5u");
+  check_close ~rel:1e-12 "exponent" 1.2e7 (Pr.parse_value "1.2e7");
+  check_close ~rel:1e-12 "negative" (-0.1) (Pr.parse_value "-0.1");
+  check_close ~rel:1e-12 "bare unit" 3.3 (Pr.parse_value "3.3V");
+  Alcotest.(check bool) "garbage rejected" true
+    (match Pr.parse_value "xyz" with exception Failure _ -> true | _ -> false)
+
+let sample_deck =
+  "* test deck\n\
+   M1 out in 0 0 nch W=10u L=1u NF=2\n\
+   Rload vdd out 10k\n\
+   Cload out 0 3p\n\
+   Vdd vdd 0 DC 3.3 AC 0\n\
+   Iref 0 bias DC 20u\n\
+   .end\n"
+
+let test_parse_deck () =
+  let c = Pr.parse sample_deck in
+  Alcotest.(check string) "title" "test deck" (Ckt.title c);
+  Alcotest.(check int) "five elements" 5 (Ckt.element_count c);
+  let dev = Ckt.find_mos c "1" in
+  check_close ~rel:1e-12 "mos width" 10e-6 dev.Device.Mos.w;
+  Alcotest.(check int) "folds" 2 dev.Device.Mos.style.Device.Folding.nf;
+  Alcotest.(check bool) "nmos" true (dev.Device.Mos.mtype = E.Nmos);
+  check_close ~rel:1e-12 "cap value" 3e-12 (Ckt.total_cap_to_ground c "out")
+
+let test_parse_diffusion_annotations () =
+  let deck =
+    "* annotated\n\
+     M2 d g s b pch W=20u L=0.6u NF=4 AD=12p AS=18p PD=8u PS=14u\n\
+     .end\n"
+  in
+  let c = Pr.parse deck in
+  let dev = Ckt.find_mos c "2" in
+  match dev.Device.Mos.diffusion with
+  | None -> Alcotest.fail "diffusion annotation lost"
+  | Some g ->
+    check_close ~rel:1e-9 "ad" 12e-12 g.Device.Folding.ad;
+    check_close ~rel:1e-9 "ps" 14e-6 g.Device.Folding.ps
+
+let test_parse_errors () =
+  let bad_card = "* t\nXfoo a b\n.end\n" in
+  Alcotest.(check bool) "unknown card flagged" true
+    (match Pr.parse bad_card with
+     | exception Pr.Parse_error (2, _) -> true
+     | _ -> false);
+  let bad_mos = "* t\nM1 d g s\n.end\n" in
+  Alcotest.(check bool) "short MOS card flagged" true
+    (match Pr.parse bad_mos with
+     | exception Pr.Parse_error (2, _) -> true
+     | _ -> false)
+
+let test_roundtrip_simple () =
+  let c = Pr.parse sample_deck in
+  let c2 = Pr.roundtrip c in
+  Alcotest.(check int) "element count preserved" (Ckt.element_count c)
+    (Ckt.element_count c2);
+  Alcotest.(check (list string)) "nodes preserved" (Ckt.nodes c) (Ckt.nodes c2);
+  check_close ~rel:1e-6 "mos width preserved" (Ckt.find_mos c "1").Device.Mos.w
+    (Ckt.find_mos c2 "1").Device.Mos.w
+
+let test_roundtrip_sized_amp () =
+  (* the printed deck of a fully sized OTA parses back with every device *)
+  let proc = Technology.Process.c06 in
+  let design =
+    Comdiac.Folded_cascode.size ~proc ~kind:Device.Model.Bsim_lite
+      ~spec:Comdiac.Spec.paper_ota ~parasitics:Comdiac.Parasitics.single_fold
+  in
+  let c =
+    Comdiac.Amp.add_to design.Comdiac.Folded_cascode.amp
+      (Ckt.create ~title:"roundtrip")
+  in
+  let c2 = Pr.roundtrip c in
+  Alcotest.(check int) "element count" (Ckt.element_count c) (Ckt.element_count c2);
+  List.iter
+    (fun (dev, _, _, _, _) ->
+      let dev2 = Ckt.find_mos c2 dev.Device.Mos.name in
+      check_close ~rel:1e-3
+        (dev.Device.Mos.name ^ " width survives round trip")
+        dev.Device.Mos.w dev2.Device.Mos.w)
+    (Ckt.mos_devices c)
+
+let prop_value_roundtrip =
+  QCheck.Test.make ~name:"printed capacitor values reparse" ~count:200
+    QCheck.(float_range 1e-15 1e-9)
+    (fun c ->
+      let circuit =
+        Ckt.add_capacitor (Ckt.create ~title:"t") ~name:"x" ~p:"a" ~n:"0" ~c
+      in
+      let c2 = Pr.roundtrip circuit in
+      Phys.Numerics.close ~rel:1e-5 c (Ckt.total_cap_to_ground c2 "a"))
+
+let suite =
+  ( "parser",
+    [
+      case "engineering values" test_parse_value;
+      case "basic deck" test_parse_deck;
+      case "diffusion annotations" test_parse_diffusion_annotations;
+      case "errors carry line numbers" test_parse_errors;
+      case "simple round trip" test_roundtrip_simple;
+      case "sized amp round trip" test_roundtrip_sized_amp;
+    ]
+    @ qcheck_cases [ prop_value_roundtrip ] )

@@ -1,0 +1,81 @@
+open Helpers
+module P = Technology.Process
+module E = Technology.Electrical
+module R = Technology.Rules
+
+let test_builtin_lookup () =
+  Alcotest.(check string) "find c06" "c06" (P.find "c06").P.name;
+  Alcotest.(check string) "find c035" "c035" (P.find "c035").P.name;
+  Alcotest.check_raises "unknown process" Not_found (fun () ->
+    ignore (P.find "c18"))
+
+let test_rules_positive () =
+  List.iter (fun p -> R.check_positive p.P.rules) P.builtin
+
+let test_lambda_conversion () =
+  let p = P.c06 in
+  check_close "2 lambda" 0.6e-6 (P.um p 2);
+  Alcotest.(check int) "roundtrip exact" 5 (P.to_lambda p (P.um p 5));
+  (* snapping rounds up *)
+  Alcotest.(check int) "ceil" 4 (P.to_lambda p 1.0e-6);
+  Alcotest.(check int) "min one grid" 1 (P.to_lambda p 1e-9)
+
+let test_min_sizes () =
+  check_close "lmin c06" 0.6e-6 (P.lmin P.c06);
+  check_close "wmin c06" 0.9e-6 (P.wmin P.c06);
+  check_close "lmin c035" 0.4e-6 (P.lmin P.c035)
+
+let test_cox_kp () =
+  let n = P.c06.P.electrical.E.nmos in
+  let cox = E.cox n in
+  check_in_range "cox c06" 2.0e-3 3.5e-3 cox;
+  let kp = E.kp n in
+  check_in_range "kp_n c06" 80e-6 200e-6 kp;
+  let kp_p = E.kp P.c06.P.electrical.E.pmos in
+  Alcotest.(check bool) "kp_n > kp_p" true (kp > kp_p)
+
+let test_sd_lengths () =
+  let r = R.scmos in
+  Alcotest.(check int) "contacted sd" 5 (R.sd_contacted r);
+  Alcotest.(check int) "shared contacted sd" 6 (R.sd_shared_contacted r);
+  Alcotest.(check int) "shared plain sd" 3 (R.sd_shared_plain r)
+
+let test_wire_of_layer () =
+  let e = P.c06.P.electrical in
+  Alcotest.(check bool) "metal1 routes" true
+    (E.wire_of_layer e Technology.Layer.Metal1 <> None);
+  Alcotest.(check bool) "contact does not route" true
+    (E.wire_of_layer e Technology.Layer.Contact = None)
+
+let test_evaluation () =
+  let ev = P.evaluate P.c06 in
+  check_in_range "ft_n plausible" 1e9 2e10 ev.P.ft_n_at_veff;
+  Alcotest.(check bool) "nmos faster than pmos" true
+    (ev.P.ft_n_at_veff > ev.P.ft_p_at_veff);
+  check_in_range "diff cap per W" 5e-10 3e-9 ev.P.diff_cap_per_width;
+  (* c035 should be denser/faster than c06 *)
+  let ev35 = P.evaluate P.c035 in
+  Alcotest.(check bool) "c035 faster" true
+    (ev35.P.ft_n_at_veff > ev.P.ft_n_at_veff);
+  Alcotest.(check bool) "c035 higher cox" true (ev35.P.cox_areal > ev.P.cox_areal)
+
+let test_layer_render_order () =
+  let open Technology.Layer in
+  Alcotest.(check bool) "well before metal" true
+    (drawing_order Nwell < drawing_order Metal1);
+  Alcotest.(check int) "all layers distinct chars" (List.length all)
+    (List.sort_uniq Char.compare (List.map ascii_char all) |> List.length)
+
+let suite =
+  ( "technology",
+    [
+      case "builtin lookup" test_builtin_lookup;
+      case "rules strictly positive" test_rules_positive;
+      case "lambda conversion and snapping" test_lambda_conversion;
+      case "minimum feature sizes" test_min_sizes;
+      case "cox and kp ranges" test_cox_kp;
+      case "source/drain extension rules" test_sd_lengths;
+      case "routing layers" test_wire_of_layer;
+      case "technology evaluation" test_evaluation;
+      case "layer rendering metadata" test_layer_render_order;
+    ] )
