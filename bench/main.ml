@@ -374,7 +374,21 @@ let timing () =
   Format.printf
     "@.full case-4 synthesis (loop + generation + both verifications): %.2f s \
      -- paper bound %.0f s@."
-    r4.Core.Flow.elapsed Paper_data.paper_sizing_time_bound_s
+    r4.Core.Flow.elapsed Paper_data.paper_sizing_time_bound_s;
+  (* the same synthesis once more with telemetry on: where the time and
+     the Newton iterations actually go (the bechamel numbers above ran
+     with telemetry disabled, its default) *)
+  Obs.Config.with_enabled true (fun () ->
+    Obs.Trace.reset ();
+    Obs.Metrics.reset ();
+    let r = Core.Flow.run ~proc ~kind ~spec Core.Flow.Case4 in
+    Format.printf
+      "@.telemetry for one instrumented case-4 synthesis (%.2f s):@.%s"
+      r.Core.Flow.elapsed
+      (Obs.Reporter.metrics_table ());
+    Format.printf "@.span roll-up:@.%s" (Obs.Reporter.spans_table ());
+    Obs.Trace.reset ();
+    Obs.Metrics.reset ())
 
 (* ------------------------------------------------------------------ *)
 (* Statistics - the paper's reliability verification interface          *)

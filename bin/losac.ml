@@ -37,6 +37,62 @@ let proc_arg =
   Arg.(value & opt proc_conv Technology.Process.c06
        & info [ "tech" ] ~docv:"NAME" ~doc:"Technology (c06 or c035).")
 
+(* --- telemetry and logging ------------------------------------------- *)
+
+type telemetry = { trace : string option; metrics : bool }
+
+let telemetry_term =
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write a Chrome trace_event JSON trace of the run to \
+                   $(docv); open it in chrome://tracing or \
+                   https://ui.perfetto.dev.")
+  in
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Collect telemetry and print the metrics table (Newton \
+                   iteration totals, layout-call counts, parasitic \
+                   convergence deltas, ...) after the run.")
+  in
+  let verbose =
+    Arg.(value & flag_all
+         & info [ "v"; "verbose" ]
+             ~doc:"Increase log verbosity; repeatable ($(b,-v) info, \
+                   $(b,-vv) debug).  Warnings (e.g. Newton \
+                   divergence-and-retry) print by default.")
+  in
+  let setup trace metrics verbose =
+    Fmt_tty.setup_std_outputs ();
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level
+      (match List.length verbose with
+       | 0 -> Some Logs.Warning
+       | 1 -> Some Logs.Info
+       | _ -> Some Logs.Debug);
+    if trace <> None || metrics then Obs.Config.set_enabled true;
+    { trace; metrics }
+  in
+  Term.(const setup $ trace $ metrics $ verbose)
+
+(* Emit whatever telemetry the flags requested, after the command ran. *)
+let telemetry_finish tele =
+  if tele.metrics then begin
+    Format.printf "@.telemetry metrics:@.%s" (Obs.Reporter.metrics_table ());
+    Format.printf "@.span roll-up:@.%s" (Obs.Reporter.spans_table ())
+  end;
+  match tele.trace with
+  | Some path ->
+    (try
+       Obs.Reporter.write_trace path;
+       Format.printf "wrote Chrome trace (%d spans) to %s@."
+         (Obs.Trace.span_count ()) path
+     with Sys_error msg ->
+       Format.eprintf "losac: cannot write trace: %s@." msg;
+       exit 1)
+  | None -> ()
+
 let kind_arg =
   Arg.(value & opt kind_conv Device.Model.Bsim_lite
        & info [ "model" ] ~docv:"KIND" ~doc:"Transistor model (level1 or bsim-lite).")
@@ -99,10 +155,15 @@ let size_cmd =
         Format.printf "%a@." Comdiac.Simple_ota.pp_design d)
     | other -> Format.printf "unknown topology %s@." other
   in
+  let run tele proc kind spec topology =
+    run proc kind spec topology;
+    telemetry_finish tele
+  in
   let info =
     Cmd.info "size" ~doc:"Size an op-amp and verify it by simulation."
   in
-  Cmd.v info Term.(const run $ proc_arg $ kind_arg $ spec_term $ topology)
+  Cmd.v info
+    Term.(const run $ telemetry_term $ proc_arg $ kind_arg $ spec_term $ topology)
 
 (* --- synth ----------------------------------------------------------- *)
 
@@ -123,21 +184,29 @@ let synth_cmd =
          & info [ "case" ] ~docv:"N"
              ~doc:"Parasitic-awareness case (1..4 as in the paper's Table 1).")
   in
-  let run proc kind spec case =
+  let run tele proc kind spec case =
     let r = Core.Flow.run ~proc ~kind ~spec case in
     Format.printf "%s: %s@." (Core.Flow.case_label case)
       (Core.Flow.case_description case);
-    Format.printf "layout-tool calls before convergence: %d (%.1f s total)@.@."
+    Format.printf "layout-tool calls before convergence: %d (%.1f s total)@."
       r.Core.Flow.layout_calls r.Core.Flow.elapsed;
-    Format.printf "synthesized (extracted):@.%a@." Comdiac.Performance.pp_pair
-      (r.Core.Flow.synthesized, r.Core.Flow.extracted)
+    (match r.Core.Flow.trajectory with
+     | [] -> ()
+     | deltas ->
+       Format.printf "parasitic convergence trajectory: %s@."
+         (String.concat " -> "
+            (List.map (fun d -> Printf.sprintf "%.1f%%" (100.0 *. d)) deltas)));
+    Format.printf "@.synthesized (extracted):@.%a@." Comdiac.Performance.pp_pair
+      (r.Core.Flow.synthesized, r.Core.Flow.extracted);
+    telemetry_finish tele
   in
   let info =
     Cmd.info "synth"
       ~doc:"Run the layout-oriented synthesis flow and report synthesized \
             vs extracted performance."
   in
-  Cmd.v info Term.(const run $ proc_arg $ kind_arg $ spec_term $ case)
+  Cmd.v info
+    Term.(const run $ telemetry_term $ proc_arg $ kind_arg $ spec_term $ case)
 
 (* --- layout ----------------------------------------------------------- *)
 
@@ -149,7 +218,7 @@ let layout_cmd =
   let ascii =
     Arg.(value & flag & info [ "ascii" ] ~doc:"Print an ASCII rendering.")
   in
-  let run proc kind spec svg ascii =
+  let run tele proc kind spec svg ascii =
     let r = Core.Flow.run ~proc ~kind ~spec Core.Flow.Case4 in
     let report = r.Core.Flow.report in
     Format.printf "floorplan %d x %d lambda@."
@@ -158,21 +227,24 @@ let layout_cmd =
       (fun (name, style) ->
         Format.printf "  %-5s nf = %d@." name style.Device.Folding.nf)
       report.Cairo_layout.Plan.device_styles;
-    match report.Cairo_layout.Plan.cell with
-    | None -> ()
-    | Some cell ->
-      (match svg with
-       | Some path ->
-         Out_channel.with_open_text path (fun oc ->
-           output_string oc (Cairo_layout.Render.svg cell));
-         Format.printf "wrote %s@." path
-       | None -> ());
-      if ascii then
-        Format.printf "%s@.%s@." Cairo_layout.Render.legend
-          (Cairo_layout.Render.ascii ~max_cols:110 cell)
+    (match report.Cairo_layout.Plan.cell with
+     | None -> ()
+     | Some cell ->
+       (match svg with
+        | Some path ->
+          Out_channel.with_open_text path (fun oc ->
+            output_string oc (Cairo_layout.Render.svg cell));
+          Format.printf "wrote %s@." path
+        | None -> ());
+       if ascii then
+         Format.printf "%s@.%s@." Cairo_layout.Render.legend
+           (Cairo_layout.Render.ascii ~max_cols:110 cell));
+    telemetry_finish tele
   in
   let info = Cmd.info "layout" ~doc:"Generate and render the case-4 layout." in
-  Cmd.v info Term.(const run $ proc_arg $ kind_arg $ spec_term $ svg $ ascii)
+  Cmd.v info
+    Term.(const run $ telemetry_term $ proc_arg $ kind_arg $ spec_term $ svg
+          $ ascii)
 
 (* --- verify ----------------------------------------------------------- *)
 
@@ -181,7 +253,7 @@ let verify_cmd =
     Arg.(value & opt int 30
          & info [ "samples" ] ~docv:"N" ~doc:"Monte Carlo sample count.")
   in
-  let run proc kind spec samples =
+  let run tele proc kind spec samples =
     let design =
       Comdiac.Folded_cascode.size ~proc ~kind ~spec
         ~parasitics:Comdiac.Parasitics.single_fold
@@ -195,13 +267,15 @@ let verify_cmd =
     let tb = Comdiac.Testbench.make ~proc ~kind ~spec amp in
     Format.printf "PSRR %.1f dB@." (Sim.Measure.db (Comdiac.Testbench.psrr tb));
     let lo, hi = Comdiac.Testbench.common_mode_range tb in
-    Format.printf "input common-mode range [%.2f, %.2f] V@." lo hi
+    Format.printf "input common-mode range [%.2f, %.2f] V@." lo hi;
+    telemetry_finish tele
   in
   let info =
     Cmd.info "verify"
       ~doc:"Statistical (mismatch Monte Carlo) and corner/temperature             verification of the sized amplifier."
   in
-  Cmd.v info Term.(const run $ proc_arg $ kind_arg $ spec_term $ samples)
+  Cmd.v info
+    Term.(const run $ telemetry_term $ proc_arg $ kind_arg $ spec_term $ samples)
 
 (* --- tech ----------------------------------------------------------- *)
 

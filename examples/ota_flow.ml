@@ -1,54 +1,42 @@
 (* The full layout-oriented synthesis flow (paper Fig. 1b) with a visible
-   convergence trace: sizing and the layout tool's parasitic-calculation
-   mode alternate until the calculated parasitics stop moving, then the
-   layout is generated and the extracted netlist verified.
+   convergence trace.  The loop itself lives in [Core.Flow.run]; this
+   example turns on the telemetry subsystem and reads the convergence
+   trajectory, per-stage costs and Newton totals back out of it instead of
+   instrumenting the loop by hand.
 
      dune exec examples/ota_flow.exe *)
 
 module FC = Comdiac.Folded_cascode
-module Par = Comdiac.Parasitics
 module Plan = Cairo_layout.Plan
-module Bridge = Core.Layout_bridge
+module Flow = Core.Flow
 
 let proc = Technology.Process.c06
 let kind = Device.Model.Bsim_lite
 let spec = Comdiac.Spec.paper_ota
 
-let show_parasitics label (p : Par.t) =
-  Format.printf "  %s:@." label;
-  List.iter
-    (fun net ->
-      let c = Par.node_cap p net in
-      if c > 0.0 then
-        Format.printf "    %-5s %s@." net (Phys.Units.to_si_string "F" c))
-    [ "n1"; "n2"; "n3"; "out"; "tail" ]
-
 let () =
   Format.printf "layout-oriented synthesis of: %a@.@." Comdiac.Spec.pp spec;
-  let options = Bridge.default_options in
-  (* the loop, written out explicitly so each iteration is visible *)
-  let rec loop design parasitics iter =
-    Format.printf "iteration %d: sizing done (I1 = %s, cascode L = %s)@." iter
-      (Phys.Units.to_si_string "A" design.FC.i1)
-      (Phys.Units.to_si_string "m" design.FC.l_casc);
-    let report = Bridge.call_layout ~mode:Plan.Parasitic_only proc design options in
-    let parasitics' = Bridge.parasitics_of_report report in
-    show_parasitics "layout tool reports" parasitics';
-    let dist = Par.max_distance parasitics parasitics' in
-    Format.printf "  parasitic movement vs previous estimate: %.1f%%@.@."
-      (100.0 *. dist);
-    if dist < 0.02 || iter >= 8 then (design, iter)
-    else
-      let design', _ =
-        Core.Flow.size_calibrated ~proc ~kind ~spec ~parasitics:parasitics'
-      in
-      loop design' parasitics' (iter + 1)
-  in
-  let design0, _ = Core.Flow.size_calibrated ~proc ~kind ~spec ~parasitics:Par.single_fold in
-  let design, iters = loop design0 Par.single_fold 1 in
-  Format.printf "converged after %d layout-tool call(s); generating layout...@." iters;
-  let report = Bridge.call_layout ~mode:Plan.Generation proc design options in
-  Format.printf "floorplan %d x %d lambda@." report.Plan.total_w report.Plan.total_h;
+  Obs.Config.set_enabled true;
+  let r = Flow.run ~proc ~kind ~spec Flow.Case4 in
+  (* the convergence trajectory, as telemetry recorded it: relative
+     movement of the parasitic vector at each parasitic-mode layout call *)
+  let deltas = Obs.Metrics.values "flow.parasitic_delta" in
+  Format.printf "parasitic convergence trajectory (%d layout-tool calls):@."
+    r.Flow.layout_calls;
+  List.iteri
+    (fun i d ->
+      Format.printf "  call %d: parasitic movement vs previous estimate %5.1f%%%s@."
+        (i + 1) (100.0 *. d)
+        (if d < 0.02 then "  <- converged" else ""))
+    deltas;
+  Format.printf
+    "sizing passes: %.0f  Newton iterations: %.0f  AC factorizations: %.0f@.@."
+    (Obs.Metrics.counter "flow.sizing_passes")
+    (Obs.Metrics.counter "sim.dcop.newton_iters")
+    (Obs.Metrics.counter "sim.acs.factorizations");
+  let report = r.Flow.report in
+  Format.printf "floorplan %d x %d lambda@." report.Plan.total_w
+    report.Plan.total_h;
   (match report.Plan.cell with
    | Some cell ->
      let path = "ota_layout.svg" in
@@ -57,9 +45,8 @@ let () =
      Format.printf "wrote %s@." path
    | None -> ());
   (* verify the extracted netlist - the bracketed Table-1 values *)
-  let amp_ext = Core.Flow.extracted_amp proc design report in
-  let tb_synth = Comdiac.Testbench.make ~proc ~kind ~spec design.FC.amp in
-  let tb_ext = Comdiac.Testbench.make ~proc ~kind ~spec amp_ext in
   Format.printf "@.synthesized (extracted):@.%a@." Comdiac.Performance.pp_pair
-    ( Comdiac.Testbench.performance tb_synth,
-      Comdiac.Testbench.performance tb_ext )
+    (r.Flow.synthesized, r.Flow.extracted);
+  (* where the time went, straight from the span roll-up *)
+  Format.printf "@.where the %.2f s went:@.%s" r.Flow.elapsed
+    (Obs.Reporter.spans_table ())

@@ -30,6 +30,7 @@ type result = {
   extracted : Comdiac.Performance.t;
   layout_calls : int;
   sizing_passes : int;
+  trajectory : float list;
   report : Plan.report;
   elapsed : float;
 }
@@ -109,17 +110,38 @@ let parasitics_for_case ~case report =
   | Case4 -> Layout_bridge.parasitics_of_report ~include_routing:true report
 
 let run ?(options = Layout_bridge.default_options) ~proc ~kind ~spec case =
-  let t0 = Sys.time () in
+  Obs.Trace.with_span ~cat:"flow"
+    ~args:[ ("case", Obs.Trace.Str (case_label case)) ]
+    "flow.run"
+  @@ fun () ->
+  let t0 = Obs.Clock.now_s () in
   let layout_calls = ref 0 in
   let sizing_passes = ref 0 in
+  (* per-layout-call movement of the parasitic vector: the convergence
+     trajectory of the sizing<->layout loop, newest last *)
+  let trajectory = ref [] in
   let size parasitics =
+    Obs.Trace.with_span ~cat:"flow" "flow.sizing" @@ fun () ->
     let design, passes = size_calibrated ~proc ~kind ~spec ~parasitics in
     sizing_passes := !sizing_passes + passes;
+    if !Obs.Config.flag then begin
+      Obs.Metrics.add "flow.sizing_passes" (float_of_int passes);
+      Obs.Trace.add_arg "passes" (Obs.Trace.Int passes)
+    end;
     design
   in
   let parasitic_call design =
     incr layout_calls;
-    Layout_bridge.call_layout ~mode:Plan.Parasitic_only proc design options
+    Obs.Trace.with_span ~cat:"flow"
+      ~args:[ ("index", Obs.Trace.Int !layout_calls);
+              ("mode", Obs.Trace.Str "parasitic_only") ]
+      "flow.layout_call"
+      (fun () ->
+        Layout_bridge.call_layout ~mode:Plan.Parasitic_only proc design options)
+  in
+  let record_delta d =
+    trajectory := d :: !trajectory;
+    if !Obs.Config.flag then Obs.Metrics.observe "flow.parasitic_delta" d
   in
   let design =
     match case with
@@ -134,7 +156,9 @@ let run ?(options = Layout_bridge.default_options) ~proc ~kind ~spec case =
         else begin
           let report = parasitic_call design in
           let parasitics' = parasitics_for_case ~case report in
-          if Par.max_distance parasitics parasitics' < 0.02 then design
+          let delta = Par.max_distance parasitics parasitics' in
+          record_delta delta;
+          if delta < 0.02 then design
           else loop (size parasitics') parasitics' (iter + 1)
         end
       in
@@ -143,13 +167,28 @@ let run ?(options = Layout_bridge.default_options) ~proc ~kind ~spec case =
   in
   (* final call in generation mode *)
   let report =
-    Layout_bridge.call_layout ~mode:Plan.Generation proc design options
+    Obs.Trace.with_span ~cat:"flow"
+      ~args:[ ("mode", Obs.Trace.Str "generation") ]
+      "flow.layout_call"
+      (fun () ->
+        Layout_bridge.call_layout ~mode:Plan.Generation proc design options)
   in
   let tb_synth = Comdiac.Testbench.make ~proc ~kind ~spec design.FC.amp in
-  let synthesized = Comdiac.Testbench.performance tb_synth in
+  let synthesized =
+    Obs.Trace.with_span ~cat:"flow" "flow.verify_synthesized" (fun () ->
+      Comdiac.Testbench.performance tb_synth)
+  in
   let amp_ext = extracted_amp proc design report in
   let tb_ext = Comdiac.Testbench.make ~proc ~kind ~spec amp_ext in
-  let extracted = Comdiac.Testbench.performance tb_ext in
+  let extracted =
+    Obs.Trace.with_span ~cat:"flow" "flow.verify_extracted" (fun () ->
+      Comdiac.Testbench.performance tb_ext)
+  in
+  if !Obs.Config.flag then begin
+    Obs.Metrics.add "flow.layout_calls" (float_of_int !layout_calls);
+    Obs.Trace.add_arg "layout_calls" (Obs.Trace.Int !layout_calls);
+    Obs.Trace.add_arg "sizing_passes" (Obs.Trace.Int !sizing_passes)
+  end;
   {
     case;
     design;
@@ -157,8 +196,9 @@ let run ?(options = Layout_bridge.default_options) ~proc ~kind ~spec case =
     extracted;
     layout_calls = !layout_calls;
     sizing_passes = !sizing_passes;
+    trajectory = List.rev !trajectory;
     report;
-    elapsed = Sys.time () -. t0;
+    elapsed = Obs.Clock.now_s () -. t0;
   }
 
 let run_all ?options ~proc ~kind ~spec () =

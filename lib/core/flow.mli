@@ -22,8 +22,13 @@ type result = {
   extracted : Comdiac.Performance.t;
   layout_calls : int;      (** parasitic-mode calls before convergence *)
   sizing_passes : int;
+  trajectory : float list;
+  (** parasitic-vector movement (relative max distance) observed at each
+      parasitic-mode layout call, in call order — the convergence
+      trajectory of the sizing↔layout loop.  Empty for cases 1 and 2.
+      Also recorded in telemetry as the [flow.parasitic_delta] series. *)
   report : Cairo_layout.Plan.report;  (** final generation-mode report *)
-  elapsed : float;         (** CPU seconds for the whole case *)
+  elapsed : float;         (** wall-clock seconds for the whole case *)
 }
 
 val extracted_amp :

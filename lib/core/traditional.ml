@@ -27,17 +27,23 @@ let meets spec perf =
 
 let run ?(options = Layout_bridge.default_options) ?(max_iterations = 8) ~proc
     ~kind ~spec () =
-  let t0 = Sys.time () in
+  Obs.Trace.with_span ~cat:"flow" "traditional.run" @@ fun () ->
+  let t0 = Obs.Clock.now_s () in
   let full_layouts = ref 0 in
   let sims = ref 0 in
   let rec loop parasitics gbw_internal iters index =
+    Obs.Trace.with_span ~cat:"flow"
+      ~args:[ ("index", Obs.Trace.Int index) ]
+      "traditional.iteration"
+    @@ fun () ->
     (* re-size against whatever the designer knows so far *)
     let spec' = { spec with Comdiac.Spec.gbw = gbw_internal } in
     let design = FC.size ~proc ~kind ~spec:spec' ~parasitics in
     (* full layout generation and extraction - the expensive step *)
     incr full_layouts;
     let report =
-      Layout_bridge.call_layout ~mode:Plan.Generation proc design options
+      Obs.Trace.with_span ~cat:"flow" "traditional.full_layout" (fun () ->
+        Layout_bridge.call_layout ~mode:Plan.Generation proc design options)
     in
     let amp_ext = Flow.extracted_amp proc design report in
     incr sims;
@@ -51,6 +57,17 @@ let run ?(options = Layout_bridge.default_options) ?(max_iterations = 8) ~proc
         met = meets spec perf;
       }
     in
+    if !Obs.Config.flag then begin
+      (* relative GBW error after each full layout: the traditional
+         flow's convergence trajectory, comparable to the layout-oriented
+         flow's [flow.parasitic_delta] series *)
+      Obs.Metrics.observe "traditional.gbw_error"
+        (Float.abs (it.gbw -. spec.Comdiac.Spec.gbw)
+         /. spec.Comdiac.Spec.gbw);
+      Obs.Trace.add_arg "gbw" (Obs.Trace.Float it.gbw);
+      Obs.Trace.add_arg "pm" (Obs.Trace.Float it.pm);
+      Obs.Trace.add_arg "met" (Obs.Trace.Bool it.met)
+    end;
     let iters = it :: iters in
     if it.met || index >= max_iterations then
       (design, perf, List.rev iters, it.met)
@@ -67,6 +84,8 @@ let run ?(options = Layout_bridge.default_options) ?(max_iterations = 8) ~proc
   let design, extracted, iterations, converged =
     loop Par.none spec.Comdiac.Spec.gbw [] 1
   in
+  if !Obs.Config.flag then
+    Obs.Metrics.add "traditional.full_layouts" (float_of_int !full_layouts);
   {
     design;
     extracted;
@@ -74,5 +93,5 @@ let run ?(options = Layout_bridge.default_options) ?(max_iterations = 8) ~proc
     full_layouts = !full_layouts;
     extracted_simulations = !sims;
     converged;
-    elapsed = Sys.time () -. t0;
+    elapsed = Obs.Clock.now_s () -. t0;
   }

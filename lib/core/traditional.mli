@@ -20,7 +20,7 @@ type result = {
   full_layouts : int;            (** generation-mode layout runs *)
   extracted_simulations : int;   (** full verification passes *)
   converged : bool;
-  elapsed : float;
+  elapsed : float;               (** wall-clock seconds *)
 }
 
 val run :

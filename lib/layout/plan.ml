@@ -202,11 +202,30 @@ let well_cap proc cell =
   end
 
 let run ?max_w ?max_h ?aspect ~mode ~nets proc floorplan =
+  Obs.Trace.with_span ~cat:"cairo"
+    ~args:
+      [ ("mode",
+         Obs.Trace.Str
+           (match mode with
+            | Parasitic_only -> "parasitic_only"
+            | Generation -> "generation")) ]
+    "cairo.plan.run"
+  @@ fun () ->
+  if !Obs.Config.flag then begin
+    Obs.Metrics.incr "cairo.plan.calls";
+    Obs.Metrics.incr
+      (match mode with
+       | Parasitic_only -> "cairo.plan.parasitic_calls"
+       | Generation -> "cairo.plan.generation_calls")
+  end;
   (* annotate leaves with eagerly generated variants *)
   let rec to_variant_tree = function
     | Slicing.Leaf (g, _) ->
       let vs = variants_of_group proc g in
       assert (vs <> []);
+      if !Obs.Config.flag then
+        Obs.Metrics.add "cairo.plan.variants_generated"
+          (float_of_int (List.length vs));
       let boxes = List.map (fun v -> Cell.size v.v_cell) vs in
       Slicing.Leaf ((g, Array.of_list vs), boxes)
     | Slicing.H (a, b) -> Slicing.H (to_variant_tree a, to_variant_tree b)
@@ -269,6 +288,12 @@ let run ?max_w ?max_h ?aspect ~mode ~nets proc floorplan =
         net_names
     in
     let total_h = h + routing.Route.channel_height + proc.P.rules.Technology.Rules.metal2_space in
+    if !Obs.Config.flag then begin
+      Obs.Trace.add_arg "total_w" (Obs.Trace.Int w);
+      Obs.Trace.add_arg "total_h" (Obs.Trace.Int total_h);
+      Obs.Metrics.set "cairo.plan.last_area_lambda2"
+        (float_of_int (w * total_h))
+    end;
     let cell =
       match mode with
       | Parasitic_only -> None

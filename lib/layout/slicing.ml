@@ -54,14 +54,40 @@ let rec realize node i ~x ~y acc =
   | ALeaf _, Shape.Compose _ | (AH _ | AV _), Shape.Variant _ ->
     assert false
 
+(* telemetry: tree nodes and the size of every cached shape function *)
+let rec count_ann = function
+  | ALeaf (_, s) -> (1, Array.length s)
+  | AH (a, b, s) | AV (a, b, s) ->
+    let na, pa = count_ann a and nb, pb = count_ann b in
+    (1 + na + nb, Array.length s + pa + pb)
+
 let optimize ?max_w ?max_h ?aspect t =
+  Obs.Trace.with_span ~cat:"cairo" "slicing.optimize" @@ fun () ->
   let ann = annotate t in
   let s = shape_of ann in
+  if !Obs.Config.flag then begin
+    let nodes, points = count_ann ann in
+    Obs.Metrics.incr "cairo.slicing.optimizations";
+    Obs.Metrics.add "cairo.slicing.tree_nodes" (float_of_int nodes);
+    Obs.Metrics.add "cairo.slicing.shape_points" (float_of_int points);
+    Obs.Trace.add_arg "tree_nodes" (Obs.Trace.Int nodes);
+    Obs.Trace.add_arg "shape_points" (Obs.Trace.Int points);
+    Obs.Trace.add_arg "root_points" (Obs.Trace.Int (Array.length s))
+  end;
   match Shape.best ?max_w ?max_h ?aspect s with
   | None -> None
   | Some i ->
     let pt = s.(i) in
     let placements = List.rev (realize ann i ~x:0 ~y:0 []) in
+    if !Obs.Config.flag then begin
+      let aspect_ratio =
+        float_of_int pt.Shape.w /. float_of_int (max 1 pt.Shape.h)
+      in
+      Obs.Metrics.set "cairo.slicing.chosen_aspect" aspect_ratio;
+      Obs.Trace.add_arg "w" (Obs.Trace.Int pt.Shape.w);
+      Obs.Trace.add_arg "h" (Obs.Trace.Int pt.Shape.h);
+      Obs.Trace.add_arg "aspect" (Obs.Trace.Float aspect_ratio)
+    end;
     Some (placements, (pt.Shape.w, pt.Shape.h))
 
 let rec leaves = function

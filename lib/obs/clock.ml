@@ -1,0 +1,13 @@
+(* Wall-clock timing for telemetry.  [Sys.time] reports CPU seconds of the
+   whole process, which both under-reports waiting and misreports badly
+   under any future parallelism; everything here is wall time from
+   [Unix.gettimeofday].  Trace timestamps are offsets from process start so
+   they stay small and stable within a run. *)
+
+let now_s () = Unix.gettimeofday ()
+
+let start = now_s ()
+
+let now_us () = now_s () *. 1e6
+
+let since_start_us () = (now_s () -. start) *. 1e6

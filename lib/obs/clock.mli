@@ -1,0 +1,11 @@
+(** Wall-clock time source for telemetry and elapsed-time reporting. *)
+
+val now_s : unit -> float
+(** Wall-clock seconds (Unix epoch). *)
+
+val now_us : unit -> float
+(** Wall-clock microseconds (Unix epoch). *)
+
+val since_start_us : unit -> float
+(** Microseconds since this module was initialised (process start);
+    used as the trace timestamp base. *)

@@ -1,0 +1,14 @@
+(* The global telemetry switch.  Instrumented call sites read [flag] (or
+   call [enabled]) exactly once before doing any telemetry work, so the
+   disabled cost is a single ref read and branch. *)
+
+let flag = ref false
+
+let enabled () = !flag
+
+let set_enabled b = flag := b
+
+let with_enabled b f =
+  let prev = !flag in
+  flag := b;
+  Fun.protect ~finally:(fun () -> flag := prev) f

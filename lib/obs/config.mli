@@ -1,0 +1,14 @@
+(** The global telemetry enable flag.
+
+    Telemetry is off by default; every instrumented call site checks the
+    flag once before recording anything, so the disabled cost on hot paths
+    (Newton solves, AC sweeps) is one ref read and a branch. *)
+
+val flag : bool ref
+(** Read directly from hot call sites. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val with_enabled : bool -> (unit -> 'a) -> 'a
+(** Run with the flag temporarily set, restoring the previous value. *)

@@ -1,0 +1,24 @@
+(** Minimal JSON emitter and parser.
+
+    The reporter emits Chrome [trace_event] files and metric dumps through
+    this module; the test suite parses them back through [parse], so the
+    exported format is round-trip checked without an external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) serialisation.  Non-finite numbers emit [null]. *)
+
+val parse : string -> (t, string) result
+(** Strict parse of a complete JSON document. *)
+
+val member : string -> t -> t option
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_str : t -> string option

@@ -1,0 +1,10 @@
+(* Diagnostics routed through the [logs] library under a single source, so
+   applications control verbosity with [Logs.Src.set_level] or a global
+   level.  Instrumented libraries report recoverable anomalies here (e.g.
+   a diverged Newton attempt that telemetry then watches retry). *)
+
+let src = Logs.Src.create "losac" ~doc:"losac synthesis/simulation diagnostics"
+
+let warn m = Logs.msg ~src Logs.Warning m
+let info m = Logs.msg ~src Logs.Info m
+let debug m = Logs.msg ~src Logs.Debug m

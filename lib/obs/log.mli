@@ -1,0 +1,10 @@
+(** Diagnostics for the synthesis stack, routed through [logs].
+
+    Nothing prints unless the application installs a reporter (see
+    [losac --verbose], which installs one and sets the level). *)
+
+val src : Logs.src
+
+val warn : 'a Logs.log
+val info : 'a Logs.log
+val debug : 'a Logs.log

@@ -1,0 +1,118 @@
+(* Named counters, gauges and histograms.
+
+   Writers are no-ops while telemetry is disabled.  Readers always work,
+   returning zeros/empties for unknown names, so report code needs no
+   special-casing.  Histograms keep the raw observation sequence (bounded)
+   in addition to the moments: for series like the per-layout-call
+   parasitic delta the sequence *is* the convergence trajectory. *)
+
+type hstats = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  mean : float;
+}
+
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  mutable h_values : float list; (* reverse observation order, bounded *)
+}
+
+let max_hist_values = 4096
+
+let counters : (string, float ref) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, float ref) Hashtbl.t = Hashtbl.create 32
+let hists : (string, hist) Hashtbl.t = Hashtbl.create 32
+
+let reset () =
+  Hashtbl.reset counters;
+  Hashtbl.reset gauges;
+  Hashtbl.reset hists
+
+let find_ref tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some r -> r
+  | None ->
+    let r = ref 0.0 in
+    Hashtbl.replace tbl name r;
+    r
+
+let add name by =
+  if !Config.flag then begin
+    let r = find_ref counters name in
+    r := !r +. by
+  end
+
+let incr ?(by = 1.0) name = add name by
+
+let set name v =
+  if !Config.flag then begin
+    let r = find_ref gauges name in
+    r := v
+  end
+
+let observe name v =
+  if !Config.flag then begin
+    let h =
+      match Hashtbl.find_opt hists name with
+      | Some h -> h
+      | None ->
+        let h =
+          { h_count = 0; h_sum = 0.0; h_min = infinity; h_max = neg_infinity;
+            h_values = [] }
+        in
+        Hashtbl.replace hists name h;
+        h
+    in
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v;
+    if h.h_count <= max_hist_values then h.h_values <- v :: h.h_values
+  end
+
+let counter name =
+  match Hashtbl.find_opt counters name with Some r -> !r | None -> 0.0
+
+let gauge name =
+  match Hashtbl.find_opt gauges name with Some r -> Some !r | None -> None
+
+let stats_of h =
+  {
+    count = h.h_count;
+    sum = h.h_sum;
+    min = h.h_min;
+    max = h.h_max;
+    mean = (if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count);
+  }
+
+let hist_stats name =
+  match Hashtbl.find_opt hists name with
+  | Some h -> Some (stats_of h)
+  | None -> None
+
+let values name =
+  match Hashtbl.find_opt hists name with
+  | Some h -> List.rev h.h_values
+  | None -> []
+
+type item =
+  | Counter of string * float
+  | Gauge of string * float
+  | Hist of string * hstats * float list
+
+let snapshot () =
+  let items = ref [] in
+  Hashtbl.iter (fun name r -> items := Counter (name, !r) :: !items) counters;
+  Hashtbl.iter (fun name r -> items := Gauge (name, !r) :: !items) gauges;
+  Hashtbl.iter
+    (fun name h -> items := Hist (name, stats_of h, List.rev h.h_values) :: !items)
+    hists;
+  let key = function
+    | Counter (n, _) | Gauge (n, _) | Hist (n, _, _) -> n
+  in
+  List.sort (fun a b -> compare (key a) (key b)) !items

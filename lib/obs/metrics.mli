@@ -1,0 +1,44 @@
+(** Named counters, gauges and histograms.
+
+    Writers ({!incr}, {!add}, {!set}, {!observe}) are no-ops while
+    telemetry is disabled; readers always work and return zeros/empties
+    for unknown names. *)
+
+type hstats = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  mean : float;
+}
+
+val incr : ?by:float -> string -> unit
+(** Counter increment (default 1). *)
+
+val add : string -> float -> unit
+(** Counter increment by an explicit amount. *)
+
+val set : string -> float -> unit
+(** Gauge: last-write-wins. *)
+
+val observe : string -> float -> unit
+(** Histogram observation.  The raw sequence is retained (bounded at 4096
+    values) so ordered series — e.g. per-iteration convergence deltas —
+    can be read back with {!values}. *)
+
+val counter : string -> float
+val gauge : string -> float option
+val hist_stats : string -> hstats option
+
+val values : string -> float list
+(** Histogram observations in observation order. *)
+
+type item =
+  | Counter of string * float
+  | Gauge of string * float
+  | Hist of string * hstats * float list
+
+val snapshot : unit -> item list
+(** All metrics sorted by name. *)
+
+val reset : unit -> unit

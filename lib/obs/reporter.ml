@@ -1,0 +1,148 @@
+(* Exporters for the collected telemetry:
+
+   - a human-readable metrics table (text);
+   - a JSON dump of all metrics;
+   - a Chrome [trace_event] file (complete "X" events) that loads directly
+     in chrome://tracing or https://ui.perfetto.dev. *)
+
+let si v =
+  (* compact engineering notation for table cells *)
+  let a = Float.abs v in
+  if v = 0.0 then "0"
+  else if Float.is_integer v && a < 1e7 then Printf.sprintf "%.0f" v
+  else if a >= 1e-2 && a < 1e7 then Printf.sprintf "%.4g" v
+  else Printf.sprintf "%.3e" v
+
+let values_preview vs =
+  (* short series print, e.g. the 3-call parasitic convergence trajectory *)
+  let n = List.length vs in
+  if n = 0 || n > 8 then ""
+  else
+    Printf.sprintf "  [%s]" (String.concat "; " (List.map si vs))
+
+let metrics_table () =
+  let items = Metrics.snapshot () in
+  if items = [] then "no metrics recorded (telemetry disabled?)\n"
+  else begin
+    let b = Buffer.create 1024 in
+    let width =
+      List.fold_left
+        (fun acc item ->
+          let n =
+            match item with
+            | Metrics.Counter (n, _) | Metrics.Gauge (n, _)
+            | Metrics.Hist (n, _, _) -> n
+          in
+          max acc (String.length n))
+        12 items
+    in
+    Buffer.add_string b
+      (Printf.sprintf "%-*s %-9s %s\n" width "metric" "kind" "value");
+    Buffer.add_string b (String.make (width + 40) '-');
+    Buffer.add_char b '\n';
+    List.iter
+      (fun item ->
+        match item with
+        | Metrics.Counter (n, v) ->
+          Buffer.add_string b (Printf.sprintf "%-*s %-9s %s\n" width n "counter" (si v))
+        | Metrics.Gauge (n, v) ->
+          Buffer.add_string b (Printf.sprintf "%-*s %-9s %s\n" width n "gauge" (si v))
+        | Metrics.Hist (n, s, vs) ->
+          Buffer.add_string b
+            (Printf.sprintf "%-*s %-9s n=%d sum=%s min=%s mean=%s max=%s%s\n"
+               width n "hist" s.Metrics.count (si s.Metrics.sum)
+               (si s.Metrics.min) (si s.Metrics.mean) (si s.Metrics.max)
+               (values_preview vs)))
+      items;
+    Buffer.contents b
+  end
+
+let pp_metrics fmt () = Format.pp_print_string fmt (metrics_table ())
+
+let metrics_json () =
+  let items = Metrics.snapshot () in
+  let field = function
+    | Metrics.Counter (n, v) -> (n, Json.Obj [ ("type", Json.Str "counter"); ("value", Json.Num v) ])
+    | Metrics.Gauge (n, v) -> (n, Json.Obj [ ("type", Json.Str "gauge"); ("value", Json.Num v) ])
+    | Metrics.Hist (n, s, vs) ->
+      ( n,
+        Json.Obj
+          [
+            ("type", Json.Str "histogram");
+            ("count", Json.Num (float_of_int s.Metrics.count));
+            ("sum", Json.Num s.Metrics.sum);
+            ("min", Json.Num s.Metrics.min);
+            ("mean", Json.Num s.Metrics.mean);
+            ("max", Json.Num s.Metrics.max);
+            ("values", Json.Arr (List.map (fun v -> Json.Num v) vs));
+          ] )
+  in
+  Json.Obj (List.map field items)
+
+(* --- Chrome trace_event ---------------------------------------------- *)
+
+let span_to_event (s : Trace.span) =
+  Json.Obj
+    [
+      ("name", Json.Str s.Trace.name);
+      ("cat", Json.Str s.Trace.cat);
+      ("ph", Json.Str "X");
+      ("ts", Json.Num s.Trace.ts_us);
+      ("dur", Json.Num s.Trace.dur_us);
+      ("pid", Json.Num 1.0);
+      ("tid", Json.Num 1.0);
+      ( "args",
+        Json.Obj
+          (List.map (fun (k, v) -> (k, Trace.arg_to_json v)) s.Trace.args) );
+    ]
+
+let trace_json () =
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (List.map span_to_event (Trace.spans ())));
+      ("displayTimeUnit", Json.Str "ms");
+      ("otherData", metrics_json ());
+    ]
+
+let trace_json_string () = Json.to_string (trace_json ())
+
+let write_trace path =
+  Out_channel.with_open_text path (fun oc ->
+    output_string oc (trace_json_string ()))
+
+let span_summary () =
+  (* roll spans up by name: call count and total/self-exclusive time *)
+  let tbl : (string, int ref * float ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Trace.span) ->
+      let cnt, tot =
+        match Hashtbl.find_opt tbl s.Trace.name with
+        | Some p -> p
+        | None ->
+          let p = (ref 0, ref 0.0) in
+          Hashtbl.replace tbl s.Trace.name p;
+          p
+      in
+      Stdlib.incr cnt;
+      tot := !tot +. s.Trace.dur_us)
+    (Trace.spans ());
+  let rows = Hashtbl.fold (fun name (c, t) acc -> (name, !c, !t) :: acc) tbl [] in
+  List.sort (fun (_, _, a) (_, _, b) -> compare b a) rows
+
+let spans_table () =
+  let rows = span_summary () in
+  if rows = [] then "no spans recorded (telemetry disabled?)\n"
+  else begin
+    let b = Buffer.create 512 in
+    let width =
+      List.fold_left (fun acc (n, _, _) -> max acc (String.length n)) 10 rows
+    in
+    Buffer.add_string b
+      (Printf.sprintf "%-*s %8s %14s\n" width "span" "calls" "total ms");
+    List.iter
+      (fun (name, calls, total_us) ->
+        Buffer.add_string b
+          (Printf.sprintf "%-*s %8d %14.3f\n" width name calls (total_us /. 1e3)))
+      rows;
+    Buffer.contents b
+  end

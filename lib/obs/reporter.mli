@@ -1,0 +1,27 @@
+(** Exporters for collected telemetry. *)
+
+val metrics_table : unit -> string
+(** Human-readable table of every counter, gauge and histogram.  Short
+    histogram series (≤ 8 observations) print their values inline, so
+    convergence trajectories are visible directly in the table. *)
+
+val pp_metrics : Format.formatter -> unit -> unit
+
+val metrics_json : unit -> Json.t
+
+val trace_json : unit -> Json.t
+(** Chrome [trace_event] document: [{"traceEvents": [...]}] with one
+    complete ("ph":"X") event per span, microsecond timestamps, and the
+    metrics snapshot under ["otherData"].  Loads in chrome://tracing and
+    Perfetto. *)
+
+val trace_json_string : unit -> string
+
+val write_trace : string -> unit
+(** Write {!trace_json_string} to a file. *)
+
+val span_summary : unit -> (string * int * float) list
+(** Spans rolled up by name: (name, calls, total µs), sorted by total
+    time descending. *)
+
+val spans_table : unit -> string

@@ -1,0 +1,113 @@
+(* Hierarchical spans with wall-clock timing.
+
+   A span is opened, optionally annotated with arguments while open, and
+   recorded on close with its start timestamp, duration and nesting depth.
+   Spans nest through a stack, so [with_span] calls compose naturally
+   across library boundaries (a sizing span contains simulator spans).
+
+   Everything is a no-op while [Config.flag] is false; the only cost at an
+   instrumented call site is the flag read. *)
+
+type arg =
+  | Str of string
+  | Float of float
+  | Int of int
+  | Bool of bool
+
+type span = {
+  name : string;
+  cat : string;
+  ts_us : float;   (* start, microseconds since process start *)
+  dur_us : float;
+  depth : int;     (* 0 = root *)
+  args : (string * arg) list;
+}
+
+type open_span = {
+  o_name : string;
+  o_cat : string;
+  o_ts : float;
+  mutable o_args : (string * arg) list;
+}
+
+(* completed spans in reverse completion order; bounded so a runaway loop
+   cannot exhaust memory *)
+let completed : span list ref = ref []
+let stack : open_span list ref = ref []
+let count = ref 0
+let dropped = ref 0
+let max_spans = 200_000
+
+let reset () =
+  completed := [];
+  stack := [];
+  count := 0;
+  dropped := 0
+
+let begin_span ?(cat = "losac") name =
+  if !Config.flag then
+    stack :=
+      { o_name = name; o_cat = cat; o_ts = Clock.since_start_us (); o_args = [] }
+      :: !stack
+
+let add_arg key value =
+  if !Config.flag then
+    match !stack with
+    | s :: _ -> s.o_args <- (key, value) :: s.o_args
+    | [] -> ()
+
+let end_span () =
+  if !Config.flag then
+    match !stack with
+    | [] -> ()
+    | s :: rest ->
+      stack := rest;
+      if !count >= max_spans then incr dropped
+      else begin
+        incr count;
+        completed :=
+          {
+            name = s.o_name;
+            cat = s.o_cat;
+            ts_us = s.o_ts;
+            dur_us = Clock.since_start_us () -. s.o_ts;
+            depth = List.length rest;
+            args = List.rev s.o_args;
+          }
+          :: !completed
+      end
+
+let with_span ?cat ?(args = []) name f =
+  if not !Config.flag then f ()
+  else begin
+    begin_span ?cat name;
+    (match !stack with s :: _ -> s.o_args <- List.rev args | [] -> ());
+    match f () with
+    | v ->
+      end_span ();
+      v
+    | exception e ->
+      add_arg "error" (Bool true);
+      end_span ();
+      raise e
+  end
+
+let spans () = List.rev !completed
+
+let span_count () = !count
+
+let dropped_count () = !dropped
+
+let open_depth () = List.length !stack
+
+let arg_to_json = function
+  | Str s -> Json.Str s
+  | Float v -> Json.Num v
+  | Int i -> Json.Num (float_of_int i)
+  | Bool b -> Json.Bool b
+
+let pp_arg fmt = function
+  | Str s -> Format.pp_print_string fmt s
+  | Float v -> Format.fprintf fmt "%g" v
+  | Int i -> Format.fprintf fmt "%d" i
+  | Bool b -> Format.fprintf fmt "%b" b

@@ -1,0 +1,49 @@
+(** Hierarchical tracing: named spans with wall-clock timestamps, nesting
+    depth and key/value arguments.
+
+    All recording is a no-op unless {!Config} is enabled; the disabled
+    cost at a call site is one ref read.  Spans are kept in memory
+    (bounded) and exported by {!Reporter}. *)
+
+type arg =
+  | Str of string
+  | Float of float
+  | Int of int
+  | Bool of bool
+
+type span = {
+  name : string;
+  cat : string;
+  ts_us : float;  (** start time, µs since process start *)
+  dur_us : float;
+  depth : int;    (** nesting depth at open time; 0 = root *)
+  args : (string * arg) list;
+}
+
+val with_span : ?cat:string -> ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span.  The span is recorded when
+    [f] returns or raises (with an [error] argument in the latter case).
+    When telemetry is disabled this is exactly [f ()]. *)
+
+val add_arg : string -> arg -> unit
+(** Attach an argument to the innermost open span (no-op outside any
+    span or when disabled).  Use for values only known at the end of the
+    work, e.g. iteration counts or exit residuals. *)
+
+val begin_span : ?cat:string -> string -> unit
+val end_span : unit -> unit
+(** Imperative variants for spans that cannot wrap a closure.  Calls must
+    balance; [end_span] without a matching open span is ignored. *)
+
+val spans : unit -> span list
+(** Completed spans in completion order (children before their parent). *)
+
+val span_count : unit -> int
+val dropped_count : unit -> int
+(** Spans discarded after the in-memory bound was hit. *)
+
+val open_depth : unit -> int
+val reset : unit -> unit
+
+val arg_to_json : arg -> Json.t
+val pp_arg : Format.formatter -> arg -> unit

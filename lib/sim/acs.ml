@@ -111,7 +111,9 @@ let assemble net ~freq =
   done;
   y
 
-let factor net ~freq = { net; lu = C.lu_factor (assemble net ~freq) }
+let factor net ~freq =
+  if !Obs.Config.flag then Obs.Metrics.incr "sim.acs.factorizations";
+  { net; lu = C.lu_factor (assemble net ~freq) }
 
 let rhs_sources net =
   let n = Indexing.size net.idx in
@@ -125,9 +127,12 @@ let rhs_sources net =
   List.iter (fun (k, _, _, ac) -> j.(k) <- cx ac) net.stamp.vrows;
   j
 
-let solve_sources f = C.lu_solve f.lu (rhs_sources f.net)
+let solve_sources f =
+  if !Obs.Config.flag then Obs.Metrics.incr "sim.acs.solves";
+  C.lu_solve f.lu (rhs_sources f.net)
 
 let solve_injection f ~p ~n =
+  if !Obs.Config.flag then Obs.Metrics.incr "sim.acs.solves";
   let nn = Indexing.size f.net.idx in
   let j = Array.make nn Complex.zero in
   (match Indexing.node_index f.net.idx p with

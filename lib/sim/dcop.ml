@@ -33,12 +33,17 @@ let max_abs a = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 a
 
 exception Diverged
 
-(* One Newton solve at fixed gmin/alpha.  Raises [Diverged] on failure. *)
+(* One Newton solve at fixed gmin/alpha.  Raises [Diverged] on failure.
+   Iteration counts, damping-scale retreats and the residual at exit are
+   recorded as a telemetry span when enabled. *)
 let newton proc kind circuit idx ~gmin ~alpha ~max_iter x0 =
   let n = Indexing.size idx in
   assert (Array.length x0 = n);
   let x = Array.copy x0 in
   let step_limit = 0.5 in
+  (* local accumulators keep the hot loop free of telemetry lookups *)
+  let damped = ref 0 in
+  let residual = ref infinity in
   let rec loop iter =
     if iter >= max_iter then raise Diverged
     else begin
@@ -50,12 +55,32 @@ let newton proc kind circuit idx ~gmin ~alpha ~max_iter x0 =
       let m = max_abs delta in
       if Float.is_nan m then raise Diverged;
       let scale = if m > step_limit then step_limit /. m else 1.0 in
+      if scale < 1.0 then Stdlib.incr damped;
       Array.iteri (fun i d -> x.(i) <- x.(i) +. scale *. d) delta;
-      if m *. scale < 1e-9 && max_abs f < 1e-9 then (x, iter + 1)
+      residual := max_abs f;
+      if m *. scale < 1e-9 && !residual < 1e-9 then (x, iter + 1)
       else loop (iter + 1)
     end
   in
-  loop 0
+  if not !Obs.Config.flag then loop 0
+  else
+    Obs.Trace.with_span ~cat:"sim"
+      ~args:[ ("gmin", Obs.Trace.Float gmin); ("alpha", Obs.Trace.Float alpha) ]
+      "dcop.newton"
+      (fun () ->
+        match loop 0 with
+        | x, iters ->
+          Obs.Trace.add_arg "iters" (Obs.Trace.Int iters);
+          Obs.Trace.add_arg "damped_steps" (Obs.Trace.Int !damped);
+          Obs.Trace.add_arg "residual" (Obs.Trace.Float !residual);
+          Obs.Metrics.add "sim.dcop.newton_iters" (float_of_int iters);
+          Obs.Metrics.add "sim.dcop.damped_steps" (float_of_int !damped);
+          Obs.Metrics.set "sim.dcop.exit_residual" !residual;
+          (x, iters)
+        | exception Diverged ->
+          Obs.Trace.add_arg "diverged" (Obs.Trace.Bool true);
+          Obs.Metrics.incr "sim.dcop.diverged_attempts";
+          raise Diverged)
 
 let initial_guess idx guess =
   let n = Indexing.size idx in
@@ -75,6 +100,7 @@ let device_ops_at proc kind circuit volt =
     (Netlist.Circuit.mos_devices circuit)
 
 let solve ?(guess = fun _ -> None) ?(max_iter = 100) ~proc ~kind circuit =
+  Obs.Trace.with_span ~cat:"sim" "dcop.solve" @@ fun () ->
   let idx = Indexing.build circuit in
   let x0 = initial_guess idx guess in
   let total_iters = ref 0 in
@@ -87,6 +113,10 @@ let solve ?(guess = fun _ -> None) ?(max_iter = 100) ~proc ~kind circuit =
   let x =
     try attempt ~gmin:final_gmin ~alpha:1.0 x0
     with Diverged ->
+      Obs.Log.warn (fun m ->
+        m "dcop: Newton diverged on the direct attempt, retrying with gmin \
+           stepping");
+      Obs.Metrics.incr "sim.dcop.gmin_stepping_runs";
       (* gmin stepping: heavy damping to ground first, relaxed gradually;
          each stage starts from the previous stage's solution. *)
       let try_gmin_stepping x0 =
@@ -95,6 +125,9 @@ let solve ?(guess = fun _ -> None) ?(max_iter = 100) ~proc ~kind circuit =
       in
       (try try_gmin_stepping x0
        with Diverged ->
+         Obs.Log.warn (fun m ->
+           m "dcop: gmin stepping diverged, retrying with source stepping");
+         Obs.Metrics.incr "sim.dcop.source_stepping_runs";
          (* source stepping from a de-energised circuit *)
          (try
             let alphas = [ 0.0; 0.1; 0.25; 0.4; 0.55; 0.7; 0.85; 1.0 ] in
@@ -106,12 +139,18 @@ let solve ?(guess = fun _ -> None) ?(max_iter = 100) ~proc ~kind circuit =
             in
             attempt ~gmin:final_gmin ~alpha:1.0 x
           with Diverged ->
+            Obs.Metrics.incr "sim.dcop.failures";
             raise (Phys.Numerics.No_convergence "Dcop.solve: DC analysis failed")))
   in
   let volt node =
     match Indexing.node_index idx node with None -> 0.0 | Some i -> x.(i)
   in
   let ops = device_ops_at proc kind circuit volt in
+  if !Obs.Config.flag then begin
+    Obs.Metrics.incr "sim.dcop.solves";
+    Obs.Trace.add_arg "total_iters" (Obs.Trace.Int !total_iters);
+    Obs.Trace.add_arg "unknowns" (Obs.Trace.Int (Indexing.size idx))
+  end;
   { idx; x; ops; iters = !total_iters; circ = circuit; proc; kind }
 
 let voltage t node =

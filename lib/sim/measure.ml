@@ -1,14 +1,18 @@
 let db x = 20.0 *. log10 (Float.max 1e-300 (Float.abs x))
 
-let magnitude net ~out freq = Complex.norm (Acs.transfer net ~freq ~out)
+let magnitude net ~out freq =
+  if !Obs.Config.flag then Obs.Metrics.incr "sim.measure.points";
+  Complex.norm (Acs.transfer net ~freq ~out)
 
 let phase_deg net ~out freq =
+  if !Obs.Config.flag then Obs.Metrics.incr "sim.measure.points";
   let h = Acs.transfer net ~freq ~out in
   Complex.arg h *. 180.0 /. Float.pi
 
 let dc_gain ?(freq = 1.0) net ~out = magnitude net ~out freq
 
 let unity_gain_freq ?(fmin = 1.0) ?(fmax = 1e11) net ~out =
+  Obs.Trace.with_span ~cat:"sim" "measure.unity_gain_freq" @@ fun () ->
   let g f = log (magnitude net ~out f) in
   if g fmin <= 0.0 then None
   else begin
@@ -50,6 +54,7 @@ let output_resistance ?(freq = 1.0) net ~out =
   Complex.norm (Acs.output_impedance net ~freq ~out)
 
 let bandwidth_3db ?(fmin = 1.0) ?(fmax = 1e11) net ~out =
+  Obs.Trace.with_span ~cat:"sim" "measure.bandwidth_3db" @@ fun () ->
   let a0 = dc_gain ~freq:fmin net ~out in
   let target = a0 /. sqrt 2.0 in
   let g f = magnitude net ~out f -. target in

@@ -64,6 +64,7 @@ type sizes = {
 let rad_to_deg = 180.0 /. Float.pi
 
 let size ~proc ~kind ~spec ~parasitics =
+  Obs.Trace.with_span ~cat:"comdiac" "comdiac.size.folded_cascode" @@ fun () ->
   (match Spec.validate spec with
    | Ok () -> ()
    | Error msg -> failwith ("Folded_cascode.size: " ^ msg));
@@ -116,6 +117,8 @@ let size ~proc ~kind ~spec ~parasitics =
      branch-current ratio and assumed output parasitic capacitance *)
   let cload = spec.Spec.cload in
   let evaluate_plan ~cout_par ~l_casc ~i2_ratio =
+    (* one width/length evaluation pass over every device of the plan *)
+    if !Obs.Config.flag then Obs.Metrics.incr "comdiac.fc.plan_evals";
     let gm1 = 2.0 *. Float.pi *. spec.Spec.gbw *. (cload +. cout_par) in
     (* input-pair width directly from the required gm using the actual
        model (the square-law gm = 2 Id / Veff heuristic under-sizes once
@@ -279,6 +282,13 @@ let size ~proc ~kind ~spec ~parasitics =
   let sizes, i1, i2, fu, pm, gain_db, gm1, _c_out, iters, _l =
     outer ~cout_par:0.0 ~i2_ratio:1.2 ~iter:0
   in
+  if !Obs.Config.flag then begin
+    Obs.Metrics.incr "comdiac.fc.sizings";
+    Obs.Metrics.add "comdiac.fc.outer_iters" (float_of_int iters);
+    Obs.Trace.add_arg "outer_iters" (Obs.Trace.Int iters);
+    Obs.Trace.add_arg "predicted_gbw" (Obs.Trace.Float fu);
+    Obs.Trace.add_arg "predicted_pm" (Obs.Trace.Float pm)
+  end;
   let isink = i1 +. i2 in
   (* bias voltages by model inversion on the final sizes *)
   let vgs_of mtype ~w ~l ~ids ~vds ~vbs =

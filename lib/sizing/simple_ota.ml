@@ -13,6 +13,7 @@ type design = {
 let device_names = [ "M1"; "M2"; "M3"; "M4"; "M5" ]
 
 let size ~proc ~kind ~spec ~parasitics =
+  Obs.Trace.with_span ~cat:"comdiac" "comdiac.size.simple_ota" @@ fun () ->
   (match Spec.validate spec with
    | Ok () -> ()
    | Error msg -> failwith ("Simple_ota.size: " ^ msg));

@@ -11,5 +11,6 @@ let () =
       Suite_layout.suite;
       Suite_sizing.suite;
       Suite_core.suite;
+      Suite_obs.suite;
       Suite_statistics.suite;
     ]

@@ -1,0 +1,222 @@
+(* Telemetry subsystem: spans, metrics, exporters, and the integration
+   with the synthesis flow.
+
+   Every test that enables telemetry restores the disabled state on exit
+   (via [Obs.Config.with_enabled]) so the rest of the suite keeps running
+   with zero-cost instrumentation. *)
+
+open Helpers
+
+let with_telemetry f =
+  Obs.Config.with_enabled true (fun () ->
+    Obs.Trace.reset ();
+    Obs.Metrics.reset ();
+    Fun.protect ~finally:(fun () ->
+      Obs.Trace.reset ();
+      Obs.Metrics.reset ())
+      f)
+
+(* --- spans ----------------------------------------------------------- *)
+
+let test_span_nesting () =
+  with_telemetry (fun () ->
+    Obs.Trace.with_span "outer" (fun () ->
+      Obs.Trace.with_span "inner" (fun () -> ());
+      Obs.Trace.with_span "inner" (fun () -> ()));
+    let spans = Obs.Trace.spans () in
+    Alcotest.(check int) "three spans" 3 (List.length spans);
+    (* completion order: children complete before their parent *)
+    let names = List.map (fun s -> s.Obs.Trace.name) spans in
+    Alcotest.(check (list string)) "completion order"
+      [ "inner"; "inner"; "outer" ] names;
+    let outer = List.nth spans 2 and inner = List.nth spans 0 in
+    Alcotest.(check int) "outer at depth 0" 0 outer.Obs.Trace.depth;
+    Alcotest.(check int) "inner at depth 1" 1 inner.Obs.Trace.depth;
+    if inner.Obs.Trace.ts_us < outer.Obs.Trace.ts_us then
+      Alcotest.fail "child started before parent";
+    if
+      inner.Obs.Trace.ts_us +. inner.Obs.Trace.dur_us
+      > outer.Obs.Trace.ts_us +. outer.Obs.Trace.dur_us +. 1.0
+    then Alcotest.fail "child outlived parent";
+    Alcotest.(check int) "stack rebalanced" 0 (Obs.Trace.open_depth ()))
+
+let test_span_exception () =
+  with_telemetry (fun () ->
+    (try
+       Obs.Trace.with_span "boom" (fun () -> failwith "expected")
+     with Failure _ -> ());
+    match Obs.Trace.spans () with
+    | [ s ] ->
+      Alcotest.(check bool) "error arg recorded" true
+        (List.mem_assoc "error" s.Obs.Trace.args);
+      Alcotest.(check int) "no dangling open span" 0 (Obs.Trace.open_depth ())
+    | spans -> Alcotest.failf "expected 1 span, got %d" (List.length spans))
+
+let test_span_args () =
+  with_telemetry (fun () ->
+    Obs.Trace.with_span ~args:[ ("k", Obs.Trace.Int 1) ] "s" (fun () ->
+      Obs.Trace.add_arg "late" (Obs.Trace.Float 2.5));
+    match Obs.Trace.spans () with
+    | [ s ] ->
+      Alcotest.(check bool) "initial arg" true
+        (List.mem_assoc "k" s.Obs.Trace.args);
+      Alcotest.(check bool) "late arg" true
+        (List.mem_assoc "late" s.Obs.Trace.args)
+    | _ -> Alcotest.fail "expected exactly one span")
+
+(* --- metrics --------------------------------------------------------- *)
+
+let test_counter_accumulation () =
+  with_telemetry (fun () ->
+    Obs.Metrics.incr "c";
+    Obs.Metrics.incr ~by:2.0 "c";
+    Obs.Metrics.add "c" 3.0;
+    check_close "counter accumulates" 6.0 (Obs.Metrics.counter "c");
+    Obs.Metrics.set "g" 1.0;
+    Obs.Metrics.set "g" 4.0;
+    (match Obs.Metrics.gauge "g" with
+     | Some v -> check_close "gauge last-write-wins" 4.0 v
+     | None -> Alcotest.fail "gauge missing");
+    List.iter (Obs.Metrics.observe "h") [ 1.0; 2.0; 3.0 ];
+    (match Obs.Metrics.hist_stats "h" with
+     | Some st ->
+       Alcotest.(check int) "hist count" 3 st.Obs.Metrics.count;
+       check_close "hist mean" 2.0 st.Obs.Metrics.mean;
+       check_close "hist min" 1.0 st.Obs.Metrics.min;
+       check_close "hist max" 3.0 st.Obs.Metrics.max
+     | None -> Alcotest.fail "histogram missing");
+    Alcotest.(check (list (float 1e-9))) "ordered series" [ 1.0; 2.0; 3.0 ]
+      (Obs.Metrics.values "h"))
+
+let test_disabled_noop () =
+  (* the suite runs with telemetry off; nothing must be recorded *)
+  Alcotest.(check bool) "disabled by default" false (Obs.Config.enabled ());
+  Obs.Trace.reset ();
+  Obs.Metrics.reset ();
+  Obs.Trace.with_span "ghost" (fun () -> Obs.Metrics.incr "ghost");
+  Obs.Metrics.observe "ghost_h" 1.0;
+  Alcotest.(check int) "no spans recorded" 0 (Obs.Trace.span_count ());
+  check_close "no counter recorded" 0.0 (Obs.Metrics.counter "ghost");
+  Alcotest.(check int) "no metrics recorded" 0
+    (List.length (Obs.Metrics.snapshot ()));
+  (* with_span must still return f's value and propagate exceptions *)
+  Alcotest.(check int) "transparent return" 7
+    (Obs.Trace.with_span "ghost" (fun () -> 7))
+
+(* --- JSON round-trip ------------------------------------------------- *)
+
+let parse_ok s =
+  match Obs.Json.parse s with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "JSON parse error: %s" e
+
+let test_json_parser () =
+  let j = parse_ok {|{"a": [1, -2.5e1, true, null], "b\n": "xé"}|} in
+  (match Obs.Json.member "a" j with
+   | Some (Obs.Json.Arr [ Num a; Num b; Bool true; Null ]) ->
+     check_close "num" 1.0 a;
+     check_close "neg exp num" (-25.0) b
+   | _ -> Alcotest.fail "array member mismatch");
+  (match Obs.Json.member "b\n" j with
+   | Some (Obs.Json.Str s) -> Alcotest.(check string) "escapes" "x\xc3\xa9" s
+   | _ -> Alcotest.fail "escaped key missing");
+  (* emitter output must re-parse to the same value *)
+  Alcotest.(check bool) "round trip" true
+    (parse_ok (Obs.Json.to_string j) = j);
+  match Obs.Json.parse "{\"trailing\": 1" with
+  | Ok _ -> Alcotest.fail "accepted truncated document"
+  | Error _ -> ()
+
+let test_chrome_trace_round_trip () =
+  with_telemetry (fun () ->
+    Obs.Trace.with_span ~cat:"test"
+      ~args:[ ("iters", Obs.Trace.Int 3) ]
+      "parent"
+      (fun () -> Obs.Trace.with_span "child" (fun () -> ()));
+    Obs.Metrics.incr "events";
+    let doc = parse_ok (Obs.Reporter.trace_json_string ()) in
+    let events =
+      match Option.bind (Obs.Json.member "traceEvents" doc) Obs.Json.to_list with
+      | Some l -> l
+      | None -> Alcotest.fail "traceEvents missing"
+    in
+    Alcotest.(check int) "one event per span" 2 (List.length events);
+    List.iter
+      (fun ev ->
+        (match Option.bind (Obs.Json.member "ph" ev) Obs.Json.to_str with
+         | Some "X" -> ()
+         | _ -> Alcotest.fail "expected complete events (ph = X)");
+        List.iter
+          (fun field ->
+            match Option.bind (Obs.Json.member field ev) Obs.Json.to_float with
+            | Some v when v >= 0.0 -> ()
+            | _ -> Alcotest.failf "field %s missing or negative" field)
+          [ "ts"; "dur"; "pid"; "tid" ])
+      events;
+    let names =
+      List.filter_map
+        (fun ev -> Option.bind (Obs.Json.member "name" ev) Obs.Json.to_str)
+        events
+    in
+    Alcotest.(check bool) "span names exported" true
+      (List.mem "parent" names && List.mem "child" names);
+    let parent =
+      List.find
+        (fun ev ->
+          Option.bind (Obs.Json.member "name" ev) Obs.Json.to_str
+          = Some "parent")
+        events
+    in
+    (match
+       Option.bind (Obs.Json.member "args" parent) (Obs.Json.member "iters")
+     with
+     | Some (Obs.Json.Num n) -> check_close "span arg exported" 3.0 n
+     | _ -> Alcotest.fail "span args missing from event");
+    match
+      Option.bind (Obs.Json.member "otherData" doc) (fun m ->
+        Option.bind (Obs.Json.member "events" m) (Obs.Json.member "value"))
+    with
+    | Some (Obs.Json.Num n) -> check_close "metrics in otherData" 1.0 n
+    | _ -> Alcotest.fail "metrics snapshot missing from otherData")
+
+(* --- flow integration ------------------------------------------------ *)
+
+let test_flow_emits_telemetry () =
+  with_telemetry (fun () ->
+    let proc = Technology.Process.c06 in
+    let kind = Device.Model.Level1 in
+    let spec = Comdiac.Spec.paper_ota in
+    let r = Core.Flow.run ~proc ~kind ~spec Core.Flow.Case3 in
+    let layout_spans =
+      List.filter
+        (fun s -> s.Obs.Trace.name = "flow.layout_call")
+        (Obs.Trace.spans ())
+    in
+    Alcotest.(check bool) "at least one span per layout call" true
+      (List.length layout_spans >= r.Core.Flow.layout_calls
+       && r.Core.Flow.layout_calls > 0);
+    Alcotest.(check int) "trajectory matches telemetry series"
+      (List.length r.Core.Flow.trajectory)
+      (List.length (Obs.Metrics.values "flow.parasitic_delta"));
+    Alcotest.(check bool) "Newton iterations counted" true
+      (Obs.Metrics.counter "sim.dcop.newton_iters" > 0.0);
+    Alcotest.(check bool) "sizing passes counted" true
+      (Obs.Metrics.counter "flow.sizing_passes" > 0.0);
+    match r.Core.Flow.trajectory with
+    | [] -> Alcotest.fail "case 3 must iterate at least once"
+    | deltas ->
+      check_in_range "loop exits converged" 0.0 0.02
+        (List.nth deltas (List.length deltas - 1)))
+
+let suite =
+  ( "obs",
+    [
+      case "span nesting and ordering" test_span_nesting;
+      case "span survives exceptions" test_span_exception;
+      case "span arguments" test_span_args;
+      case "counter/gauge/histogram accumulation" test_counter_accumulation;
+      case "disabled telemetry records nothing" test_disabled_noop;
+      case "json parser" test_json_parser;
+      case "chrome trace round-trip" test_chrome_trace_round_trip;
+      case "flow emits spans and trajectory" test_flow_emits_telemetry;
+    ] )
