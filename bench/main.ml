@@ -5,6 +5,11 @@
      dune exec bench/main.exe table1     -- one experiment
      experiments: table1 fig1 fig2 fig3 fig4 fig5 ablation statistics timing
 
+   [timing] additionally compares sequential vs domain-pool wall-clock
+   for the embarrassingly parallel workloads (Monte Carlo, corner sweep,
+   flow cases); pass [--json FILE] to dump those measurements as a
+   machine-readable file (used by CI as BENCH_timing.json).
+
    Absolute numbers come from this repository's synthetic 0.6 um process
    and in-house simulator, so only the *shape* of each result is expected
    to match the paper (see EXPERIMENTS.md). *)
@@ -24,11 +29,7 @@ let section title =
 (* Table 1                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let flow_results =
-  lazy
-    (List.map
-       (fun case -> Core.Flow.run ~proc ~kind ~spec case)
-       Core.Flow.all_cases)
+let flow_results = lazy (Core.Flow.run_all ~proc ~kind ~spec ())
 
 let table1 () =
   section "Table 1 - sizing, layout and simulation results (paper vs this repo)";
@@ -323,6 +324,63 @@ let bechamel_run name fn =
       | Some _ | None -> Format.printf "  %-36s (no estimate)@." name)
     results
 
+(* seq-vs-parallel wall-clock records accumulated by [timing], dumped by
+   [--json FILE] *)
+let timing_records : Obs.Json.t list ref = ref []
+
+let compare_seq_par ~name ~jobs run =
+  let wall f =
+    let t0 = Obs.Clock.now_s () in
+    ignore (f ());
+    Obs.Clock.now_s () -. t0
+  in
+  let seq_s = wall (fun () -> run 1) in
+  let par_s = wall (fun () -> run jobs) in
+  let speedup = seq_s /. Float.max 1e-9 par_s in
+  Format.printf "  %-28s seq %7.2f s   par(%d jobs) %7.2f s   speedup %.2fx@."
+    name seq_s jobs par_s speedup;
+  timing_records :=
+    Obs.Json.Obj
+      [
+        ("name", Obs.Json.Str name);
+        ("jobs", Obs.Json.Num (float_of_int jobs));
+        ("seq_s", Obs.Json.Num seq_s);
+        ("par_s", Obs.Json.Num par_s);
+        ("speedup", Obs.Json.Num speedup);
+      ]
+    :: !timing_records
+
+let timing_parallel () =
+  section "Timing - sequential vs parallel (domain pool)";
+  let jobs = max 2 (Par.Pool.default_jobs ()) in
+  Format.printf
+    "pool: %d jobs (LOSAC_JOBS to override); %d core(s) recommended by the \
+     runtime@."
+    jobs
+    (Domain.recommended_domain_count ());
+  let design =
+    Comdiac.Folded_cascode.size ~proc ~kind ~spec
+      ~parasitics:Comdiac.Parasitics.single_fold
+  in
+  let amp = design.Comdiac.Folded_cascode.amp in
+  compare_seq_par ~name:"monte carlo (n=200)" ~jobs (fun j ->
+    Comdiac.Montecarlo.run ~n:200 ~jobs:j ~proc ~kind ~spec amp);
+  let temperatures =
+    List.map Technology.Corner.celsius [ -40.0; 0.0; 27.0; 55.0; 85.0 ]
+  in
+  compare_seq_par ~name:"corner sweep (25 points)" ~jobs (fun j ->
+    Comdiac.Robustness.run ~corners:Technology.Corner.all ~temperatures
+      ~jobs:j ~proc ~kind ~spec amp);
+  compare_seq_par ~name:"flow cases (table 1)" ~jobs (fun j ->
+    Core.Flow.run_all ~jobs:j ~proc ~kind ~spec ());
+  Format.printf
+    "@.pool after warm-up: %d worker domain(s), queue depth %d@."
+    (Par.Pool.num_workers ()) (Par.Pool.queue_depth ());
+  Format.printf
+    "determinism: the parallel runs above return bit-identical results \
+     to the sequential ones (per-sample SplitMix64 streams; ordered \
+     chunk reassembly).@."
+
 let timing () =
   section "Timing - tool performance (paper bound: sizing < 2 minutes)";
   let design =
@@ -388,7 +446,8 @@ let timing () =
       (Obs.Reporter.metrics_table ());
     Format.printf "@.span roll-up:@.%s" (Obs.Reporter.spans_table ());
     Obs.Trace.reset ();
-    Obs.Metrics.reset ())
+    Obs.Metrics.reset ());
+  timing_parallel ()
 
 (* ------------------------------------------------------------------ *)
 (* Statistics - the paper's reliability verification interface          *)
@@ -433,12 +492,30 @@ let experiments =
     ("timing", timing);
   ]
 
-let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | [ _ ] | [] -> List.map fst experiments
+let write_timing_json path =
+  let doc =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.Str "losac.bench.timing/1");
+        ("experiments", Obs.Json.Arr (List.rev !timing_records));
+      ]
   in
+  Out_channel.with_open_text path (fun oc ->
+    output_string oc (Obs.Json.to_string doc);
+    output_char oc '\n');
+  Format.printf "wrote timing records to %s@." path
+
+let () =
+  let rec split names json = function
+    | [] -> (List.rev names, json)
+    | "--json" :: path :: rest -> split names (Some path) rest
+    | [ "--json" ] ->
+      prerr_endline "bench: --json needs a file argument";
+      exit 2
+    | name :: rest -> split (name :: names) json rest
+  in
+  let names, json = split [] None (List.tl (Array.to_list Sys.argv)) in
+  let requested = if names = [] then List.map fst experiments else names in
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
@@ -446,4 +523,5 @@ let () =
       | None ->
         Format.printf "unknown experiment %s (have: %s)@." name
           (String.concat " " (List.map fst experiments)))
-    requested
+    requested;
+  Option.iter write_timing_json json

@@ -37,6 +37,19 @@ let proc_arg =
   Arg.(value & opt proc_conv Technology.Process.c06
        & info [ "tech" ] ~docv:"NAME" ~doc:"Technology (c06 or c035).")
 
+(* --- parallelism ------------------------------------------------------ *)
+
+let jobs_term =
+  let doc =
+    "Worker domains for parallel sections (Monte Carlo sampling, \
+     corner/temperature sweeps, multi-case synthesis).  Results are \
+     bit-identical whatever the value; 1 disables parallelism.  Defaults \
+     to the machine's recommended domain count."
+  in
+  Arg.(value
+       & opt (some int) None
+       & info [ "j"; "jobs" ] ~docv:"N" ~env:(Cmd.Env.info "LOSAC_JOBS") ~doc)
+
 (* --- telemetry and logging ------------------------------------------- *)
 
 type telemetry = { trace : string option; metrics : bool }
@@ -63,7 +76,7 @@ let telemetry_term =
                    $(b,-vv) debug).  Warnings (e.g. Newton \
                    divergence-and-retry) print by default.")
   in
-  let setup trace metrics verbose =
+  let setup trace metrics verbose jobs =
     Fmt_tty.setup_std_outputs ();
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level
@@ -72,9 +85,10 @@ let telemetry_term =
        | 1 -> Some Logs.Info
        | _ -> Some Logs.Debug);
     if trace <> None || metrics then Obs.Config.set_enabled true;
+    Option.iter Par.Pool.set_default_jobs jobs;
     { trace; metrics }
   in
-  Term.(const setup $ trace $ metrics $ verbose)
+  Term.(const setup $ trace $ metrics $ verbose $ jobs_term)
 
 (* Emit whatever telemetry the flags requested, after the command ran. *)
 let telemetry_finish tele =

@@ -1,4 +1,6 @@
 module FC = Comdiac.Folded_cascode
+(* bound before [Par] below shadows the par library *)
+module Pool = Par.Pool
 module Par = Comdiac.Parasitics
 module Plan = Cairo_layout.Plan
 module El = Netlist.Element
@@ -201,5 +203,6 @@ let run ?(options = Layout_bridge.default_options) ~proc ~kind ~spec case =
     elapsed = Obs.Clock.now_s () -. t0;
   }
 
-let run_all ?options ~proc ~kind ~spec () =
-  List.map (fun case -> run ?options ~proc ~kind ~spec case) all_cases
+let run_all ?options ?jobs ~proc ~kind ~spec () =
+  (* the four Table-1 cases are independent end-to-end syntheses *)
+  Pool.map ?jobs (fun case -> run ?options ~proc ~kind ~spec case) all_cases

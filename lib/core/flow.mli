@@ -60,7 +60,12 @@ val run :
 
 val run_all :
   ?options:Layout_bridge.options ->
+  ?jobs:int ->
   proc:Technology.Process.t ->
   kind:Device.Model.kind ->
   spec:Comdiac.Spec.t ->
   unit -> result list
+(** All four cases, in case order, run across the {!Par.Pool} domain
+    pool ([jobs] defaults to {!Par.Pool.default_jobs}).  Each case is an
+    independent synthesis, so the results are identical to four
+    sequential {!run} calls. *)

@@ -90,9 +90,15 @@ let optimize ?max_w ?max_h ?aspect t =
     end;
     Some (placements, (pt.Shape.w, pt.Shape.h))
 
-let rec leaves = function
-  | Leaf (p, _) -> [ p ]
-  | H (a, b) | V (a, b) -> leaves a @ leaves b
+(* accumulator-passing traversal: linear in the number of nodes, where
+   repeated [leaves a @ leaves b] was quadratic on left-deep trees *)
+let leaves t =
+  let rec go t acc =
+    match t with
+    | Leaf (p, _) -> p :: acc
+    | H (a, b) | V (a, b) -> go a (go b acc)
+  in
+  go t []
 
 let enumerate_area_brute_force t =
   (* Returns min area over all combinations by enumerating full (w, h)

@@ -28,7 +28,17 @@ let counters : (string, float ref) Hashtbl.t = Hashtbl.create 32
 let gauges : (string, float ref) Hashtbl.t = Hashtbl.create 32
 let hists : (string, hist) Hashtbl.t = Hashtbl.create 32
 
+(* instrumented code runs on pool worker domains (lib/par); one mutex
+   guards all three tables and the records they hold.  It is only taken
+   when telemetry is enabled. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let reset () =
+  locked @@ fun () ->
   Hashtbl.reset counters;
   Hashtbl.reset gauges;
   Hashtbl.reset hists
@@ -42,21 +52,22 @@ let find_ref tbl name =
     r
 
 let add name by =
-  if !Config.flag then begin
+  if !Config.flag then
+    locked @@ fun () ->
     let r = find_ref counters name in
     r := !r +. by
-  end
 
 let incr ?(by = 1.0) name = add name by
 
 let set name v =
-  if !Config.flag then begin
+  if !Config.flag then
+    locked @@ fun () ->
     let r = find_ref gauges name in
     r := v
-  end
 
 let observe name v =
-  if !Config.flag then begin
+  if !Config.flag then
+    locked @@ fun () ->
     let h =
       match Hashtbl.find_opt hists name with
       | Some h -> h
@@ -73,12 +84,13 @@ let observe name v =
     if v < h.h_min then h.h_min <- v;
     if v > h.h_max then h.h_max <- v;
     if h.h_count <= max_hist_values then h.h_values <- v :: h.h_values
-  end
 
 let counter name =
+  locked @@ fun () ->
   match Hashtbl.find_opt counters name with Some r -> !r | None -> 0.0
 
 let gauge name =
+  locked @@ fun () ->
   match Hashtbl.find_opt gauges name with Some r -> Some !r | None -> None
 
 let stats_of h =
@@ -91,11 +103,13 @@ let stats_of h =
   }
 
 let hist_stats name =
+  locked @@ fun () ->
   match Hashtbl.find_opt hists name with
   | Some h -> Some (stats_of h)
   | None -> None
 
 let values name =
+  locked @@ fun () ->
   match Hashtbl.find_opt hists name with
   | Some h -> List.rev h.h_values
   | None -> []
@@ -106,6 +120,7 @@ type item =
   | Hist of string * hstats * float list
 
 let snapshot () =
+  locked @@ fun () ->
   let items = ref [] in
   Hashtbl.iter (fun name r -> items := Counter (name, !r) :: !items) counters;
   Hashtbl.iter (fun name r -> items := Gauge (name, !r) :: !items) gauges;

@@ -6,7 +6,13 @@
    across library boundaries (a sizing span contains simulator spans).
 
    Everything is a no-op while [Config.flag] is false; the only cost at an
-   instrumented call site is the flag read. *)
+   instrumented call site is the flag read.
+
+   Domain safety: spans may be opened and closed from pool worker domains
+   (lib/par runs instrumented simulator code on them).  The open-span
+   stack is domain-local state — nesting is a property of one domain's
+   call tree — while the completed-span store is shared and guarded by a
+   mutex taken only on span close, never while user code runs. *)
 
 type arg =
   | Str of string
@@ -31,57 +37,73 @@ type open_span = {
 }
 
 (* completed spans in reverse completion order; bounded so a runaway loop
-   cannot exhaust memory *)
+   cannot exhaust memory.  Shared across domains, guarded by [lock]. *)
 let completed : span list ref = ref []
-let stack : open_span list ref = ref []
 let count = ref 0
 let dropped = ref 0
 let max_spans = 200_000
+let lock = Mutex.create ()
+
+(* the open-span stack is per-domain: nesting depth describes one
+   domain's call tree *)
+let stack_key : open_span list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let stack () = Domain.DLS.get stack_key
 
 let reset () =
+  Mutex.lock lock;
   completed := [];
-  stack := [];
   count := 0;
-  dropped := 0
+  dropped := 0;
+  Mutex.unlock lock;
+  stack () := []
 
 let begin_span ?(cat = "losac") name =
-  if !Config.flag then
+  if !Config.flag then begin
+    let stack = stack () in
     stack :=
       { o_name = name; o_cat = cat; o_ts = Clock.since_start_us (); o_args = [] }
       :: !stack
+  end
 
 let add_arg key value =
   if !Config.flag then
-    match !stack with
+    match !(stack ()) with
     | s :: _ -> s.o_args <- (key, value) :: s.o_args
     | [] -> ()
 
 let end_span () =
-  if !Config.flag then
+  if !Config.flag then begin
+    let stack = stack () in
     match !stack with
     | [] -> ()
     | s :: rest ->
       stack := rest;
+      let span =
+        {
+          name = s.o_name;
+          cat = s.o_cat;
+          ts_us = s.o_ts;
+          dur_us = Clock.since_start_us () -. s.o_ts;
+          depth = List.length rest;
+          args = List.rev s.o_args;
+        }
+      in
+      Mutex.lock lock;
       if !count >= max_spans then incr dropped
       else begin
         incr count;
-        completed :=
-          {
-            name = s.o_name;
-            cat = s.o_cat;
-            ts_us = s.o_ts;
-            dur_us = Clock.since_start_us () -. s.o_ts;
-            depth = List.length rest;
-            args = List.rev s.o_args;
-          }
-          :: !completed
-      end
+        completed := span :: !completed
+      end;
+      Mutex.unlock lock
+  end
 
 let with_span ?cat ?(args = []) name f =
   if not !Config.flag then f ()
   else begin
     begin_span ?cat name;
-    (match !stack with s :: _ -> s.o_args <- List.rev args | [] -> ());
+    (match !(stack ()) with s :: _ -> s.o_args <- List.rev args | [] -> ());
     match f () with
     | v ->
       end_span ();
@@ -92,13 +114,17 @@ let with_span ?cat ?(args = []) name f =
       raise e
   end
 
-let spans () = List.rev !completed
+let spans () =
+  Mutex.lock lock;
+  let l = !completed in
+  Mutex.unlock lock;
+  List.rev l
 
 let span_count () = !count
 
 let dropped_count () = !dropped
 
-let open_depth () = List.length !stack
+let open_depth () = List.length !(stack ())
 
 let arg_to_json = function
   | Str s -> Json.Str s

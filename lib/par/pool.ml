@@ -1,0 +1,320 @@
+(* A fixed pool of OCaml 5 domains with a shared FIFO work queue.
+
+   Design notes:
+
+   - Workers are spawned once (growing monotonically up to [max_workers])
+     and reused for every subsequent batch; there is no spawn-per-task.
+
+   - The submitting domain *helps*: after enqueueing a batch it drains the
+     queue itself until the batch completes.  Correctness therefore never
+     depends on workers existing — if [Domain.spawn] fails (or the pool
+     has fewer workers than requested) the batch still completes, just
+     with less parallelism.  This is also what makes nested [map] calls
+     from inside a task deadlock-free: every waiter is a worker.
+
+   - Determinism: all combinators split the input into contiguous chunks
+     whose boundaries depend only on [(n, jobs, chunk)], enqueue them in
+     index order and reassemble results by chunk index.  The schedule can
+     never reorder results.
+
+   - A task that raises does not wedge anything: the exception is caught,
+     the batch runs to completion, and the first exception (in completion
+     order) is re-raised with its backtrace on the submitting domain.
+
+   - Telemetry: each chunk runs inside a [par.task] span (chunk bounds and
+     executing domain as arguments), counted by the [par.tasks] metric;
+     the queue depth observed at every batch submission is the
+     [par.queue_depth] histogram. *)
+
+type task = unit -> unit
+
+type pool = {
+  mutex : Mutex.t;
+  has_work : Condition.t;
+  queue : task Queue.t;
+  mutable workers : unit Domain.t list;
+  mutable stop : bool;
+}
+
+(* --- pool sizing ------------------------------------------------------ *)
+
+let jobs_from_env () =
+  match Sys.getenv_opt "LOSAC_JOBS" with
+  | None -> None
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> Some n
+     | Some _ | None -> None)
+
+let requested_default = ref None
+
+let set_default_jobs n = requested_default := Some (max 1 n)
+
+let default_jobs () =
+  match !requested_default with
+  | Some n -> n
+  | None ->
+    (match jobs_from_env () with
+     | Some n -> n
+     | None -> Domain.recommended_domain_count ())
+
+(* OCaml's runtime degrades well past the core count but hard-caps the
+   domain count; stay far below the cap. *)
+let max_workers = 62
+
+(* --- workers ---------------------------------------------------------- *)
+
+let rec worker_loop p =
+  Mutex.lock p.mutex;
+  while Queue.is_empty p.queue && not p.stop do
+    Condition.wait p.has_work p.mutex
+  done;
+  if Queue.is_empty p.queue then Mutex.unlock p.mutex (* stop requested *)
+  else begin
+    let task = Queue.pop p.queue in
+    Mutex.unlock p.mutex;
+    (* batch wrappers never raise, but a stray exception must not kill
+       the worker domain *)
+    (try task () with _ -> ());
+    worker_loop p
+  end
+
+let the_pool : pool option ref = ref None
+
+(* guards [the_pool] creation and worker growth *)
+let pool_lock = Mutex.create ()
+
+let shutdown_registered = ref false
+
+let shutdown () =
+  match !the_pool with
+  | None -> ()
+  | Some p ->
+    Mutex.lock p.mutex;
+    p.stop <- true;
+    Condition.broadcast p.has_work;
+    Mutex.unlock p.mutex;
+    List.iter Domain.join p.workers;
+    p.workers <- [];
+    the_pool := None
+
+(* Returns the pool, spawning workers until it has at least
+   [min (target, max_workers)] of them.  Spawn failure is graceful: the
+   pool keeps whatever workers it already has and the caller-helps
+   execution model picks up the slack. *)
+let ensure_workers target =
+  Mutex.lock pool_lock;
+  let p =
+    match !the_pool with
+    | Some p -> p
+    | None ->
+      let p =
+        {
+          mutex = Mutex.create ();
+          has_work = Condition.create ();
+          queue = Queue.create ();
+          workers = [];
+          stop = false;
+        }
+      in
+      the_pool := Some p;
+      if not !shutdown_registered then begin
+        shutdown_registered := true;
+        (* idle workers block in [Condition.wait]; join them before the
+           runtime tears down *)
+        at_exit shutdown
+      end;
+      p
+  in
+  let target = min target max_workers in
+  (try
+     while List.length p.workers < target do
+       p.workers <- Domain.spawn (fun () -> worker_loop p) :: p.workers
+     done
+   with _ -> ());
+  Mutex.unlock pool_lock;
+  p
+
+let num_workers () =
+  match !the_pool with None -> 0 | Some p -> List.length p.workers
+
+let queue_depth () =
+  match !the_pool with
+  | None -> 0
+  | Some p ->
+    Mutex.lock p.mutex;
+    let d = Queue.length p.queue in
+    Mutex.unlock p.mutex;
+    d
+
+(* --- batches ---------------------------------------------------------- *)
+
+type batch = {
+  b_mutex : Mutex.t;
+  b_done : Condition.t;
+  mutable remaining : int;
+  mutable failed : (exn * Printexc.raw_backtrace) option;
+}
+
+let try_pop p =
+  Mutex.lock p.mutex;
+  let t = if Queue.is_empty p.queue then None else Some (Queue.pop p.queue) in
+  Mutex.unlock p.mutex;
+  t
+
+(* Enqueue [thunks] in index order, help drain the queue, wait for the
+   batch to complete, re-raise the first recorded exception. *)
+let run_batch p thunks =
+  let b =
+    {
+      b_mutex = Mutex.create ();
+      b_done = Condition.create ();
+      remaining = Array.length thunks;
+      failed = None;
+    }
+  in
+  let wrap thunk () =
+    (try thunk ()
+     with e ->
+       let bt = Printexc.get_raw_backtrace () in
+       Mutex.lock b.b_mutex;
+       if b.failed = None then b.failed <- Some (e, bt);
+       Mutex.unlock b.b_mutex);
+    Mutex.lock b.b_mutex;
+    b.remaining <- b.remaining - 1;
+    if b.remaining = 0 then Condition.broadcast b.b_done;
+    Mutex.unlock b.b_mutex
+  in
+  Mutex.lock p.mutex;
+  let depth = Queue.length p.queue + Array.length thunks in
+  Array.iter (fun t -> Queue.push (wrap t) p.queue) thunks;
+  Condition.broadcast p.has_work;
+  Mutex.unlock p.mutex;
+  if !Obs.Config.flag then
+    Obs.Metrics.observe "par.queue_depth" (float_of_int depth);
+  let rec help () =
+    match try_pop p with
+    | Some task ->
+      task ();
+      help ()
+    | None -> ()
+  in
+  help ();
+  Mutex.lock b.b_mutex;
+  while b.remaining > 0 do
+    Condition.wait b.b_done b.b_mutex
+  done;
+  let failed = b.failed in
+  Mutex.unlock b.b_mutex;
+  match failed with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+(* --- chunking --------------------------------------------------------- *)
+
+(* contiguous chunk [i] of [0..n-1] split into [chunks] parts: sizes
+   differ by at most one, boundaries depend only on (n, chunks) *)
+let chunk_bounds ~n ~chunks i =
+  let base = n / chunks and extra = n mod chunks in
+  let lo = (i * base) + min i extra in
+  let hi = lo + base + if i < extra then 1 else 0 in
+  (lo, hi)
+
+let instrumented ~chunk ~lo ~hi body =
+  if not !Obs.Config.flag then body ()
+  else begin
+    Obs.Metrics.incr "par.tasks";
+    Obs.Trace.with_span ~cat:"par"
+      ~args:
+        [
+          ("chunk", Obs.Trace.Int chunk);
+          ("lo", Obs.Trace.Int lo);
+          ("hi", Obs.Trace.Int hi);
+          ("domain", Obs.Trace.Int (Domain.self () :> int));
+        ]
+      "par.task" body
+  end
+
+let resolve_jobs jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ())
+
+(* --- combinators ------------------------------------------------------ *)
+
+let map_array ?jobs f xs =
+  let n = Array.length xs in
+  let jobs = min (resolve_jobs jobs) n in
+  if jobs <= 1 then Array.map f xs
+  else begin
+    let p = ensure_workers (jobs - 1) in
+    let chunks = jobs in
+    let out = Array.make chunks [||] in
+    let thunks =
+      Array.init chunks (fun ci () ->
+        let lo, hi = chunk_bounds ~n ~chunks ci in
+        instrumented ~chunk:ci ~lo ~hi (fun () ->
+          out.(ci) <- Array.init (hi - lo) (fun k -> f xs.(lo + k))))
+    in
+    run_batch p thunks;
+    Array.concat (Array.to_list out)
+  end
+
+let map ?jobs f xs = Array.to_list (map_array ?jobs f (Array.of_list xs))
+
+let map_reduce ?jobs ~map:fm ~reduce init xs =
+  match xs with
+  | [] -> init
+  | _ ->
+    let xs = Array.of_list xs in
+    let n = Array.length xs in
+    let jobs = min (resolve_jobs jobs) n in
+    if jobs <= 1 then
+      Array.fold_left (fun acc x -> reduce acc (fm x)) init xs
+    else begin
+      let p = ensure_workers (jobs - 1) in
+      let chunks = jobs in
+      let out = Array.make chunks None in
+      let thunks =
+        Array.init chunks (fun ci () ->
+          let lo, hi = chunk_bounds ~n ~chunks ci in
+          instrumented ~chunk:ci ~lo ~hi (fun () ->
+            let acc = ref (fm xs.(lo)) in
+            for i = lo + 1 to hi - 1 do
+              acc := reduce !acc (fm xs.(i))
+            done;
+            out.(ci) <- Some !acc))
+      in
+      run_batch p thunks;
+      Array.fold_left
+        (fun acc r -> reduce acc (Option.get r))
+        init out
+    end
+
+let parallel_for ?jobs ?chunk n body =
+  if n > 0 then begin
+    let jobs = min (resolve_jobs jobs) n in
+    if jobs <= 1 then
+      for i = 0 to n - 1 do
+        body i
+      done
+    else begin
+      let p = ensure_workers (jobs - 1) in
+      let chunk_size =
+        match chunk with
+        | Some c -> max 1 c
+        | None ->
+          (* a few chunks per worker for load balance; boundaries still
+             depend only on (n, jobs) *)
+          max 1 ((n + (4 * jobs) - 1) / (4 * jobs))
+      in
+      let chunks = (n + chunk_size - 1) / chunk_size in
+      let thunks =
+        Array.init chunks (fun ci () ->
+          let lo = ci * chunk_size in
+          let hi = min n (lo + chunk_size) in
+          instrumented ~chunk:ci ~lo ~hi (fun () ->
+            for i = lo to hi - 1 do
+              body i
+            done))
+      in
+      run_batch p thunks
+    end
+  end

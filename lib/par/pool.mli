@@ -1,0 +1,60 @@
+(** A fixed pool of OCaml 5 domains for embarrassingly parallel sections.
+
+    The pool is created lazily on the first parallel call and reused for
+    the life of the process — tasks never spawn domains.  The submitting
+    domain participates in draining the work queue, so every combinator
+    is correct (just sequential) when the pool has no workers, when
+    [jobs = 1], or when [Domain.spawn] fails.
+
+    {b Determinism.}  Inputs are split into contiguous chunks whose
+    boundaries depend only on the input length and [jobs]; results are
+    reassembled by chunk index.  [map] and [parallel_for] therefore
+    produce results identical to their sequential counterparts for pure
+    [f], regardless of scheduling.
+
+    {b Exceptions.}  If a task raises, the batch still runs to
+    completion (the pool is never wedged) and the first recorded
+    exception is re-raised on the calling domain.
+
+    {b Telemetry.}  When {!Obs.Config} is enabled, every chunk runs in a
+    [par.task] span carrying its bounds and executing domain, the
+    [par.tasks] counter counts chunks and [par.queue_depth] records the
+    queue depth seen at each batch submission. *)
+
+val default_jobs : unit -> int
+(** Resolution order: {!set_default_jobs}, then the [LOSAC_JOBS]
+    environment variable, then [Domain.recommended_domain_count ()]. *)
+
+val set_default_jobs : int -> unit
+(** Override the default parallelism (clamped to at least 1).  Wired to
+    the [-j]/[--jobs] CLI options. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map.  [jobs] defaults to
+    {!default_jobs}[ ()]; [~jobs:1] runs sequentially without touching
+    the pool. *)
+
+val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+
+val map_reduce :
+  ?jobs:int -> map:('a -> 'b) -> reduce:('b -> 'b -> 'b) -> 'b -> 'a list -> 'b
+(** [map_reduce ~map ~reduce init xs] folds [reduce] over the mapped
+    elements.  Chunk-internal results are combined in chunk order, so
+    the result is deterministic for a given [jobs]; it equals the
+    sequential fold whenever [reduce] is associative. *)
+
+val parallel_for : ?jobs:int -> ?chunk:int -> int -> (int -> unit) -> unit
+(** [parallel_for n body] runs [body i] for every [i] in [0 .. n-1],
+    partitioned into contiguous chunks of [chunk] indices (default: a
+    few chunks per worker).  Each index is executed exactly once;
+    indices within a chunk run in increasing order. *)
+
+val num_workers : unit -> int
+(** Worker domains currently alive (0 before the first parallel call). *)
+
+val queue_depth : unit -> int
+(** Tasks currently queued (diagnostic; racy by nature). *)
+
+val shutdown : unit -> unit
+(** Stop and join all workers.  Called automatically [at_exit]; a later
+    parallel call recreates the pool. *)

@@ -1,0 +1,43 @@
+(* SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): a tiny splittable PRNG.
+
+   The point here is not statistical strength beyond what Monte Carlo
+   needs but *addressability*: a generator derived from [(seed, stream)]
+   depends only on those two integers, never on how many numbers any
+   other stream consumed.  That is what makes the parallel Monte Carlo
+   bit-identical to the sequential one regardless of scheduling — sample
+   [i] always draws from stream [i] of the run seed. *)
+
+type t = { mutable s : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+(* the SplitMix64 output finaliser (a strong 64-bit mix) *)
+let mix z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ?(stream = 0) seed =
+  (* mix seed and stream through the finaliser separately so that
+     neighbouring (seed, stream) pairs land far apart in state space *)
+  {
+    s =
+      mix
+        (Int64.logxor
+           (mix (Int64.of_int seed))
+           (Int64.mul golden (Int64.of_int (stream + 1))));
+  }
+
+let next_int64 t =
+  t.s <- Int64.add t.s golden;
+  mix t.s
+
+let float t =
+  (* top 53 bits -> uniform in [0, 1) *)
+  Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) *. 0x1p-53

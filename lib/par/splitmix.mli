@@ -1,0 +1,18 @@
+(** SplitMix64 pseudo-random streams.
+
+    A stream is addressed by [(seed, stream)] and is completely
+    independent of every other stream: deriving one per work item gives
+    randomized parallel computations whose results are bit-identical to
+    their sequential run, whatever the schedule. *)
+
+type t
+
+val create : ?stream:int -> int -> t
+(** [create ~stream seed] is stream number [stream] (default 0) of the
+    generator family identified by [seed]. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Next uniform draw in [\[0, 1)], built from the top 53 bits. *)

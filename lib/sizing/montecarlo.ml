@@ -22,26 +22,38 @@ type result = {
   predicted_offset_sigma : float;
 }
 
+(* Single-pass Welford accumulation; numerically stable and one traversal
+   for all four summaries.  Variance is the unbiased (n-1) sample
+   estimator, as appropriate for Monte Carlo draws. *)
 let stats_of values =
-  let n = List.length values in
-  assert (n > 0);
-  let nf = float_of_int n in
-  let mean = List.fold_left ( +. ) 0.0 values /. nf in
-  let var =
-    List.fold_left (fun acc v -> acc +. ((v -. mean) ** 2.0)) 0.0 values /. nf
-  in
+  assert (values <> []);
+  let n = ref 0 in
+  let mean = ref 0.0 in
+  let m2 = ref 0.0 in
+  let minimum = ref infinity in
+  let maximum = ref neg_infinity in
+  List.iter
+    (fun v ->
+      Stdlib.incr n;
+      let d = v -. !mean in
+      mean := !mean +. (d /. float_of_int !n);
+      m2 := !m2 +. (d *. (v -. !mean));
+      if v < !minimum then minimum := v;
+      if v > !maximum then maximum := v)
+    values;
+  let var = if !n > 1 then !m2 /. float_of_int (!n - 1) else 0.0 in
   {
-    n;
-    mean;
-    std = sqrt var;
-    minimum = List.fold_left Float.min infinity values;
-    maximum = List.fold_left Float.max neg_infinity values;
+    n = !n;
+    mean = !mean;
+    std = sqrt (Float.max 0.0 var);
+    minimum = !minimum;
+    maximum = !maximum;
   }
 
-(* Box-Muller with an explicit random state. *)
+(* Box-Muller over an explicit SplitMix64 stream. *)
 let gaussian st =
-  let u1 = Float.max 1e-12 (Random.State.float st 1.0) in
-  let u2 = Random.State.float st 1.0 in
+  let u1 = Float.max 1e-12 (Par.Splitmix.float st) in
+  let u2 = Par.Splitmix.float st in
   sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
 
 let perturb proc st amp =
@@ -71,10 +83,14 @@ let input_pair_sigma proc amp =
     sqrt 2.0 *. sigma_vt
   | None -> 0.0
 
-let run ?(seed = 42) ?(n = 50) ~proc ~kind ~spec amp =
+let run ?(seed = 42) ?(n = 50) ?jobs ~proc ~kind ~spec amp =
   assert (n > 0);
-  let st = Random.State.make [| seed |] in
-  let one () =
+  (* Sample [i] draws from SplitMix64 stream [(seed, i)], so its value
+     depends only on the run seed and its own index — never on which
+     domain computes it or in what order.  The parallel run is therefore
+     bit-identical to the sequential one. *)
+  let one index =
+    let st = Par.Splitmix.create ~stream:index seed in
     let amp' = perturb proc st amp in
     match Testbench.make ~proc ~kind ~spec amp' with
     | tb ->
@@ -87,7 +103,13 @@ let run ?(seed = 42) ?(n = 50) ~proc ~kind ~spec amp =
         }
     | exception (Phys.Numerics.No_convergence _ | Failure _) -> None
   in
-  let samples = List.filter_map (fun _ -> one ()) (List.init n Fun.id) in
+  let samples =
+    Obs.Trace.with_span ~cat:"comdiac"
+      ~args:[ ("n", Obs.Trace.Int n) ]
+      "montecarlo.samples"
+      (fun () ->
+        List.filter_map Fun.id (Par.Pool.map ?jobs one (List.init n Fun.id)))
+  in
   if samples = [] then failwith "Montecarlo.run: no sample converged";
   let finite = List.filter (fun v -> not (Float.is_nan v)) in
   {

@@ -4,8 +4,12 @@
     Each sample perturbs every transistor's threshold voltage and current
     factor with independent Gaussian mismatch of Pelgrom standard
     deviation (avt / sqrt(WL), abeta / sqrt(WL)) and re-measures the
-    offset, DC gain and GBW on the simulator.  The random state is
-    explicit so runs are reproducible. *)
+    offset, DC gain and GBW on the simulator.
+
+    Samples are evaluated on the {!Par.Pool} domain pool.  Sample [i]
+    draws its randomness from SplitMix64 stream [(seed, i)], so the run
+    is reproducible {e and} schedule independent: [run ~jobs:k] returns
+    exactly the same samples, in the same order, for every [k]. *)
 
 type sample = {
   offset : float;     (** input-referred offset, V *)
@@ -33,14 +37,16 @@ type result = {
 }
 
 val stats_of : float list -> stats
+(** Single-pass (Welford) summary; [std] is the unbiased (n-1) sample
+    standard deviation.  Raises on the empty list. *)
 
 val run :
-  ?seed:int -> ?n:int ->
+  ?seed:int -> ?n:int -> ?jobs:int ->
   proc:Technology.Process.t ->
   kind:Device.Model.kind ->
   spec:Spec.t ->
   Amp.t -> result
-(** Default 50 samples, seed 42.  Raises if the nominal amp fails to
-    bias. *)
+(** Default 50 samples, seed 42, [jobs] from {!Par.Pool.default_jobs}.
+    Raises if no sample converges. *)
 
 val pp : Format.formatter -> result -> unit

@@ -17,10 +17,6 @@ type result = {
   all_biased : bool;
 }
 
-let default_corners = C.all
-let default_temperatures = [ C.celsius 27.0 ]
-let extra_tt_temperatures = [ C.celsius (-40.0); C.celsius 85.0 ]
-
 let measure_point ?rebias ~proc ~kind ~spec ~corner ~temperature amp =
   let proc = C.at_temperature temperature (C.apply corner proc) in
   let amp = match rebias with Some f -> f proc | None -> amp in
@@ -47,26 +43,19 @@ let measure_point ?rebias ~proc ~kind ~spec ~corner ~temperature amp =
       biased = false;
     }
 
-let run ?corners ?temperatures ?rebias ~proc ~kind ~spec amp =
-  let grid =
-    match (corners, temperatures) with
-    | Some cs, Some ts ->
-      List.concat_map (fun c -> List.map (fun t -> (c, t)) ts) cs
-    | Some cs, None ->
-      List.concat_map (fun c -> List.map (fun t -> (c, t)) default_temperatures) cs
-    | None, Some ts ->
-      List.concat_map (fun c -> List.map (fun t -> (c, t)) ts) default_corners
-    | None, None ->
-      List.concat_map
-        (fun c -> List.map (fun t -> (c, t)) default_temperatures)
-        default_corners
-      @ List.map (fun t -> (C.TT, t)) extra_tt_temperatures
-  in
+let run ?corners ?temperatures ?jobs ?rebias ~proc ~kind ~spec amp =
+  let grid = C.sweep_grid ?corners ?temperatures () in
+  (* every grid point re-corners the process and re-simulates a fixed
+     design — fully independent, so fan out over the domain pool *)
   let points =
-    List.map
-      (fun (corner, temperature) ->
-        measure_point ?rebias ~proc ~kind ~spec ~corner ~temperature amp)
-      grid
+    Obs.Trace.with_span ~cat:"comdiac"
+      ~args:[ ("points", Obs.Trace.Int (List.length grid)) ]
+      "robustness.sweep"
+      (fun () ->
+        Par.Pool.map ?jobs
+          (fun (corner, temperature) ->
+            measure_point ?rebias ~proc ~kind ~spec ~corner ~temperature amp)
+          grid)
   in
   let biased = List.filter (fun p -> p.biased) points in
   let fold f init xs = List.fold_left f init xs in

@@ -24,12 +24,16 @@ type result = {
 val run :
   ?corners:Technology.Corner.t list ->
   ?temperatures:float list ->
+  ?jobs:int ->
   ?rebias:(Technology.Process.t -> Amp.t) ->
   proc:Technology.Process.t ->
   kind:Device.Model.kind ->
   spec:Spec.t ->
   Amp.t -> result
-(** Defaults: all five corners at 27 C, plus TT at -40 C and 85 C.
+(** Defaults: the {!Technology.Corner.sweep_grid} grid — all five
+    corners at 27 C, plus TT at -40 C and 85 C.  Grid points are
+    measured in parallel on the {!Par.Pool} domain pool ([jobs] defaults
+    to {!Par.Pool.default_jobs}); [points] is always in grid order.
     [rebias] models a tracking bias generator: it is handed the cornered
     process and must return the amp with bias voltages recomputed for it
     (see {!Folded_cascode.rebias}); without it the nominal bias voltages

@@ -60,3 +60,20 @@ let at_temperature t (proc : Process.t) =
   { proc with Process.temperature = t; electrical }
 
 let celsius c = c +. 273.15
+
+(* The default verification grid: every corner at room temperature plus
+   the temperature extremes at the typical corner.  Each point is
+   independent of every other, which is what lets Robustness fan the
+   sweep out over the domain pool. *)
+let default_temperatures = [ celsius 27.0 ]
+let extra_tt_temperatures = [ celsius (-40.0); celsius 85.0 ]
+
+let sweep_grid ?corners ?temperatures () =
+  let cross cs ts = List.concat_map (fun c -> List.map (fun t -> (c, t)) ts) cs in
+  match (corners, temperatures) with
+  | Some cs, Some ts -> cross cs ts
+  | Some cs, None -> cross cs default_temperatures
+  | None, Some ts -> cross all ts
+  | None, None ->
+    cross all default_temperatures
+    @ List.map (fun t -> (TT, t)) extra_tt_temperatures

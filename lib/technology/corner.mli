@@ -23,6 +23,13 @@ val at_temperature : float -> Process.t -> Process.t
 val celsius : float -> float
 (** Convert a temperature from Celsius to kelvin. *)
 
+val sweep_grid :
+  ?corners:t list -> ?temperatures:float list -> unit -> (t * float) list
+(** The (corner, temperature-in-kelvin) verification grid, in
+    deterministic order.  Defaults: all five corners at 27 C, plus TT at
+    -40 C and 85 C.  Giving only [corners] sweeps them at 27 C; giving
+    only [temperatures] sweeps all corners at each. *)
+
 val delta_vto : float
 (** Threshold shift magnitude per slow/fast step, V (50 mV). *)
 

@@ -12,5 +12,6 @@ let () =
       Suite_sizing.suite;
       Suite_core.suite;
       Suite_obs.suite;
+      Suite_par.suite;
       Suite_statistics.suite;
     ]

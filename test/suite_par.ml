@@ -1,0 +1,131 @@
+open Helpers
+module MC = Comdiac.Montecarlo
+
+let proc = Technology.Process.c06
+let kind = Device.Model.Bsim_lite
+let spec = Comdiac.Spec.paper_ota
+
+(* --- pool combinators --------------------------------------------------- *)
+
+let test_map_matches_sequential () =
+  let xs = List.init 1000 (fun i -> i - 500) in
+  let f x = (x * 7919) + (x mod 13) in
+  let expected = List.map f xs in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "map with %d jobs" jobs)
+        expected
+        (Par.Pool.map ~jobs f xs))
+    [ 1; 2; 8 ];
+  Alcotest.(check (list int)) "empty input" [] (Par.Pool.map ~jobs:4 f []);
+  Alcotest.(check (list int)) "singleton" [ f 3 ] (Par.Pool.map ~jobs:8 f [ 3 ])
+
+let test_map_reduce () =
+  let xs = List.init 501 Fun.id in
+  let expected = List.fold_left (fun acc x -> acc + (x * x)) 0 xs in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check int)
+        (Printf.sprintf "sum of squares with %d jobs" jobs)
+        expected
+        (Par.Pool.map_reduce ~jobs ~map:(fun x -> x * x) ~reduce:( + ) 0 xs))
+    [ 1; 2; 8 ];
+  Alcotest.(check int) "empty list is init" 42
+    (Par.Pool.map_reduce ~jobs:4 ~map:Fun.id ~reduce:( + ) 42 [])
+
+(* --- exception handling -------------------------------------------------- *)
+
+exception Boom of int
+
+let test_exception_propagation () =
+  (match
+     Par.Pool.map ~jobs:4
+       (fun x -> if x = 17 then raise (Boom x) else x)
+       (List.init 64 Fun.id)
+   with
+   | _ -> Alcotest.fail "expected the task exception to propagate"
+   | exception Boom 17 -> ());
+  (* the pool must survive a failed batch and keep serving *)
+  Alcotest.(check (list int))
+    "pool serves the next batch" [ 0; 2; 4; 6 ]
+    (Par.Pool.map ~jobs:4 (fun x -> 2 * x) [ 0; 1; 2; 3 ])
+
+(* --- monte carlo determinism --------------------------------------------- *)
+
+let design =
+  lazy
+    (Comdiac.Folded_cascode.size ~proc ~kind ~spec
+       ~parasitics:Comdiac.Parasitics.single_fold)
+
+let test_montecarlo_schedule_independent () =
+  let amp = (Lazy.force design).Comdiac.Folded_cascode.amp in
+  let seq = MC.run ~seed:11 ~n:6 ~jobs:1 ~proc ~kind ~spec amp in
+  let par = MC.run ~seed:11 ~n:6 ~jobs:4 ~proc ~kind ~spec amp in
+  Alcotest.(check int) "same sample count"
+    (List.length seq.MC.samples)
+    (List.length par.MC.samples);
+  (* bit-identical sample-for-sample; compare (not =) treats nan as equal *)
+  Alcotest.(check bool) "samples bit-identical" true
+    (compare seq.MC.samples par.MC.samples = 0);
+  Alcotest.(check bool) "stats bit-identical" true
+    (compare seq.MC.offset_stats par.MC.offset_stats = 0)
+
+(* --- splitmix streams ----------------------------------------------------- *)
+
+let test_splitmix_streams () =
+  let drain st = List.init 8 (fun _ -> Par.Splitmix.float st) in
+  let a = drain (Par.Splitmix.create ~stream:0 42) in
+  let a' = drain (Par.Splitmix.create ~stream:0 42) in
+  let b = drain (Par.Splitmix.create ~stream:1 42) in
+  let c = drain (Par.Splitmix.create ~stream:0 43) in
+  Alcotest.(check bool) "reproducible" true (a = a');
+  Alcotest.(check bool) "streams differ" true (a <> b);
+  Alcotest.(check bool) "seeds differ" true (a <> c);
+  List.iter
+    (fun u ->
+      Alcotest.(check bool) "uniform draw in [0,1)" true (u >= 0.0 && u < 1.0))
+    (a @ b @ c)
+
+(* --- telemetry ------------------------------------------------------------ *)
+
+let test_pool_telemetry () =
+  Obs.Config.with_enabled true (fun () ->
+    Obs.Trace.reset ();
+    Obs.Metrics.reset ();
+    let _ = Par.Pool.map ~jobs:4 (fun x -> x + 1) (List.init 32 Fun.id) in
+    Alcotest.(check bool) "par.tasks counted" true
+      (Obs.Metrics.counter "par.tasks" >= 1.0);
+    Alcotest.(check bool) "queue depth observed" true
+      (Obs.Metrics.hist_stats "par.queue_depth" <> None);
+    let tasks =
+      List.filter (fun s -> s.Obs.Trace.name = "par.task") (Obs.Trace.spans ())
+    in
+    Alcotest.(check bool) "par.task spans recorded" true (tasks <> []);
+    Obs.Trace.reset ();
+    Obs.Metrics.reset ())
+
+(* --- qcheck: chunked parallel_for covers every index exactly once --------- *)
+
+let prop_parallel_for_exact_cover =
+  QCheck.Test.make ~count:60 ~name:"parallel_for covers every index exactly once"
+    QCheck.(
+      triple (int_range 0 300) (int_range 1 8) (int_range 1 37))
+    (fun (n, jobs, chunk) ->
+      let hits = Array.make (max n 1) 0 in
+      (* chunks are disjoint index ranges, so each cell has one writer *)
+      Par.Pool.parallel_for ~jobs ~chunk n (fun i -> hits.(i) <- hits.(i) + 1);
+      Array.for_all (fun c -> c = 1) (Array.sub hits 0 n))
+
+let suite =
+  ( "par",
+    [
+      case "pool map matches sequential map" test_map_matches_sequential;
+      case "map_reduce matches sequential fold" test_map_reduce;
+      case "exceptions propagate without wedging" test_exception_propagation;
+      case "monte carlo is schedule independent"
+        test_montecarlo_schedule_independent;
+      case "splitmix streams are independent" test_splitmix_streams;
+      case "pool telemetry" test_pool_telemetry;
+    ]
+    @ qcheck_cases [ prop_parallel_for_exact_cover ] )

@@ -46,9 +46,12 @@ let test_pelgrom_scaling () =
 let test_stats_of () =
   let s = MC.stats_of [ 1.0; 2.0; 3.0; 4.0 ] in
   check_close "mean" 2.5 s.MC.mean;
-  check_close ~rel:1e-9 "std (population)" (sqrt 1.25) s.MC.std;
+  (* unbiased sample variance: sum of squared deviations / (n - 1) *)
+  check_close ~rel:1e-9 "std (unbiased sample)" (sqrt (5.0 /. 3.0)) s.MC.std;
   check_close "min" 1.0 s.MC.minimum;
-  check_close "max" 4.0 s.MC.maximum
+  check_close "max" 4.0 s.MC.maximum;
+  let single = MC.stats_of [ 7.0 ] in
+  check_close "single-element std" 0.0 single.MC.std
 
 (* --- monte carlo --------------------------------------------------------- *)
 
