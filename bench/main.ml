@@ -330,6 +330,10 @@ let timing_records : Obs.Json.t list ref = ref []
 
 let compare_seq_par ~name ~jobs run =
   let wall f =
+    (* cold-start each measurement: a warm memo cache would otherwise let
+       the second (parallel) run answer from the first run's results and
+       inflate the apparent speedup *)
+    Cache.Memo.clear_all ();
     let t0 = Obs.Clock.now_s () in
     ignore (f ());
     Obs.Clock.now_s () -. t0
@@ -364,15 +368,16 @@ let timing_parallel () =
   in
   let amp = design.Comdiac.Folded_cascode.amp in
   compare_seq_par ~name:"monte carlo (n=200)" ~jobs (fun j ->
-    Comdiac.Montecarlo.run ~n:200 ~jobs:j ~proc ~kind ~spec amp);
+    Comdiac.Montecarlo.run ~n:200 ~ctx:(Core.Ctx.make ~jobs:j proc) ~kind
+      ~spec amp);
   let temperatures =
     List.map Technology.Corner.celsius [ -40.0; 0.0; 27.0; 55.0; 85.0 ]
   in
   compare_seq_par ~name:"corner sweep (25 points)" ~jobs (fun j ->
     Comdiac.Robustness.run ~corners:Technology.Corner.all ~temperatures
-      ~jobs:j ~proc ~kind ~spec amp);
+      ~ctx:(Core.Ctx.make ~jobs:j proc) ~kind ~spec amp);
   compare_seq_par ~name:"flow cases (table 1)" ~jobs (fun j ->
-    Core.Flow.run_all ~jobs:j ~proc ~kind ~spec ());
+    Core.Flow.run_all ~ctx:(Core.Ctx.make ~jobs:j proc) ~kind ~spec ());
   Format.printf
     "@.pool after warm-up: %d worker domain(s), queue depth %d@."
     (Par.Pool.num_workers ()) (Par.Pool.queue_depth ());
@@ -406,6 +411,10 @@ let timing () =
   let guess = Comdiac.Amp.guess_fn amp ~extra:[ ("vdd", spec.Comdiac.Spec.vdd) ] in
   let dc = Sim.Dcop.solve ~guess ~proc ~kind bench_circuit in
   let net = Sim.Acs.prepare dc in
+  (* micro-benchmarks run with the memo caches off so they keep measuring
+     the cost of the actual computation; the caches get their own [cache]
+     experiment *)
+  Cache.Config.with_enabled false @@ fun () ->
   bechamel_run "COMDIAC sizing (one pass)" (fun () ->
     Comdiac.Folded_cascode.size ~proc ~kind ~spec
       ~parasitics:Comdiac.Parasitics.single_fold);
@@ -478,6 +487,194 @@ let statistics () =
     lo hi slo shi
 
 (* ------------------------------------------------------------------ *)
+(* Cache - cold vs warm wall-clock, hit rates, bit-identity, LUT        *)
+(* ------------------------------------------------------------------ *)
+
+(* records dumped by [--cache-json FILE] (CI keeps it as BENCH_cache.json) *)
+let cache_records : Obs.Json.t list ref = ref []
+let lut_record : Obs.Json.t option ref = ref None
+
+(* Warm-run hit rate of the memo registry: hits gained between two
+   snapshots over lookups gained. *)
+let registry_delta_hit_rate before after =
+  let totals stats =
+    List.fold_left
+      (fun (h, l) (s : Cache.Memo.stats) ->
+        (h + s.Cache.Memo.hits, l + s.Cache.Memo.hits + s.Cache.Memo.misses))
+      (0, 0) stats
+  in
+  let h0, l0 = totals before and h1, l1 = totals after in
+  if l1 = l0 then 0.0 else float_of_int (h1 - h0) /. float_of_int (l1 - l0)
+
+let cache_workload ~name ~strip run =
+  let wall f =
+    let t0 = Obs.Clock.now_s () in
+    let v = f () in
+    (v, Obs.Clock.now_s () -. t0)
+  in
+  Cache.Memo.clear_all ();
+  let cold, cold_s = wall run in
+  let before_warm = Cache.Memo.registry () in
+  let warm, warm_s = wall run in
+  let warm_hit_rate = registry_delta_hit_rate before_warm (Cache.Memo.registry ()) in
+  let uncached, uncached_s =
+    Cache.Config.with_enabled false (fun () -> wall run)
+  in
+  let identical_warm = compare (strip cold) (strip warm) = 0 in
+  let identical_nocache = compare (strip cold) (strip uncached) = 0 in
+  let speedup = uncached_s /. Float.max 1e-9 warm_s in
+  Format.printf
+    "  %-28s cold %6.2f s   warm %6.2f s   uncached %6.2f s   warm hits \
+     %5.1f%%   speedup %6.2fx   identical %b/%b@."
+    name cold_s warm_s uncached_s (100.0 *. warm_hit_rate) speedup
+    identical_warm identical_nocache;
+  cache_records :=
+    Obs.Json.Obj
+      [
+        ("name", Obs.Json.Str name);
+        ("cold_s", Obs.Json.Num cold_s);
+        ("warm_s", Obs.Json.Num warm_s);
+        ("uncached_s", Obs.Json.Num uncached_s);
+        ("warm_hit_rate", Obs.Json.Num warm_hit_rate);
+        ("warm_speedup", Obs.Json.Num speedup);
+        ("identical_warm", Obs.Json.Bool identical_warm);
+        ("identical_nocache", Obs.Json.Bool identical_nocache);
+      ]
+    :: !cache_records
+
+let lut_bench () =
+  let dev =
+    Device.Mos.make ~name:"m" ~mtype:Technology.Electrical.Nmos ~w:60e-6
+      ~l:1.2e-6 ()
+  in
+  let biases =
+    List.concat_map
+      (fun vgs ->
+        List.map
+          (fun vds -> { Device.Model.vgs; vds; vbs = 0.0 })
+          [ 0.8; 1.2; 1.65; 2.4 ])
+      [ 0.9; 1.0; 1.1; 1.3; 1.6; 2.0 ]
+  in
+  let t0 = Obs.Clock.now_s () in
+  let table = Device.Lut.table proc kind Technology.Electrical.Nmos in
+  let build_s = Obs.Clock.now_s () -. t0 in
+  let nx, ny = Cache.Lut.grid_size table in
+  let p = Device.Mos.params proc dev in
+  let rel a b = Float.abs (a -. b) /. Float.max 1e-30 (Float.abs b) in
+  let max_err field =
+    List.fold_left
+      (fun acc bias ->
+        let exact =
+          Device.Model.evaluate_exact kind p ~w:dev.Device.Mos.w
+            ~l:dev.Device.Mos.l bias
+        in
+        let approx = Device.Lut.eval proc kind dev bias in
+        Float.max acc (rel (field approx) (field exact)))
+      0.0 biases
+  in
+  let err_ids = max_err (fun e -> e.Device.Model.ids) in
+  let err_gm = max_err (fun e -> e.Device.Model.gm) in
+  let reps = 20_000 in
+  let time_per_eval f =
+    let t0 = Obs.Clock.now_s () in
+    for _ = 1 to reps do
+      List.iter (fun b -> ignore (f b)) biases
+    done;
+    (Obs.Clock.now_s () -. t0)
+    /. float_of_int (reps * List.length biases) *. 1e9
+  in
+  let exact_ns =
+    time_per_eval (fun b ->
+      Device.Model.evaluate_exact kind p ~w:dev.Device.Mos.w
+        ~l:dev.Device.Mos.l b)
+  in
+  let lut_ns = time_per_eval (fun b -> Device.Lut.eval proc kind dev b) in
+  Format.printf
+    "  LUT (opt-in, approximate)    %dx%d grid built in %.3f s   exact \
+     %.0f ns/eval   lut %.0f ns/eval (%.1fx)   max rel err: ids %.2e  gm \
+     %.2e (saturation)@."
+    nx ny build_s exact_ns lut_ns
+    (exact_ns /. Float.max 1e-9 lut_ns)
+    err_ids err_gm;
+  lut_record :=
+    Some
+      (Obs.Json.Obj
+         [
+           ("grid", Obs.Json.Arr
+              [ Obs.Json.Num (float_of_int nx); Obs.Json.Num (float_of_int ny) ]);
+           ("build_s", Obs.Json.Num build_s);
+           ("exact_ns_per_eval", Obs.Json.Num exact_ns);
+           ("lut_ns_per_eval", Obs.Json.Num lut_ns);
+           ("max_rel_err_ids", Obs.Json.Num err_ids);
+           ("max_rel_err_gm", Obs.Json.Num err_gm);
+         ])
+
+let cache_bench () =
+  section "Cache - cold vs warm wall-clock, hit rates and bit-identity";
+  let ctx = Core.Ctx.make proc in
+  let design =
+    Comdiac.Folded_cascode.size ~proc ~kind ~spec
+      ~parasitics:Comdiac.Parasitics.single_fold
+  in
+  let amp = design.Comdiac.Folded_cascode.amp in
+  (* identical statistics are the acceptance criterion, so strip nothing
+     from the MC / corner results; flow results carry wall-clock, which
+     legitimately differs between runs *)
+  cache_workload ~name:"monte carlo (n=200)" ~strip:Fun.id (fun () ->
+    Comdiac.Montecarlo.run ~n:200 ~ctx ~kind ~spec amp);
+  let temperatures =
+    List.map Technology.Corner.celsius [ -40.0; 0.0; 27.0; 55.0; 85.0 ]
+  in
+  cache_workload ~name:"corner sweep (25 points)" ~strip:Fun.id (fun () ->
+    Comdiac.Robustness.run ~corners:Technology.Corner.all ~temperatures ~ctx
+      ~kind ~spec amp);
+  cache_workload ~name:"flow cases (table 1)"
+    ~strip:
+      (List.map (fun (r : Core.Flow.result) ->
+         { r with Core.Flow.elapsed = 0.0 }))
+    (fun () -> Core.Flow.run_all ~ctx ~kind ~spec ());
+  lut_bench ();
+  Format.printf "@.cache state after the warm runs:@.";
+  List.iter
+    (fun (s : Cache.Memo.stats) ->
+      Format.printf
+        "  %-22s %8d hits %8d misses %6d evictions  %5.1f%% hit rate  \
+         %d/%d entries@."
+        s.Cache.Memo.name s.Cache.Memo.hits s.Cache.Memo.misses
+        s.Cache.Memo.evictions
+        (100.0 *. Cache.Memo.hit_rate s)
+        s.Cache.Memo.entries s.Cache.Memo.capacity)
+    (Cache.Memo.registry ())
+
+let write_cache_json path =
+  let registry =
+    List.map
+      (fun (s : Cache.Memo.stats) ->
+        Obs.Json.Obj
+          [
+            ("name", Obs.Json.Str s.Cache.Memo.name);
+            ("hits", Obs.Json.Num (float_of_int s.Cache.Memo.hits));
+            ("misses", Obs.Json.Num (float_of_int s.Cache.Memo.misses));
+            ("evictions", Obs.Json.Num (float_of_int s.Cache.Memo.evictions));
+            ("entries", Obs.Json.Num (float_of_int s.Cache.Memo.entries));
+            ("capacity", Obs.Json.Num (float_of_int s.Cache.Memo.capacity));
+            ("hit_rate", Obs.Json.Num (Cache.Memo.hit_rate s));
+          ])
+      (Cache.Memo.registry ())
+  in
+  let doc =
+    Obs.Json.Obj
+      ([
+         ("schema", Obs.Json.Str "losac.bench.cache/1");
+         ("workloads", Obs.Json.Arr (List.rev !cache_records));
+         ("caches", Obs.Json.Arr registry);
+       ]
+       @ match !lut_record with None -> [] | Some l -> [ ("lut", l) ])
+  in
+  Out_channel.with_open_text path (fun oc ->
+    output_string oc (Obs.Json.to_string doc);
+    output_char oc '\n');
+  Format.printf "wrote cache records to %s@." path
 
 let experiments =
   [
@@ -490,6 +687,7 @@ let experiments =
     ("ablation", ablation);
     ("statistics", statistics);
     ("timing", timing);
+    ("cache", cache_bench);
   ]
 
 let write_timing_json path =
@@ -506,15 +704,18 @@ let write_timing_json path =
   Format.printf "wrote timing records to %s@." path
 
 let () =
-  let rec split names json = function
-    | [] -> (List.rev names, json)
-    | "--json" :: path :: rest -> split names (Some path) rest
-    | [ "--json" ] ->
-      prerr_endline "bench: --json needs a file argument";
+  let rec split names json cache_json = function
+    | [] -> (List.rev names, json, cache_json)
+    | "--json" :: path :: rest -> split names (Some path) cache_json rest
+    | "--cache-json" :: path :: rest -> split names json (Some path) rest
+    | [ ("--json" | "--cache-json") ] ->
+      prerr_endline "bench: --json/--cache-json need a file argument";
       exit 2
-    | name :: rest -> split (name :: names) json rest
+    | name :: rest -> split (name :: names) json cache_json rest
   in
-  let names, json = split [] None (List.tl (Array.to_list Sys.argv)) in
+  let names, json, cache_json =
+    split [] None None (List.tl (Array.to_list Sys.argv))
+  in
   let requested = if names = [] then List.map fst experiments else names in
   List.iter
     (fun name ->
@@ -524,4 +725,5 @@ let () =
         Format.printf "unknown experiment %s (have: %s)@." name
           (String.concat " " (List.map fst experiments)))
     requested;
-  Option.iter write_timing_json json
+  Option.iter write_timing_json json;
+  Option.iter write_cache_json cache_json

@@ -50,9 +50,53 @@ let jobs_term =
        & opt (some int) None
        & info [ "j"; "jobs" ] ~docv:"N" ~env:(Cmd.Env.info "LOSAC_JOBS") ~doc)
 
+(* --- caching ---------------------------------------------------------- *)
+
+let cache_term =
+  let doc_on =
+    "Enable the content-addressed memo caches (device operating points, \
+     layout variant generation, parasitic plans, Monte Carlo samples, \
+     corner points).  This is the default; results are bit-identical \
+     with caching on or off.  Overrides the $(b,LOSAC_CACHE) environment \
+     variable."
+  in
+  let doc_off = "Disable the memo caches (cold run every time)." in
+  Arg.(value
+       & vflag None
+           [ (Some true, info [ "cache" ] ~doc:doc_on);
+             (Some false, info [ "no-cache" ] ~doc:doc_off) ])
+
+(* The cache hit/miss/eviction table plus domain-pool counters — the
+   [losac stats] view, also available as --stats after any command. *)
+let stats_view () =
+  let caches = Cache.Memo.registry () in
+  Format.printf "@.cache statistics:@.";
+  if caches = [] then Format.printf "  (no caches created)@.";
+  List.iter
+    (fun (s : Cache.Memo.stats) ->
+      Format.printf
+        "  %-22s %8d hits %8d misses %6d evictions  %5.1f%% hit rate  \
+         %d/%d entries@."
+        s.Cache.Memo.name s.Cache.Memo.hits s.Cache.Memo.misses
+        s.Cache.Memo.evictions
+        (100.0 *. Cache.Memo.hit_rate s)
+        s.Cache.Memo.entries s.Cache.Memo.capacity)
+    caches;
+  if Device.Lut.tables_built () > 0 then
+    Format.printf "  %d operating-point LUT grid(s) built@."
+      (Device.Lut.tables_built ());
+  Format.printf "pool: %d worker domain(s), queue depth %d@."
+    (Par.Pool.num_workers ()) (Par.Pool.queue_depth ())
+
 (* --- telemetry and logging ------------------------------------------- *)
 
-type telemetry = { trace : string option; metrics : bool }
+type telemetry = {
+  trace : string option;
+  metrics : bool;
+  stats : bool;
+  jobs : int option;
+  cache : bool option;
+}
 
 let telemetry_term =
   let trace =
@@ -76,7 +120,14 @@ let telemetry_term =
                    $(b,-vv) debug).  Warnings (e.g. Newton \
                    divergence-and-retry) print by default.")
   in
-  let setup trace metrics verbose jobs =
+  let stats =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Print the cache hit/miss/eviction table and the domain \
+                   pool counters after the run (the $(b,losac stats) \
+                   view).")
+  in
+  let setup trace metrics verbose jobs cache stats =
     Fmt_tty.setup_std_outputs ();
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level
@@ -86,13 +137,22 @@ let telemetry_term =
        | _ -> Some Logs.Debug);
     if trace <> None || metrics then Obs.Config.set_enabled true;
     Option.iter Par.Pool.set_default_jobs jobs;
-    { trace; metrics }
+    Option.iter Cache.Config.set_enabled cache;
+    { trace; metrics; stats; jobs; cache }
   in
-  Term.(const setup $ trace $ metrics $ verbose $ jobs_term)
+  Term.(const setup $ trace $ metrics $ verbose $ jobs_term $ cache_term
+        $ stats)
+
+(* The execution context handed to the analyses: one bundle instead of
+   loose ?jobs/?cache/?telemetry arguments (see Core.Ctx). *)
+let ctx_of tele proc =
+  Core.Ctx.make ?jobs:tele.jobs ?cache:tele.cache proc
 
 (* Emit whatever telemetry the flags requested, after the command ran. *)
 let telemetry_finish tele =
+  if tele.stats then stats_view ();
   if tele.metrics then begin
+    Cache.Memo.export_metrics ();
     Format.printf "@.telemetry metrics:@.%s" (Obs.Reporter.metrics_table ());
     Format.printf "@.span roll-up:@.%s" (Obs.Reporter.spans_table ())
   end;
@@ -199,7 +259,7 @@ let synth_cmd =
              ~doc:"Parasitic-awareness case (1..4 as in the paper's Table 1).")
   in
   let run tele proc kind spec case =
-    let r = Core.Flow.run ~proc ~kind ~spec case in
+    let r = Core.Flow.run ~ctx:(ctx_of tele proc) ~kind ~spec case in
     Format.printf "%s: %s@." (Core.Flow.case_label case)
       (Core.Flow.case_description case);
     Format.printf "layout-tool calls before convergence: %d (%.1f s total)@."
@@ -233,7 +293,7 @@ let layout_cmd =
     Arg.(value & flag & info [ "ascii" ] ~doc:"Print an ASCII rendering.")
   in
   let run tele proc kind spec svg ascii =
-    let r = Core.Flow.run ~proc ~kind ~spec Core.Flow.Case4 in
+    let r = Core.Flow.run ~ctx:(ctx_of tele proc) ~kind ~spec Core.Flow.Case4 in
     let report = r.Core.Flow.report in
     Format.printf "floorplan %d x %d lambda@."
       report.Cairo_layout.Plan.total_w report.Cairo_layout.Plan.total_h;
@@ -268,15 +328,16 @@ let verify_cmd =
          & info [ "samples" ] ~docv:"N" ~doc:"Monte Carlo sample count.")
   in
   let run tele proc kind spec samples =
+    let ctx = ctx_of tele proc in
     let design =
       Comdiac.Folded_cascode.size ~proc ~kind ~spec
         ~parasitics:Comdiac.Parasitics.single_fold
     in
     let amp = design.Comdiac.Folded_cascode.amp in
-    let mc = Comdiac.Montecarlo.run ~n:samples ~proc ~kind ~spec amp in
+    let mc = Comdiac.Montecarlo.run ~n:samples ~ctx ~kind ~spec amp in
     Format.printf "%a@.@." Comdiac.Montecarlo.pp mc;
     let rebias p = Comdiac.Folded_cascode.rebias ~proc:p ~kind ~spec design in
-    let rob = Comdiac.Robustness.run ~rebias ~proc ~kind ~spec amp in
+    let rob = Comdiac.Robustness.run ~rebias ~ctx ~kind ~spec amp in
     Format.printf "%a@.@." Comdiac.Robustness.pp rob;
     let tb = Comdiac.Testbench.make ~proc ~kind ~spec amp in
     Format.printf "PSRR %.1f dB@." (Sim.Measure.db (Comdiac.Testbench.psrr tb));
@@ -290,6 +351,49 @@ let verify_cmd =
   in
   Cmd.v info
     Term.(const run $ telemetry_term $ proc_arg $ kind_arg $ spec_term $ samples)
+
+(* --- stats ----------------------------------------------------------- *)
+
+let stats_cmd =
+  let samples =
+    Arg.(value & opt int 50
+         & info [ "samples" ] ~docv:"N" ~doc:"Monte Carlo sample count.")
+  in
+  let repeat =
+    Arg.(value & opt int 2
+         & info [ "repeat" ] ~docv:"K"
+             ~doc:"Run the workload $(docv) times; from the second \
+                   iteration on, the coarse memo caches should answer \
+                   nearly every sample and corner point.")
+  in
+  let run tele proc kind spec samples repeat =
+    let ctx = ctx_of tele proc in
+    let design =
+      Comdiac.Folded_cascode.size ~proc ~kind ~spec
+        ~parasitics:Comdiac.Parasitics.single_fold
+    in
+    let amp = design.Comdiac.Folded_cascode.amp in
+    for i = 1 to max 1 repeat do
+      let t0 = Obs.Clock.now_s () in
+      ignore (Comdiac.Montecarlo.run ~n:samples ~ctx ~kind ~spec amp);
+      ignore (Comdiac.Robustness.run ~ctx ~kind ~spec amp);
+      Format.printf "run %d: monte carlo (n=%d) + corner sweep in %.2f s@."
+        i samples
+        (Obs.Clock.now_s () -. t0)
+    done;
+    stats_view ();
+    telemetry_finish tele
+  in
+  let info =
+    Cmd.info "stats"
+      ~doc:"Run a Monte Carlo + corner-sweep workload and print the cache \
+            hit/miss/eviction and domain-pool statistics.  Use \
+            $(b,--no-cache) to compare against the cold path; any other \
+            subcommand accepts $(b,--stats) to print the same view."
+  in
+  Cmd.v info
+    Term.(const run $ telemetry_term $ proc_arg $ kind_arg $ spec_term
+          $ samples $ repeat)
 
 (* --- tech ----------------------------------------------------------- *)
 
@@ -309,4 +413,7 @@ let () =
     Cmd.info "losac" ~version:"1.0.0"
       ~doc:"Layout-oriented synthesis of high performance analog circuits."
   in
-  exit (Cmd.eval (Cmd.group info [ size_cmd; synth_cmd; layout_cmd; verify_cmd; tech_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ size_cmd; synth_cmd; layout_cmd; verify_cmd; stats_cmd; tech_cmd ]))

@@ -16,8 +16,10 @@ let spec = Comdiac.Spec.paper_ota
 
 let () =
   Format.printf "layout-oriented synthesis of: %a@.@." Comdiac.Spec.pp spec;
-  Obs.Config.set_enabled true;
-  let r = Flow.run ~proc ~kind ~spec Flow.Case4 in
+  (* one execution context instead of loose ?jobs/?cache flags; telemetry
+     turned on through it so the trajectory can be read back out below *)
+  let ctx = Core.Ctx.make ~telemetry:true proc in
+  let r = Flow.run ~ctx ~kind ~spec Flow.Case4 in
   (* the convergence trajectory, as telemetry recorded it: relative
      movement of the parasitic vector at each parasitic-mode layout call *)
   let deltas = Obs.Metrics.values "flow.parasitic_delta" in

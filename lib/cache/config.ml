@@ -1,0 +1,15 @@
+let env_var = "LOSAC_CACHE"
+
+let initial =
+  match Sys.getenv_opt env_var with
+  | Some ("0" | "false" | "off" | "no") -> false
+  | Some _ | None -> true
+
+let flag = ref initial
+let enabled () = !flag
+let set_enabled b = flag := b
+
+let with_enabled b f =
+  let saved = !flag in
+  flag := b;
+  Fun.protect ~finally:(fun () -> flag := saved) f

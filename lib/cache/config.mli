@@ -1,0 +1,23 @@
+(** The global cache enable flag.
+
+    Caching is {e on} by default: every memo stores the exact value the
+    wrapped computation produced, so results are bit-identical with the
+    cache on or off.  The [LOSAC_CACHE] environment variable ([0], [false]
+    or [off] to disable) sets the initial state; the CLI
+    [--cache]/[--no-cache] flags and {!set_enabled} override it at run
+    time.
+
+    Like {!Obs.Config}, hot call sites read {!flag} directly — the
+    disabled cost of a memoized function is one ref read and a branch. *)
+
+val flag : bool ref
+(** Read directly from hot call sites. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val with_enabled : bool -> (unit -> 'a) -> 'a
+(** Run with the flag temporarily set, restoring the previous value. *)
+
+val env_var : string
+(** ["LOSAC_CACHE"]. *)

@@ -1,0 +1,92 @@
+type t = {
+  name : string;
+  xs : float array;
+  ys : float array;
+  outputs : int;
+  (* data.((ix * ny + iy) * outputs + k) = f xs.(ix) ys.(iy) component k *)
+  data : float array;
+}
+
+let check_axis label a =
+  if Array.length a < 2 then
+    invalid_arg (Printf.sprintf "Lut.build: %s needs at least 2 points" label);
+  for i = 0 to Array.length a - 2 do
+    if not (a.(i) < a.(i + 1)) then
+      invalid_arg
+        (Printf.sprintf "Lut.build: %s must be strictly increasing" label)
+  done
+
+let build ~name ~xs ~ys ~f =
+  check_axis "xs" xs;
+  check_axis "ys" ys;
+  let nx = Array.length xs and ny = Array.length ys in
+  let first = f xs.(0) ys.(0) in
+  let outputs = Array.length first in
+  if outputs = 0 then invalid_arg "Lut.build: f returns an empty vector";
+  let data = Array.make (nx * ny * outputs) 0.0 in
+  for ix = 0 to nx - 1 do
+    for iy = 0 to ny - 1 do
+      let v = if ix = 0 && iy = 0 then first else f xs.(ix) ys.(iy) in
+      if Array.length v <> outputs then
+        invalid_arg "Lut.build: f returns vectors of varying length";
+      Array.blit v 0 data ((ix * ny + iy) * outputs) outputs
+    done
+  done;
+  if !Obs.Config.flag then begin
+    Obs.Metrics.incr "cache.lut.builds";
+    Obs.Metrics.add "cache.lut.built_points" (float_of_int (nx * ny))
+  end;
+  { name; xs; ys; outputs; data }
+
+(* Index of the cell containing x: largest i with a.(i) <= x, clamped so
+   that [i + 1] is always a valid grid point. *)
+let cell a x =
+  let n = Array.length a in
+  if x <= a.(0) then 0
+  else if x >= a.(n - 1) then n - 2
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if a.(mid) <= x then lo := mid else hi := mid
+    done;
+    !lo
+  end
+
+let frac a i x =
+  let span = a.(i + 1) -. a.(i) in
+  Float.max 0.0 (Float.min 1.0 ((x -. a.(i)) /. span))
+
+let eval_into t out x y =
+  if Array.length out <> t.outputs then
+    invalid_arg "Lut.eval_into: wrong buffer length";
+  let ny = Array.length t.ys in
+  let ix = cell t.xs x and iy = cell t.ys y in
+  let tx = frac t.xs ix x and ty = frac t.ys iy y in
+  let base ix iy = (ix * ny + iy) * t.outputs in
+  let b00 = base ix iy
+  and b01 = base ix (iy + 1)
+  and b10 = base (ix + 1) iy
+  and b11 = base (ix + 1) (iy + 1) in
+  let w00 = (1.0 -. tx) *. (1.0 -. ty)
+  and w01 = (1.0 -. tx) *. ty
+  and w10 = tx *. (1.0 -. ty)
+  and w11 = tx *. ty in
+  for k = 0 to t.outputs - 1 do
+    out.(k) <-
+      (w00 *. t.data.(b00 + k))
+      +. (w01 *. t.data.(b01 + k))
+      +. (w10 *. t.data.(b10 + k))
+      +. (w11 *. t.data.(b11 + k))
+  done
+
+let eval t x y =
+  let out = Array.make t.outputs 0.0 in
+  eval_into t out x y;
+  out
+
+let name t = t.name
+let outputs t = t.outputs
+let grid_size t = (Array.length t.xs, Array.length t.ys)
+let xs t = Array.copy t.xs
+let ys t = Array.copy t.ys

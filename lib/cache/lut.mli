@@ -1,0 +1,45 @@
+(** Precomputed lookup tables: a dense 2-D grid of vector-valued samples
+    with bilinear interpolation between them.
+
+    A LUT trades exactness for speed — evaluating the grid is a couple of
+    array reads and four multiplies, regardless of how expensive the
+    sampled function was.  Unlike {!Memo}, a LUT is therefore {e not}
+    bit-identical to the wrapped computation; callers must opt in
+    explicitly (see [Device.Lut] for the MOS operating-point instance,
+    which is benchmarked separately for speed and accuracy).
+
+    Grids are immutable after {!build}, so they can be shared freely
+    across {!Par.Pool} domains without locking. *)
+
+type t
+
+val build :
+  name:string ->
+  xs:float array ->
+  ys:float array ->
+  f:(float -> float -> float array) ->
+  t
+(** [build ~name ~xs ~ys ~f] samples [f x y] at every grid point.  [xs]
+    and [ys] must be strictly increasing with at least two points each;
+    [f] must return vectors of one fixed length.  Build cost is
+    [length xs * length ys] evaluations of [f], counted in the
+    [cache.lut.built_points] metric. *)
+
+val eval : t -> float -> float -> float array
+(** Bilinear interpolation at [(x, y)], clamped to the grid's bounding
+    box.  Returns a fresh vector of the sampled length. *)
+
+val eval_into : t -> float array -> float -> float -> unit
+(** Allocation-free variant: writes the interpolated vector into the
+    given buffer (length must equal {!outputs}). *)
+
+val name : t -> string
+val outputs : t -> int
+(** Length of the sampled vectors. *)
+
+val grid_size : t -> int * int
+(** (length xs, length ys). *)
+
+val xs : t -> float array
+val ys : t -> float array
+(** The grid axes (copies; the interior is immutable). *)

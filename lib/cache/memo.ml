@@ -1,0 +1,211 @@
+type ('k, 'v) node = {
+  key : 'k;
+  value : 'v;
+  khash : int;
+  mutable prev : ('k, 'v) node option;  (* towards MRU *)
+  mutable next : ('k, 'v) node option;  (* towards LRU *)
+}
+
+type ('k, 'v) shard = {
+  mutex : Mutex.t;
+  tbl : (int, ('k, 'v) node list) Hashtbl.t;  (* khash -> collision chain *)
+  mutable head : ('k, 'v) node option;        (* MRU *)
+  mutable tail : ('k, 'v) node option;        (* LRU *)
+  mutable size : int;
+  cap : int;
+}
+
+type ('k, 'v) t = {
+  name : string;
+  shards : ('k, 'v) shard array;
+  mask : int;
+  capacity : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
+}
+
+type stats = {
+  name : string;
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+}
+
+let hit_rate s =
+  let looked = s.hits + s.misses in
+  if looked = 0 then 0.0 else float_of_int s.hits /. float_of_int looked
+
+(* Registry of all caches ever created, as stat/clear closures so caches
+   of different key/value types can live in one list. *)
+type registered = { r_stats : unit -> stats; r_clear : unit -> unit }
+
+let registered : registered list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let rec power_of_two n = if n <= 1 then 1 else 2 * power_of_two ((n + 1) / 2)
+
+(* Deep structural hash: the default [Hashtbl.hash] stops after 10
+   meaningful values, which would collapse keys that share a long common
+   prefix (e.g. the process record) onto one bucket. *)
+let key_hash k = Hashtbl.hash_param 256 256 k
+
+(* --- intrusive LRU list, all under the shard mutex ---------------------- *)
+
+let unlink s n =
+  (match n.prev with Some p -> p.next <- n.next | None -> s.head <- n.next);
+  (match n.next with Some q -> q.prev <- n.prev | None -> s.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front s n =
+  n.next <- s.head;
+  n.prev <- None;
+  (match s.head with Some h -> h.prev <- Some n | None -> s.tail <- Some n);
+  s.head <- Some n
+
+let chain_find k chain = List.find_opt (fun n -> compare n.key k = 0) chain
+
+let remove_from_chain s n =
+  match Hashtbl.find_opt s.tbl n.khash with
+  | None -> ()
+  | Some chain ->
+    (match List.filter (fun m -> m != n) chain with
+     | [] -> Hashtbl.remove s.tbl n.khash
+     | chain' -> Hashtbl.replace s.tbl n.khash chain')
+
+let evict_lru (t : (_, _) t) s =
+  match s.tail with
+  | None -> ()
+  | Some n ->
+    unlink s n;
+    remove_from_chain s n;
+    s.size <- s.size - 1;
+    Atomic.incr t.evictions
+
+let shard_of (t : (_, _) t) h = t.shards.(h land t.mask)
+
+let stats (t : (_, _) t) : stats =
+  {
+    name = t.name;
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    evictions = Atomic.get t.evictions;
+    entries = Array.fold_left (fun acc s -> acc + s.size) 0 t.shards;
+    capacity = t.capacity;
+  }
+
+let clear (t : (_, _) t) =
+  Array.iter
+    (fun s ->
+      Mutex.protect s.mutex (fun () ->
+        Hashtbl.reset s.tbl;
+        s.head <- None;
+        s.tail <- None;
+        s.size <- 0))
+    t.shards;
+  Atomic.set t.hits 0;
+  Atomic.set t.misses 0;
+  Atomic.set t.evictions 0
+
+let create ?(shards = 8) ?(capacity = 65536) ~name () =
+  let shards = power_of_two (max 1 shards) in
+  let cap = max 1 (capacity / shards) in
+  let t =
+    {
+      name;
+      shards =
+        Array.init shards (fun _ ->
+          {
+            mutex = Mutex.create ();
+            tbl = Hashtbl.create 64;
+            head = None;
+            tail = None;
+            size = 0;
+            cap;
+          });
+      mask = shards - 1;
+      capacity = cap * shards;
+      hits = Atomic.make 0;
+      misses = Atomic.make 0;
+      evictions = Atomic.make 0;
+    }
+  in
+  let view = { r_stats = (fun () -> stats t); r_clear = (fun () -> clear t) } in
+  Mutex.protect registry_mutex (fun () -> registered := !registered @ [ view ]);
+  t
+
+let insert (t : (_, _) t) s ~khash key value =
+  let chain = Hashtbl.find_opt s.tbl khash |> Option.value ~default:[] in
+  match chain_find key chain with
+  | Some _ ->
+    (* another domain inserted the same key while we computed: the values
+       are identical (pure f), keep the resident entry *)
+    ()
+  | None ->
+    let n = { key; value; khash; prev = None; next = None } in
+    Hashtbl.replace s.tbl khash (n :: chain);
+    push_front s n;
+    s.size <- s.size + 1;
+    if s.size > s.cap then evict_lru t s
+
+let find_or_compute t k f =
+  if not !Config.flag then f ()
+  else begin
+    let h = key_hash k in
+    let s = shard_of t h in
+    let found =
+      Mutex.protect s.mutex (fun () ->
+        match Hashtbl.find_opt s.tbl h with
+        | None -> None
+        | Some chain ->
+          (match chain_find k chain with
+           | None -> None
+           | Some n ->
+             unlink s n;
+             push_front s n;
+             Some n.value))
+    in
+    match found with
+    | Some v ->
+      Atomic.incr t.hits;
+      v
+    | None ->
+      Atomic.incr t.misses;
+      (* compute outside the lock so a slow miss never blocks the shard *)
+      let v = f () in
+      Mutex.protect s.mutex (fun () -> insert t s ~khash:h k v);
+      v
+  end
+
+let mem t k =
+  let h = key_hash k in
+  let s = shard_of t h in
+  Mutex.protect s.mutex (fun () ->
+    match Hashtbl.find_opt s.tbl h with
+    | None -> false
+    | Some chain -> chain_find k chain <> None)
+
+let registry () =
+  let views = Mutex.protect registry_mutex (fun () -> !registered) in
+  List.map (fun r -> r.r_stats ()) views
+
+let clear_all () =
+  let views = Mutex.protect registry_mutex (fun () -> !registered) in
+  List.iter (fun r -> r.r_clear ()) views
+
+let export_metrics () =
+  List.iter
+    (fun s ->
+      let set what v =
+        Obs.Metrics.set
+          (Printf.sprintf "cache.%s.%s" s.name what)
+          (float_of_int v)
+      in
+      set "hits" s.hits;
+      set "misses" s.misses;
+      set "evictions" s.evictions;
+      set "entries" s.entries)
+    (registry ())

@@ -1,0 +1,68 @@
+(** Domain-safe, content-addressed memoization: a sharded LRU keyed by the
+    structural hash of the canonical inputs.
+
+    A memo stores the {e exact} value the wrapped computation produced for
+    a key, so wrapping a pure function changes nothing but wall-clock:
+    results are bit-identical with caching on or off ({!Config}).
+
+    {b Concurrency.}  Keys are dispatched to [shards] independent tables,
+    each behind its own mutex, so lookups from {!Par.Pool} workers only
+    contend when they hash to the same shard.  Values are computed
+    {e outside} the lock; when two workers race on the same missing key
+    both compute it (pure, so identical) and one insertion wins.
+
+    {b Keys.}  Keys must be immutable structural data — records, tuples,
+    lists, strings, floats — with no functions or closures inside.
+    Equality is [compare k1 k2 = 0], so [nan]s compare equal and a key
+    containing one still hits.  Hashing traverses deeply
+    ([Hashtbl.hash_param 256 256]) so keys differing only in a nested
+    field still spread across buckets.
+
+    {b Telemetry.}  Every cache registers itself at creation;
+    {!registry} snapshots all caches' hit/miss/eviction counters and
+    {!export_metrics} publishes them through {!Obs.Metrics} as
+    [cache.<name>.hits] / [.misses] / [.evictions] / [.entries]. *)
+
+type ('k, 'v) t
+
+val create : ?shards:int -> ?capacity:int -> name:string -> unit -> ('k, 'v) t
+(** [create ~name ()] makes an LRU memo holding at most [capacity]
+    entries (default 65536) spread over [shards] tables (default 8,
+    clamped to a power of two).  [name] labels the cache in {!registry}
+    and in exported metrics. *)
+
+val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** [find_or_compute t k f] returns the cached value for [k], computing
+    and storing [f ()] on a miss.  When caching is disabled
+    ({!Config.flag}), simply calls [f] and touches neither the table nor
+    the counters. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Pure lookup (no insertion, no LRU promotion, no counters). *)
+
+type stats = {
+  name : string;
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;   (** current number of cached values *)
+  capacity : int;
+}
+
+val hit_rate : stats -> float
+(** hits / (hits + misses); 0 when no lookups happened. *)
+
+val stats : ('k, 'v) t -> stats
+
+val clear : ('k, 'v) t -> unit
+(** Drop every entry and zero the counters (a cold start). *)
+
+val registry : unit -> stats list
+(** Stats of every cache created so far, in creation order. *)
+
+val clear_all : unit -> unit
+(** {!clear} every registered cache — used to measure cold runs. *)
+
+val export_metrics : unit -> unit
+(** Publish every cache's counters as {!Obs.Metrics} gauges (no-op while
+    telemetry is disabled, like all metric writers). *)

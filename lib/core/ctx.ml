@@ -1,0 +1,4 @@
+(* Re-export: the context lives in [lib/exec] so that the sizing library
+   (which cannot depend on core) can consume it too; [Core.Ctx] is the
+   canonical name user code is expected to use.  See Exec.Ctx for docs. *)
+include Exec.Ctx

@@ -89,7 +89,20 @@ let measured_gbw ~proc ~kind ~spec amp =
   let tb = Comdiac.Testbench.make ~proc ~kind ~spec amp in
   Comdiac.Testbench.gbw tb
 
+(* Coarse memo over the whole calibrated sizing: the result is a pure
+   function of (process, kind, spec, assumed parasitics), and the
+   sizing<->layout loop re-enters with recurring parasitic vectors (the
+   converged fixed point, warm re-runs of a whole case). *)
+let sizing_memo :
+    ( Technology.Process.t * Device.Model.kind * Comdiac.Spec.t
+      * Comdiac.Parasitics.t,
+      FC.design * int )
+    Cache.Memo.t =
+  Cache.Memo.create ~name:"flow.sizing" ~shards:4 ~capacity:512 ()
+
 let size_calibrated ~proc ~kind ~spec ~parasitics =
+  Cache.Memo.find_or_compute sizing_memo (proc, kind, spec, parasitics)
+  @@ fun () ->
   let target = spec.Comdiac.Spec.gbw in
   let rec go gbw_internal passes =
     let spec' = { spec with Comdiac.Spec.gbw = gbw_internal } in
@@ -104,6 +117,17 @@ let size_calibrated ~proc ~kind ~spec ~parasitics =
   in
   go target 1
 
+(* The parasitic-mode layout plan is a pure function of (process, layout
+   options, design): the sizing<->layout loop of every case re-plans the
+   same intermediate designs (cases 3 and 4 share the first iterations,
+   and Monte Carlo / corner reruns repeat whole trajectories), so the
+   report is memoized.  The generation-mode call at the end of [run] is
+   never cached — it is executed once per flow and emits the full cell. *)
+let parasitic_plan_memo :
+    (Technology.Process.t * Layout_bridge.options * FC.design, Plan.report)
+    Cache.Memo.t =
+  Cache.Memo.create ~name:"flow.parasitic_plan" ~shards:8 ~capacity:1024 ()
+
 let parasitics_for_case ~case report =
   match case with
   | Case1 -> Par.none
@@ -111,7 +135,10 @@ let parasitics_for_case ~case report =
   | Case3 -> Layout_bridge.parasitics_of_report ~include_routing:false report
   | Case4 -> Layout_bridge.parasitics_of_report ~include_routing:true report
 
-let run ?(options = Layout_bridge.default_options) ~proc ~kind ~spec case =
+let run ?(options = Layout_bridge.default_options) ?ctx ?proc ~kind ~spec case
+    =
+  let proc = Ctx.proc ?override:proc ctx in
+  Ctx.run ctx @@ fun () ->
   Obs.Trace.with_span ~cat:"flow"
     ~args:[ ("case", Obs.Trace.Str (case_label case)) ]
     "flow.run"
@@ -139,7 +166,10 @@ let run ?(options = Layout_bridge.default_options) ~proc ~kind ~spec case =
               ("mode", Obs.Trace.Str "parasitic_only") ]
       "flow.layout_call"
       (fun () ->
-        Layout_bridge.call_layout ~mode:Plan.Parasitic_only proc design options)
+        Cache.Memo.find_or_compute parasitic_plan_memo (proc, options, design)
+          (fun () ->
+            Layout_bridge.call_layout ~mode:Plan.Parasitic_only proc design
+              options))
   in
   let record_delta d =
     trajectory := d :: !trajectory;
@@ -203,6 +233,9 @@ let run ?(options = Layout_bridge.default_options) ~proc ~kind ~spec case =
     elapsed = Obs.Clock.now_s () -. t0;
   }
 
-let run_all ?options ?jobs ~proc ~kind ~spec () =
+let run_all ?options ?ctx ?jobs ?proc ~kind ~spec () =
   (* the four Table-1 cases are independent end-to-end syntheses *)
+  let proc = Ctx.proc ?override:proc ctx in
+  let jobs = Ctx.jobs ?override:jobs ctx in
+  Ctx.run ctx @@ fun () ->
   Pool.map ?jobs (fun case -> run ?options ~proc ~kind ~spec case) all_cases

@@ -53,19 +53,27 @@ val size_calibrated :
 
 val run :
   ?options:Layout_bridge.options ->
-  proc:Technology.Process.t ->
+  ?ctx:Ctx.t ->
+  ?proc:Technology.Process.t ->
   kind:Device.Model.kind ->
   spec:Comdiac.Spec.t ->
   case -> result
+(** One end-to-end synthesis.  The process comes from [~proc] if given,
+    else from [ctx.proc] ([Invalid_argument] when neither is supplied —
+    [?proc] is optional only for compatibility with pre-{!Ctx} call
+    sites).  [ctx]'s cache/telemetry switches are applied for the
+    duration of the call. *)
 
 val run_all :
   ?options:Layout_bridge.options ->
+  ?ctx:Ctx.t ->
   ?jobs:int ->
-  proc:Technology.Process.t ->
+  ?proc:Technology.Process.t ->
   kind:Device.Model.kind ->
   spec:Comdiac.Spec.t ->
   unit -> result list
 (** All four cases, in case order, run across the {!Par.Pool} domain
-    pool ([jobs] defaults to {!Par.Pool.default_jobs}).  Each case is an
+    pool.  Pool width resolution: [?jobs] (deprecated override), then
+    [ctx.jobs], then {!Par.Pool.default_jobs}.  Each case is an
     independent synthesis, so the results are identical to four
     sequential {!run} calls. *)

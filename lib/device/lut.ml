@@ -1,0 +1,112 @@
+module E = Technology.Electrical
+module P = Technology.Process
+
+(* Reference width for the normalized samples: ids, gm and gmb are exactly
+   proportional to W in both model kinds, so any value works. *)
+let w_ref = 1e-6
+
+(* Grid axes: Veff from deep subthreshold to strong inversion in 20 mV
+   steps, L log-spaced from Lmin to 20 um. *)
+let veff_axis () = Array.init 91 (fun i -> -0.3 +. (0.02 *. float_of_int i))
+
+let l_axis proc =
+  let lmin = P.lmin proc in
+  let lmax = 20e-6 in
+  let n = 25 in
+  let ratio = lmax /. lmin in
+  Array.init n (fun i ->
+    lmin *. (ratio ** (float_of_int i /. float_of_int (n - 1))))
+
+(* One sample: evaluate the exact model at vbs = 0, safely in saturation,
+   and strip the width and CLM factors so they can be re-applied in closed
+   form at interpolation time. *)
+let sample kind p veff l =
+  let vth = Model.threshold kind p ~l ~vbs:0.0 in
+  let n = Model.slope_factor p ~vbs:0.0 in
+  let vdsat = Model.smooth_overdrive ~n veff in
+  let vds = vdsat +. 0.3 in
+  let e =
+    Model.evaluate_exact kind p ~w:w_ref ~l
+      { Model.vgs = vth +. veff; vds; vbs = 0.0 }
+  in
+  let lambda = p.E.clm_coeff /. l in
+  let clm = 1.0 +. (lambda *. vds) in
+  let norm = 1.0 /. (w_ref *. clm) in
+  [| e.Model.ids *. norm; e.Model.gm *. norm; e.Model.gmb *. norm |]
+
+(* Grids are immutable once built; the store is a plain mutexed table (not
+   a Cache.Memo) so LUT mode keeps working when the memo caches are
+   disabled. *)
+let tables : (P.t * Model.kind * E.mos_type, Cache.Lut.t) Hashtbl.t =
+  Hashtbl.create 8
+
+let tables_mutex = Mutex.create ()
+
+let card proc mtype =
+  match mtype with
+  | E.Nmos -> proc.P.electrical.E.nmos
+  | E.Pmos -> proc.P.electrical.E.pmos
+
+let table proc kind mtype =
+  let key = (proc, kind, mtype) in
+  match
+    Mutex.protect tables_mutex (fun () -> Hashtbl.find_opt tables key)
+  with
+  | Some t -> t
+  | None ->
+    (* build outside the lock: ~2000 exact evaluations *)
+    let p = card proc mtype in
+    let t =
+      Cache.Lut.build
+        ~name:
+          (Printf.sprintf "device.op.%s.%s.%s" proc.P.name
+             (Model.kind_to_string kind)
+             (match mtype with E.Nmos -> "nmos" | E.Pmos -> "pmos"))
+        ~xs:(veff_axis ()) ~ys:(l_axis proc)
+        ~f:(fun veff l -> sample kind p veff l)
+    in
+    Mutex.protect tables_mutex (fun () ->
+      match Hashtbl.find_opt tables key with
+      | Some existing -> existing  (* another domain won the race *)
+      | None ->
+        Hashtbl.replace tables key t;
+        t)
+
+let tables_built () =
+  Mutex.protect tables_mutex (fun () -> Hashtbl.length tables)
+
+let vt_thermal = Phys.Const.thermal_voltage Phys.Const.room_temperature
+
+let eval proc kind dev bias =
+  let t = table proc kind dev.Mos.mtype in
+  (* the device's own (mismatch-perturbed) card: exact threshold, exact
+     slope factor; the table's curves are indexed by the resulting veff *)
+  let p = Mos.params proc dev in
+  let l = dev.Mos.l in
+  let vth = Model.threshold kind p ~l ~vbs:bias.Model.vbs in
+  let veff = bias.Model.vgs -. vth in
+  let out = Cache.Lut.eval t veff l in
+  let lambda = p.E.clm_coeff /. l in
+  let clm = 1.0 +. (lambda *. bias.Model.vds) in
+  (* beta_scale is already folded into the card's u0 by [Mos.params], but
+     the table was built from the unperturbed card — apply it here *)
+  let scale = dev.Mos.w *. dev.Mos.beta_scale in
+  let ids0 = out.(0) *. scale in
+  let n = Model.slope_factor p ~vbs:bias.Model.vbs in
+  let vdsat = Model.smooth_overdrive ~n veff in
+  let region =
+    if veff < -3.0 *. n *. vt_thermal then Model.Cutoff
+    else if veff < 3.0 *. n *. vt_thermal then Model.Weak
+    else if Float.abs bias.Model.vds < vdsat then Model.Triode
+    else Model.Saturation
+  in
+  {
+    Model.ids = ids0 *. clm;
+    gm = out.(1) *. scale *. clm;
+    gds = ids0 *. lambda;
+    gmb = out.(2) *. scale *. clm;
+    vth;
+    veff;
+    vdsat;
+    region;
+  }

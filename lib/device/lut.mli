@@ -1,0 +1,38 @@
+(** Precomputed operating-point lookup tables — the opt-in fast path for
+    MOS evaluation ("Accelerating OTA Circuit Design" makes device
+    evaluation the cheapest step of sizing by tabulating it).
+
+    Per (process, model kind, device polarity) a {!Cache.Lut} grid over
+    {b (Veff, L)} is built lazily on first use and cached for the life of
+    the process; corners and analysis temperatures produce distinct
+    process records and therefore distinct grids.  Each grid point stores
+    width-normalized saturation-region quantities (ids, gm, gmb per metre
+    of W with the channel-length-modulation factor divided out), sampled
+    from {!Model.evaluate_exact} at vbs = 0.
+
+    {!eval} then reconstructs a {!Model.eval} record analytically:
+    threshold (with body effect and mismatch shift) is computed exactly,
+    the tabulated curves are interpolated bilinearly at (veff, L), and
+    width, current-factor mismatch and CLM are applied in closed form
+    (gds = ids0 W lambda).
+
+    {b Accuracy.}  This is an approximation, valid for saturated devices
+    at small reverse body bias: unlike {!Memo}-cached evaluation it is
+    {e not} bit-identical to {!Model.evaluate}.  It is therefore never
+    wired into the simulator or the sizing plans implicitly — callers opt
+    in via {!Op.compute_lut}, and [bench cache] reports its speedup and
+    worst-case error against the exact model. *)
+
+val eval :
+  Technology.Process.t -> Model.kind -> Mos.t -> Model.bias -> Model.eval
+(** LUT-interpolated operating point of [dev] at [bias] (NMOS-convention
+    voltages, like {!Op.compute}).  Builds the per-process grid on first
+    use. *)
+
+val table :
+  Technology.Process.t -> Model.kind -> Technology.Electrical.mos_type ->
+  Cache.Lut.t
+(** The underlying grid (built lazily, shared across domains). *)
+
+val tables_built : unit -> int
+(** Number of distinct grids built so far (diagnostics). *)

@@ -87,7 +87,7 @@ let drain_current kind p ~w ~l bias =
     in
     -.ids_forward kind p ~w ~l swapped
 
-let evaluate kind p ~w ~l bias =
+let evaluate_exact kind p ~w ~l bias =
   let h = 1e-6 in
   let f b = drain_current kind p ~w ~l b in
   let ids = f bias in
@@ -114,6 +114,23 @@ let evaluate kind p ~w ~l bias =
     else Saturation
   in
   { ids; gm; gds; gmb; vth; veff; vdsat; region }
+
+(* Content-addressed memo over the full operating-point evaluation — the
+   hot path of the sizing plans, which revisit the same designed bias
+   points over and over.  The key covers everything the result depends
+   on (model card incl. mismatch perturbations, geometry, bias), so a
+   hit is bit-identical to recomputation.  The Newton stamps call
+   [evaluate_exact] instead: their biases are fresh on almost every
+   iterate, and a memo there is pure churn. *)
+let eval_memo : (kind * E.mos_params * float * float * bias, eval) Cache.Memo.t =
+  Cache.Memo.create ~name:"device.eval" ~shards:16 ~capacity:(1 lsl 17) ()
+
+let evaluate kind p ~w ~l bias =
+  if not !Cache.Config.flag then evaluate_exact kind p ~w ~l bias
+  else
+    Cache.Memo.find_or_compute eval_memo
+      (kind, p, w, l, bias)
+      (fun () -> evaluate_exact kind p ~w ~l bias)
 
 let w_for_current kind p ~l ~ids bias =
   assert (ids > 0.0);

@@ -48,6 +48,12 @@ val slope_factor :
   Technology.Electrical.mos_params -> vbs:float -> float
 (** Weak-inversion slope factor n = 1 + gamma / (2 sqrt(phi - vbs)). *)
 
+val smooth_overdrive : n:float -> float -> float
+(** [smooth_overdrive ~n veff] is the EKV-style smooth effective
+    overdrive: [veff] in strong inversion, an exponential with slope
+    [1/(n vt)] below threshold.  Equals the model's [vdsat].  Exposed for
+    the LUT builder ({!Lut}). *)
+
 val drain_current :
   kind -> Technology.Electrical.mos_params ->
   w:float -> l:float -> bias -> float
@@ -57,7 +63,20 @@ val evaluate :
   kind -> Technology.Electrical.mos_params ->
   w:float -> l:float -> bias -> eval
 (** Current plus small-signal conductances (central-difference derivatives
-    of {!drain_current}, 1 uV step). *)
+    of {!drain_current}, 1 uV step).
+
+    Evaluations are memoized in a content-addressed cache
+    ([device.eval] in {!Cache.Memo.registry}) keyed by the full input —
+    model card (including mismatch perturbations), geometry and bias — so
+    repeated operating points cost a hash lookup.  The cache stores the
+    exact computed record: results are bit-identical with caching on or
+    off ({!Cache.Config}). *)
+
+val evaluate_exact :
+  kind -> Technology.Electrical.mos_params ->
+  w:float -> l:float -> bias -> eval
+(** {!evaluate} without the memo — used by benchmarks to measure the
+    uncached cost, and by the LUT builder. *)
 
 val w_for_current :
   kind -> Technology.Electrical.mos_params ->

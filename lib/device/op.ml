@@ -5,9 +5,8 @@ type t = {
   bias : Model.bias;
 }
 
-let compute proc kind dev bias =
-  let p = Mos.params proc dev in
-  let eval = Model.evaluate kind p ~w:dev.Mos.w ~l:dev.Mos.l bias in
+(* Caps + geometry assembly shared by the exact and LUT paths. *)
+let finish proc dev bias eval =
   let vdb_rev = Float.abs (bias.Model.vds -. bias.Model.vbs) in
   let vsb_rev = Float.abs bias.Model.vbs in
   let caps =
@@ -31,6 +30,14 @@ let compute proc kind dev bias =
         Caps.csb = junction ~area:g.Folding.as_ ~perim:g.Folding.ps ~vrev:vsb_rev }
   in
   { eval; caps; geom = Mos.diffusion_geom proc dev; bias }
+
+let compute proc kind dev bias =
+  let p = Mos.params proc dev in
+  let eval = Model.evaluate kind p ~w:dev.Mos.w ~l:dev.Mos.l bias in
+  finish proc dev bias eval
+
+let compute_lut proc kind dev bias =
+  finish proc dev bias (Lut.eval proc kind dev bias)
 
 let ft t =
   t.eval.Model.gm /. (2.0 *. Float.pi *. Caps.total_gate t.caps)

@@ -17,6 +17,14 @@ val compute :
     negative).  Junction reverse biases are taken as |vdb| and |vsb| with
     vdb = vds - vbs and vsb = -vbs. *)
 
+val compute_lut :
+  Technology.Process.t -> Model.kind -> Mos.t -> Model.bias -> t
+(** Like {!compute} but evaluates the model through the interpolated
+    operating-point tables of {!Lut} instead of {!Model.evaluate}.  Fast
+    but approximate (saturation-region fit, vbs = 0 grid) — opt-in only;
+    never used implicitly by the simulator or the sizing plans.  The
+    capacitance and geometry assembly is shared with {!compute}. *)
+
 val ft : t -> float
 (** Transit frequency gm / (2 pi (cgs + cgd + cgb)). *)
 

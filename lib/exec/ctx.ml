@@ -1,0 +1,34 @@
+type t = {
+  proc : Technology.Process.t;
+  jobs : int option;
+  cache : bool option;
+  telemetry : bool option;
+}
+
+let make ?jobs ?cache ?telemetry proc = { proc; jobs; cache; telemetry }
+
+let jobs ?override ctx =
+  match override with
+  | Some _ -> override
+  | None -> ( match ctx with Some c -> c.jobs | None -> None)
+
+let proc ?override ctx =
+  match (override, ctx) with
+  | Some p, _ -> p
+  | None, Some c -> c.proc
+  | None, None ->
+    invalid_arg "Ctx.proc: no process given (pass ~proc or ~ctx)"
+
+let scope ctx f =
+  match ctx with
+  | None -> ( try Ok (f ()) with e -> Error e)
+  | Some c ->
+    let with_opt apply o k =
+      match o with None -> k () | Some v -> apply v k
+    in
+    with_opt Cache.Config.with_enabled c.cache @@ fun () ->
+    with_opt Obs.Config.with_enabled c.telemetry @@ fun () ->
+    ( try Ok (f ()) with e -> Error e)
+
+let run ctx f =
+  match scope ctx f with Ok v -> v | Error e -> raise e

@@ -1,0 +1,52 @@
+(** Execution context — one value bundling everything a long-running
+    analysis needs about {e how} to run: the process card, the domain
+    pool width, and the cache and telemetry switches.
+
+    Before this module, every entry point grew its own ad-hoc [?jobs]
+    (and would have grown [?cache] and [?telemetry] next); callers had to
+    thread three loose knobs through every layer.  A [Ctx.t] is built
+    once — normally by the CLI from its flags — and passed as [?ctx] to
+    [Core.Flow.run_all], [Comdiac.Montecarlo.run] and
+    [Comdiac.Robustness.run].  The old [?jobs] parameters remain as
+    deprecated overrides so existing callers compile unchanged.
+
+    The context is immutable plain data and safe to share across
+    domains; {!scope} applies the switch fields by saving and restoring
+    the corresponding global flags around a closure, so nested scopes
+    behave like dynamic binding. *)
+
+type t = {
+  proc : Technology.Process.t;  (** technology the analysis runs on *)
+  jobs : int option;
+      (** domain-pool width; [None] = {!Par.Pool.default_jobs} *)
+  cache : bool option;
+      (** force memo caches on/off; [None] = leave {!Cache.Config} alone *)
+  telemetry : bool option;
+      (** force telemetry on/off; [None] = leave {!Obs.Config} alone *)
+}
+
+val make :
+  ?jobs:int -> ?cache:bool -> ?telemetry:bool ->
+  Technology.Process.t -> t
+(** [make proc] is a context with all switches at their defaults. *)
+
+val jobs : ?override:int -> t option -> int option
+(** Resolve the pool width to pass to {!Par.Pool} combinators: an
+    explicit [?jobs] argument wins over [ctx.jobs]; [None] defers to the
+    pool's own default. *)
+
+val proc : ?override:Technology.Process.t -> t option -> Technology.Process.t
+(** Resolve the process: an explicit [~proc] argument wins over
+    [ctx.proc].  Raises [Invalid_argument] when neither is given —
+    entry points keep [?proc] optional only so that pre-[Ctx] call
+    sites still compile. *)
+
+val scope : t option -> (unit -> 'a) -> ('a, exn) result
+(** [scope ctx f] runs [f] with the context's cache and telemetry
+    switches applied ([None] fields leave the globals untouched),
+    restoring the previous values afterwards even on exceptions.  The
+    result is returned as [Ok]/[Error] so callers can re-raise outside
+    the scope; use {!run} for the raising variant. *)
+
+val run : t option -> (unit -> 'a) -> 'a
+(** {!scope} that re-raises. *)

@@ -45,7 +45,7 @@ type variant = {
 let well_net_of_mtype mtype b_net =
   match mtype with E.Nmos -> None | E.Pmos -> Some b_net
 
-let variants_of_group proc group =
+let generate_variants proc group =
   match group with
   | Single { spec; allowed_folds } ->
     let folds = if allowed_folds = [] then [ 1 ] else allowed_folds in
@@ -170,6 +170,19 @@ let variants_of_group proc group =
       }
     in
     List.map (fun k -> realise (scaled k)) scales
+
+(* The shape-curve source: all realised variants of a device group are a
+   pure function of (process, group) — the group already pins the device
+   cards, matching style and candidate fold counts — so the per-fold
+   Motif/Pair/Stack generation is memoized.  Repeated area optimisations
+   over the same floorplan (every Monte Carlo sample, every corner) then
+   reduce to Pareto merges of cached curves. *)
+let variants_memo : (P.t * group, variant list) Cache.Memo.t =
+  Cache.Memo.create ~name:"cairo.variants" ~shards:8 ~capacity:4096 ()
+
+let variants_of_group proc group =
+  Cache.Memo.find_or_compute variants_memo (proc, group) (fun () ->
+    generate_variants proc group)
 
 type report = {
   device_styles : (string * F.style) list;

@@ -115,6 +115,14 @@ let factor net ~freq =
   if !Obs.Config.flag then Obs.Metrics.incr "sim.acs.factorizations";
   { net; lu = C.lu_factor (assemble net ~freq) }
 
+let factor_result net ~freq =
+  match factor net ~freq with
+  | f -> Ok f
+  | exception e ->
+    (match Sim_error.of_exn ~analysis:"acs.factor" e with
+     | Some err -> Error err
+     | None -> raise e)
+
 let rhs_sources net =
   let n = Indexing.size net.idx in
   let j = Array.make n Complex.zero in
@@ -151,6 +159,11 @@ let voltage net x name =
 let transfer net ~freq ~out =
   let f = factor net ~freq in
   voltage net (solve_sources f) out
+
+let transfer_result net ~freq ~out =
+  Result.map
+    (fun f -> voltage net (solve_sources f) out)
+    (factor_result net ~freq)
 
 let output_impedance net ~freq ~out =
   let f = factor net ~freq in

@@ -16,6 +16,12 @@ type factored
 (** LU factorisation of Y(w) at one frequency. *)
 
 val factor : t -> freq:float -> factored
+(** Raises [Linalg.Singular] when Y(w) loses rank (floating node,
+    degenerate source loop).  Thin wrapper over {!factor_result}. *)
+
+val factor_result : t -> freq:float -> (factored, Sim_error.t) result
+(** {!factor} with the singularity reified as
+    [Error (Singular_matrix _)].  Programming errors still raise. *)
 
 val solve_sources : factored -> Complex.t array
 (** Response to the circuit's own AC sources (the [ac] magnitudes of V and
@@ -30,7 +36,13 @@ val voltage : t -> Complex.t array -> string -> Complex.t
 (** Extract a node phasor from a solution vector (ground is 0). *)
 
 val transfer : t -> freq:float -> out:string -> Complex.t
-(** One-call helper: response at node [out] to the circuit AC sources. *)
+(** One-call helper: response at node [out] to the circuit AC sources.
+    Raises like {!factor}. *)
+
+val transfer_result :
+  t -> freq:float -> out:string -> (Complex.t, Sim_error.t) result
+(** {!transfer} with factorisation failure reified, for frequency sweeps
+    that want to skip unrepresentable points instead of aborting. *)
 
 val output_impedance : t -> freq:float -> out:string -> Complex.t
 (** V(out) for a unit current injected into [out] with sources zeroed. *)

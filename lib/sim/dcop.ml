@@ -153,6 +153,14 @@ let solve ?(guess = fun _ -> None) ?(max_iter = 100) ~proc ~kind circuit =
   end;
   { idx; x; ops; iters = !total_iters; circ = circuit; proc; kind }
 
+let solve_result ?guess ?max_iter ~proc ~kind circuit =
+  match solve ?guess ?max_iter ~proc ~kind circuit with
+  | t -> Ok t
+  | exception e ->
+    (match Sim_error.of_exn ~analysis:"dcop" e with
+     | Some err -> Error err
+     | None -> raise e)
+
 let voltage t node =
   match Indexing.node_index t.idx node with None -> 0.0 | Some i -> t.x.(i)
 

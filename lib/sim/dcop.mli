@@ -14,7 +14,21 @@ val solve :
 (** Solve for the operating point.  [guess] seeds node voltages (nodes not
     covered start at 0 V); the sizing tool passes its intended bias point
     here.  Raises [Phys.Numerics.No_convergence] when every continuation
-    strategy fails. *)
+    strategy fails.  This is a thin wrapper over {!solve_result} kept for
+    existing callers; new code that wants to degrade gracefully should
+    match on the result instead. *)
+
+val solve_result :
+  ?guess:(string -> float option) ->
+  ?max_iter:int ->
+  proc:Technology.Process.t ->
+  kind:Device.Model.kind ->
+  Netlist.Circuit.t -> (t, Sim_error.t) result
+(** {!solve} with non-convergence reified: [Error (No_convergence _)]
+    when every continuation strategy fails (the simulator never reports
+    [Singular_matrix] from DC — a singular Jacobian is retried under
+    gmin/source stepping first).  Programming errors (bad netlists,
+    unknown nets) still raise. *)
 
 val voltage : t -> string -> float
 (** Node voltage; ground is 0. Raises [Invalid_argument] on unknown nets. *)

@@ -1,0 +1,21 @@
+type t =
+  | No_convergence of { analysis : string; detail : string }
+  | Singular_matrix of { analysis : string; column : int }
+
+let message = function
+  | No_convergence { analysis; detail } ->
+    Printf.sprintf "%s: no convergence (%s)" analysis detail
+  | Singular_matrix { analysis; column } ->
+    Printf.sprintf "%s: singular matrix at column %d" analysis column
+
+let to_exn = function
+  | No_convergence { detail; _ } -> Phys.Numerics.No_convergence detail
+  | Singular_matrix { column; _ } -> Linalg.Singular column
+
+let of_exn ~analysis = function
+  | Phys.Numerics.No_convergence detail ->
+    Some (No_convergence { analysis; detail })
+  | Linalg.Singular column -> Some (Singular_matrix { analysis; column })
+  | _ -> None
+
+let pp fmt e = Format.pp_print_string fmt (message e)

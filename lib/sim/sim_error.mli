@@ -1,0 +1,36 @@
+(** Unified simulator error type.
+
+    The analyses historically report failure through two unrelated
+    exceptions — [Phys.Numerics.No_convergence] from the DC Newton loop
+    (and everything built on it) and [Linalg.Singular] from the complex
+    LU factorisation — which forces every caller that wants to degrade
+    gracefully (Monte Carlo sampling, corner sweeps, the sizing
+    calibration loop) to enumerate both.  This module gives them one
+    closed type, and {!Dcop.solve_result} / {!Acs.factor_result} /
+    {!Acs.transfer_result} expose the analyses as
+    [('a, Sim_error.t) result]; the raising entry points remain as thin
+    wrappers for existing code. *)
+
+type t =
+  | No_convergence of { analysis : string; detail : string }
+      (** every Newton continuation strategy failed; [analysis] names
+          the entry point (e.g. ["dcop"]), [detail] carries the legacy
+          exception message *)
+  | Singular_matrix of { analysis : string; column : int }
+      (** the (complex) MNA matrix lost rank at [column] — typically a
+          floating node or a degenerate source loop *)
+
+val message : t -> string
+(** Human-readable one-liner. *)
+
+val to_exn : t -> exn
+(** The legacy exception carrying the same information:
+    [Phys.Numerics.No_convergence] or [Linalg.Singular].  Guarantees
+    that [match f_result x with Ok v -> v | Error e -> raise (to_exn e)]
+    behaves like the raising entry point. *)
+
+val of_exn : analysis:string -> exn -> t option
+(** Classify one of the two simulator exceptions; [None] for anything
+    else (programming errors keep propagating as exceptions). *)
+
+val pp : Format.formatter -> t -> unit

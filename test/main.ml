@@ -13,5 +13,6 @@ let () =
       Suite_core.suite;
       Suite_obs.suite;
       Suite_par.suite;
+      Suite_cache.suite;
       Suite_statistics.suite;
     ]

@@ -1,0 +1,181 @@
+open Helpers
+module Memo = Cache.Memo
+module Flow = Core.Flow
+
+let proc = Technology.Process.c06
+let kind = Device.Model.Bsim_lite
+let spec = Comdiac.Spec.paper_ota
+
+(* --- hit/miss semantics --------------------------------------------------- *)
+
+let test_hit_miss () =
+  Cache.Config.with_enabled true @@ fun () ->
+  let calls = ref 0 in
+  let m = Memo.create ~shards:1 ~capacity:16 ~name:"test.hitmiss" () in
+  let f k =
+    Memo.find_or_compute m k (fun () ->
+      incr calls;
+      k * k)
+  in
+  Alcotest.(check int) "first lookup computes" 9 (f 3);
+  Alcotest.(check int) "second lookup returns the same value" 9 (f 3);
+  Alcotest.(check int) "the computation ran once" 1 !calls;
+  let s = Memo.stats m in
+  Alcotest.(check int) "one hit" 1 s.Memo.hits;
+  Alcotest.(check int) "one miss" 1 s.Memo.misses;
+  ignore (f 4);
+  Alcotest.(check int) "a distinct key misses" 2 (Memo.stats m).Memo.misses;
+  Alcotest.(check int) "two entries stored" 2 (Memo.stats m).Memo.entries;
+  check_close "hit rate is hits/(hits+misses)" (1.0 /. 3.0)
+    (Memo.hit_rate (Memo.stats m));
+  Memo.clear m;
+  let s = Memo.stats m in
+  Alcotest.(check int) "clear zeroes the counters" 0 (s.Memo.hits + s.Memo.misses);
+  Alcotest.(check int) "clear drops the entries" 0 s.Memo.entries
+
+let test_nan_key_hits () =
+  (* equality is [compare k1 k2 = 0], so a nan inside a key still hits *)
+  Cache.Config.with_enabled true @@ fun () ->
+  let m = Memo.create ~shards:1 ~capacity:4 ~name:"test.nan" () in
+  let calls = ref 0 in
+  let f k =
+    Memo.find_or_compute m k (fun () ->
+      incr calls;
+      !calls)
+  in
+  Alcotest.(check int) "nan key computes once" (f (Float.nan, 1)) (f (Float.nan, 1));
+  Alcotest.(check int) "one compute for the nan key" 1 !calls
+
+let test_disabled_bypasses () =
+  Cache.Config.with_enabled false @@ fun () ->
+  let m = Memo.create ~shards:1 ~capacity:4 ~name:"test.disabled" () in
+  let calls = ref 0 in
+  let f k =
+    Memo.find_or_compute m k (fun () ->
+      incr calls;
+      k)
+  in
+  ignore (f 1);
+  ignore (f 1);
+  Alcotest.(check int) "disabled cache recomputes every time" 2 !calls;
+  let s = Memo.stats m in
+  Alcotest.(check int) "no counters touched" 0 (s.Memo.hits + s.Memo.misses);
+  Alcotest.(check int) "no entries stored" 0 s.Memo.entries;
+  Alcotest.(check bool) "nothing cached" false (Memo.mem m 1)
+
+(* --- LRU eviction order --------------------------------------------------- *)
+
+let test_lru_eviction_order () =
+  Cache.Config.with_enabled true @@ fun () ->
+  (* one shard so the LRU list is global and the order fully observable *)
+  let m = Memo.create ~shards:1 ~capacity:4 ~name:"test.lru" () in
+  let touch k = ignore (Memo.find_or_compute m k (fun () -> k)) in
+  List.iter touch [ 0; 1; 2; 3 ];
+  (* key 0 is now least recently used; promote it with a hit *)
+  touch 0;
+  (* a fifth key must evict key 1, the oldest untouched entry *)
+  touch 4;
+  Alcotest.(check bool) "promoted key survives" true (Memo.mem m 0);
+  Alcotest.(check bool) "least recently used key evicted" false (Memo.mem m 1);
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "key %d retained" k)
+        true (Memo.mem m k))
+    [ 2; 3; 4 ];
+  let s = Memo.stats m in
+  Alcotest.(check int) "exactly one eviction" 1 s.Memo.evictions;
+  Alcotest.(check int) "size pinned at capacity" 4 s.Memo.entries;
+  (* evicted key recomputes: a miss, then hits again *)
+  touch 1;
+  Alcotest.(check int) "re-inserting the evicted key misses" 6
+    (Memo.stats m).Memo.misses
+
+(* --- cache-on == cache-off bit-identity for a flow case ------------------- *)
+
+let strip_elapsed r = { r with Flow.elapsed = 0.0 }
+
+let test_flow_bit_identity () =
+  (* same end-to-end synthesis with every memo active and with caching
+     globally disabled: results must compare structurally equal (only the
+     wall-clock field may differ) *)
+  Memo.clear_all ();
+  let cached =
+    Cache.Config.with_enabled true @@ fun () ->
+    Flow.run ~proc ~kind ~spec Flow.Case2
+  in
+  (* a second cached run, now answered from warm memos *)
+  let warm =
+    Cache.Config.with_enabled true @@ fun () ->
+    Flow.run ~proc ~kind ~spec Flow.Case2
+  in
+  let uncached =
+    Cache.Config.with_enabled false @@ fun () ->
+    Flow.run ~proc ~kind ~spec Flow.Case2
+  in
+  Alcotest.(check bool) "warm rerun is bit-identical" true
+    (compare (strip_elapsed cached) (strip_elapsed warm) = 0);
+  Alcotest.(check bool) "cache on == cache off" true
+    (compare (strip_elapsed cached) (strip_elapsed uncached) = 0)
+
+(* --- concurrent access from pool workers ---------------------------------- *)
+
+(* a pure, deliberately repetition-heavy function to memoize *)
+let mix x =
+  let r = ref (x land 1023) in
+  for _ = 1 to 50 do
+    r := ((!r * 31) + 7) mod 1000003
+  done;
+  !r
+
+let pool_memo = Memo.create ~shards:4 ~capacity:1024 ~name:"test.pool" ()
+
+let prop_pool_workers_consistent =
+  QCheck.Test.make ~count:25 ~name:"memo shared by 4 pool workers stays exact"
+    QCheck.(list_of_size Gen.(return 64) (int_bound 40))
+    (fun xs ->
+      Cache.Config.with_enabled true @@ fun () ->
+      let via_memo x = Memo.find_or_compute pool_memo x (fun () -> mix x) in
+      let from_pool = Par.Pool.map ~jobs:4 via_memo xs in
+      (* every worker must observe the exact sequential value, racing
+         inserts included *)
+      from_pool = List.map mix xs
+      && (Memo.stats pool_memo).Memo.entries <= 1024)
+
+(* --- execution context ---------------------------------------------------- *)
+
+let test_ctx_resolution () =
+  let ctx = Exec.Ctx.make ~jobs:3 proc in
+  Alcotest.(check bool) "ctx supplies the process" true
+    (Exec.Ctx.proc (Some ctx) == proc);
+  Alcotest.(check bool) "explicit process overrides the context" true
+    (Exec.Ctx.proc ~override:Technology.Process.c035 (Some ctx)
+     == Technology.Process.c035);
+  Alcotest.(check (option int)) "ctx supplies jobs" (Some 3)
+    (Exec.Ctx.jobs (Some ctx));
+  Alcotest.(check (option int)) "explicit jobs override the context" (Some 8)
+    (Exec.Ctx.jobs ~override:8 (Some ctx));
+  Alcotest.(check (option int)) "no context, no jobs" None (Exec.Ctx.jobs None);
+  (match Exec.Ctx.proc None with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "proc with neither context nor override must raise");
+  (* scope restores the cache flag even when the body raises *)
+  let before = Cache.Config.enabled () in
+  let ctx = Exec.Ctx.make ~cache:(not before) proc in
+  (match Exec.Ctx.run (Some ctx) (fun () -> failwith "boom") with
+   | exception Failure _ -> ()
+   | _ -> Alcotest.fail "run must re-raise");
+  Alcotest.(check bool) "cache flag restored after exception" before
+    (Cache.Config.enabled ())
+
+let suite =
+  ( "cache",
+    [
+      case "hit/miss semantics and counters" test_hit_miss;
+      case "nan inside a key still hits" test_nan_key_hits;
+      case "disabled cache bypasses table and counters" test_disabled_bypasses;
+      case "LRU eviction order" test_lru_eviction_order;
+      case "flow case: cache on == cache off" test_flow_bit_identity;
+      case "ctx resolution and scoped flags" test_ctx_resolution;
+    ]
+    @ qcheck_cases [ prop_pool_workers_consistent ] )
