@@ -386,14 +386,16 @@ let timing_parallel () =
      to the sequential ones (per-sample SplitMix64 streams; ordered \
      chunk reassembly).@."
 
-let timing () =
-  section "Timing - tool performance (paper bound: sizing < 2 minutes)";
+(* folded-cascode OTA testbench shared by [timing] and [kernels]: the
+   sized amplifier under its intended bias, with supply and differential
+   AC inputs *)
+let solver_testbench () =
   let design =
     Comdiac.Folded_cascode.size ~proc ~kind ~spec
       ~parasitics:Comdiac.Parasitics.single_fold
   in
   let amp = design.Comdiac.Folded_cascode.amp in
-  let bench_circuit =
+  let circuit =
     let c = Netlist.Circuit.create ~title:"tb" in
     let c = Comdiac.Amp.add_to amp c in
     let c =
@@ -408,7 +410,14 @@ let timing () =
     Netlist.Circuit.add_vsource c ~name:"in" ~p:"inn" ~n:"0"
       (Netlist.Element.ac_source ~dc:vcm (-0.5))
   in
-  let guess = Comdiac.Amp.guess_fn amp ~extra:[ ("vdd", spec.Comdiac.Spec.vdd) ] in
+  let guess =
+    Comdiac.Amp.guess_fn amp ~extra:[ ("vdd", spec.Comdiac.Spec.vdd) ]
+  in
+  (design, circuit, guess)
+
+let timing () =
+  section "Timing - tool performance (paper bound: sizing < 2 minutes)";
+  let design, bench_circuit, guess = solver_testbench () in
   let dc = Sim.Dcop.solve ~guess ~proc ~kind bench_circuit in
   let net = Sim.Acs.prepare dc in
   (* micro-benchmarks run with the memo caches off so they keep measuring
@@ -676,6 +685,205 @@ let write_cache_json path =
     output_char oc '\n');
   Format.printf "wrote cache records to %s@." path
 
+(* ------------------------------------------------------------------ *)
+(* Kernels - unboxed in-place LU vs the boxed functor reference        *)
+(* ------------------------------------------------------------------ *)
+
+(* top-level sections dumped by [--kernels-json FILE] (CI keeps it as
+   BENCH_kernels.json) *)
+let kernel_records : (string * Obs.Json.t) list ref = ref []
+
+let bits_eq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+(* median-of-batch-means per-call latency: the mean inside a batch keeps
+   the GC work a backend's own allocation causes (a real, recurring cost);
+   the median across batches discards one-off scheduler interference *)
+let time_per ?(batches = 5) ~reps f =
+  ignore (f ());
+  let means =
+    Array.init batches (fun _ ->
+      let t0 = Obs.Clock.now_s () in
+      for _ = 1 to reps do
+        ignore (f ())
+      done;
+      (Obs.Clock.now_s () -. t0) /. float_of_int reps)
+  in
+  Array.sort compare means;
+  means.(batches / 2)
+
+let minor_words_per ~reps f =
+  ignore (f ());
+  let w0 = Gc.minor_words () in
+  for _ = 1 to reps do
+    ignore (f ())
+  done;
+  (Gc.minor_words () -. w0) /. float_of_int reps
+
+let kernels_lu () =
+  Format.printf "raw LU factor+solve, random diagonally dominant systems:@.";
+  let module R = Linalg.Real in
+  let module Df = Linalg.Dense_f in
+  let recs =
+    List.map
+      (fun n ->
+        let st = Random.State.make [| 0xC0FFEE; n |] in
+        let rnd () = Random.State.float st 2.0 -. 1.0 in
+        let rows =
+          Array.init n (fun i ->
+            Array.init n (fun j ->
+              rnd () +. if i = j then float_of_int n else 0.0))
+        in
+        let b = Array.init n (fun _ -> rnd ()) in
+        let boxed = R.of_arrays (Array.map Array.copy rows) in
+        let template = Df.of_arrays rows in
+        let ws = Linalg.Ws.real n in
+        let kernel_solve () =
+          Df.blit ~src:template ~dst:ws.Linalg.Ws.jac;
+          Array.blit b 0 ws.Linalg.Ws.rhs 0 n;
+          Df.lu_factor_in_place ws.Linalg.Ws.jac ~piv:ws.Linalg.Ws.piv;
+          Df.lu_solve_into ws.Linalg.Ws.jac ~piv:ws.Linalg.Ws.piv
+            ~b:ws.Linalg.Ws.rhs ~x:ws.Linalg.Ws.delta
+        in
+        let functor_solve () = R.solve boxed b in
+        let xf = functor_solve () in
+        kernel_solve ();
+        let identical = ref true in
+        for i = 0 to n - 1 do
+          if not (bits_eq xf.(i) ws.Linalg.Ws.delta.(i)) then identical := false
+        done;
+        let reps = max 500 (2_000_000 / (n * n)) in
+        let kernel_s = time_per ~reps kernel_solve in
+        let functor_s = time_per ~reps functor_solve in
+        let kernel_w = minor_words_per ~reps kernel_solve in
+        let functor_w = minor_words_per ~reps functor_solve in
+        let speedup = functor_s /. Float.max 1e-12 kernel_s in
+        Format.printf
+          "  n=%-3d functor %8.2f us/solve  kernel %8.2f us/solve  speedup \
+           %6.2fx   alloc %8.0f -> %3.0f words/solve   identical %b@."
+          n (functor_s *. 1e6) (kernel_s *. 1e6) speedup functor_w kernel_w
+          !identical;
+        Obs.Json.Obj
+          [
+            ("n", Obs.Json.Num (float_of_int n));
+            ("functor_s_per_solve", Obs.Json.Num functor_s);
+            ("kernel_s_per_solve", Obs.Json.Num kernel_s);
+            ("speedup", Obs.Json.Num speedup);
+            ("functor_words_per_solve", Obs.Json.Num functor_w);
+            ("kernel_words_per_solve", Obs.Json.Num kernel_w);
+            ("identical_bits", Obs.Json.Bool !identical);
+          ])
+      [ 8; 16; 32; 64 ]
+  in
+  kernel_records := ("lu", Obs.Json.Arr recs) :: !kernel_records
+
+let kernels_sim () =
+  let _, bench_circuit, guess = solver_testbench () in
+  let solve backend () =
+    Sim.Dcop.solve ~backend ~guess ~proc ~kind bench_circuit
+  in
+  let dc_k = solve Sim.Stamps.Kernel () in
+  let dc_r = solve Sim.Stamps.Reference () in
+  let nodes = Sim.Indexing.node_names (Sim.Dcop.indexing dc_k) in
+  let dc_identical =
+    Sim.Dcop.iterations dc_k = Sim.Dcop.iterations dc_r
+    && Array.for_all
+         (fun nd ->
+           bits_eq (Sim.Dcop.voltage dc_k nd) (Sim.Dcop.voltage dc_r nd))
+         nodes
+  in
+  let reps = 100 in
+  let kernel_s = time_per ~reps (solve Sim.Stamps.Kernel) in
+  let ref_s = time_per ~reps (solve Sim.Stamps.Reference) in
+  let kernel_w = minor_words_per ~reps:5 (solve Sim.Stamps.Kernel) in
+  let ref_w = minor_words_per ~reps:5 (solve Sim.Stamps.Reference) in
+  let dc_speedup = ref_s /. Float.max 1e-12 kernel_s in
+  Format.printf
+    "@.full Newton DC operating point (folded-cascode OTA, %d unknowns, %d \
+     iterations):@.  functor %8.2f ms  kernel %8.2f ms  speedup %.2fx   \
+     alloc %.2e -> %.2e words/solve   identical %b@."
+    (Array.length nodes)
+    (Sim.Dcop.iterations dc_k)
+    (ref_s *. 1e3) (kernel_s *. 1e3) dc_speedup ref_w kernel_w dc_identical;
+  kernel_records :=
+    ( "dcop",
+      Obs.Json.Obj
+        [
+          ("unknowns", Obs.Json.Num (float_of_int (Array.length nodes)));
+          ("newton_iterations",
+           Obs.Json.Num (float_of_int (Sim.Dcop.iterations dc_k)));
+          ("functor_s_per_solve", Obs.Json.Num ref_s);
+          ("kernel_s_per_solve", Obs.Json.Num kernel_s);
+          ("speedup", Obs.Json.Num dc_speedup);
+          ("functor_words_per_solve", Obs.Json.Num ref_w);
+          ("kernel_words_per_solve", Obs.Json.Num kernel_w);
+          ("identical_bits", Obs.Json.Bool dc_identical);
+        ] )
+    :: !kernel_records;
+  let net = Sim.Acs.prepare dc_k in
+  let freqs =
+    (* 50 log-spaced points, 1 Hz .. 10 GHz *)
+    Array.init 50 (fun i -> 10.0 ** (float_of_int i *. (10.0 /. 49.0)))
+  in
+  let sweep backend () =
+    Array.map
+      (fun freq -> Sim.Acs.transfer ~backend net ~freq ~out:"out")
+      freqs
+  in
+  let sweep_k = sweep Sim.Stamps.Kernel () in
+  let sweep_r = sweep Sim.Stamps.Reference () in
+  let ac_identical =
+    Array.for_all2
+      (fun (a : Complex.t) (b : Complex.t) ->
+        bits_eq a.Complex.re b.Complex.re && bits_eq a.Complex.im b.Complex.im)
+      sweep_k sweep_r
+  in
+  let reps = 40 in
+  let kernel_s = time_per ~reps (sweep Sim.Stamps.Kernel) in
+  let ref_s = time_per ~reps (sweep Sim.Stamps.Reference) in
+  let kernel_w = minor_words_per ~reps:10 (sweep Sim.Stamps.Kernel) in
+  let ref_w = minor_words_per ~reps:10 (sweep Sim.Stamps.Reference) in
+  let ac_speedup = ref_s /. Float.max 1e-12 kernel_s in
+  Format.printf
+    "@.50-point AC sweep (1 Hz - 10 GHz, same OTA):@.  functor %8.2f ms  \
+     kernel %8.2f ms  speedup %.2fx   alloc %.2e -> %.2e words/sweep   \
+     identical %b@."
+    (ref_s *. 1e3) (kernel_s *. 1e3) ac_speedup ref_w kernel_w ac_identical;
+  kernel_records :=
+    ( "ac_sweep",
+      Obs.Json.Obj
+        [
+          ("points", Obs.Json.Num (float_of_int (Array.length freqs)));
+          ("functor_s_per_sweep", Obs.Json.Num ref_s);
+          ("kernel_s_per_sweep", Obs.Json.Num kernel_s);
+          ("speedup", Obs.Json.Num ac_speedup);
+          ("functor_words_per_sweep", Obs.Json.Num ref_w);
+          ("kernel_words_per_sweep", Obs.Json.Num kernel_w);
+          ("identical_bits", Obs.Json.Bool ac_identical);
+        ] )
+    :: !kernel_records
+
+let kernels () =
+  section "Kernels - unboxed in-place LU vs boxed functor reference";
+  (* caches off: repeated identical solves must measure the solver, not
+     the memo layer (which gets its own [cache] experiment) *)
+  Cache.Config.with_enabled false @@ fun () ->
+  kernels_lu ();
+  kernels_sim ();
+  Format.printf
+    "@.bit-identity here is exact (Int64.bits_of_float); the kernel path is \
+     the default backend everywhere, the functor remains as reference.@."
+
+let write_kernels_json path =
+  let doc =
+    Obs.Json.Obj
+      (("schema", Obs.Json.Str "losac.bench.kernels/1")
+       :: List.rev !kernel_records)
+  in
+  Out_channel.with_open_text path (fun oc ->
+    output_string oc (Obs.Json.to_string doc);
+    output_char oc '\n');
+  Format.printf "wrote kernel records to %s@." path
+
 let experiments =
   [
     ("table1", table1);
@@ -688,6 +896,7 @@ let experiments =
     ("statistics", statistics);
     ("timing", timing);
     ("cache", cache_bench);
+    ("kernels", kernels);
   ]
 
 let write_timing_json path =
@@ -695,6 +904,9 @@ let write_timing_json path =
     Obs.Json.Obj
       [
         ("schema", Obs.Json.Str "losac.bench.timing/1");
+        ("cores",
+         Obs.Json.Num (float_of_int (Domain.recommended_domain_count ())));
+        ("jobs", Obs.Json.Num (float_of_int (Par.Pool.default_jobs ())));
         ("experiments", Obs.Json.Arr (List.rev !timing_records));
       ]
   in
@@ -704,17 +916,22 @@ let write_timing_json path =
   Format.printf "wrote timing records to %s@." path
 
 let () =
-  let rec split names json cache_json = function
-    | [] -> (List.rev names, json, cache_json)
-    | "--json" :: path :: rest -> split names (Some path) cache_json rest
-    | "--cache-json" :: path :: rest -> split names json (Some path) rest
-    | [ ("--json" | "--cache-json") ] ->
-      prerr_endline "bench: --json/--cache-json need a file argument";
+  let rec split names json cache_json kernels_json = function
+    | [] -> (List.rev names, json, cache_json, kernels_json)
+    | "--json" :: path :: rest ->
+      split names (Some path) cache_json kernels_json rest
+    | "--cache-json" :: path :: rest ->
+      split names json (Some path) kernels_json rest
+    | "--kernels-json" :: path :: rest ->
+      split names json cache_json (Some path) rest
+    | [ ("--json" | "--cache-json" | "--kernels-json") ] ->
+      prerr_endline
+        "bench: --json/--cache-json/--kernels-json need a file argument";
       exit 2
-    | name :: rest -> split (name :: names) json cache_json rest
+    | name :: rest -> split (name :: names) json cache_json kernels_json rest
   in
-  let names, json, cache_json =
-    split [] None None (List.tl (Array.to_list Sys.argv))
+  let names, json, cache_json, kernels_json =
+    split [] None None None (List.tl (Array.to_list Sys.argv))
   in
   let requested = if names = [] then List.map fst experiments else names in
   List.iter
@@ -726,4 +943,5 @@ let () =
           (String.concat " " (List.map fst experiments)))
     requested;
   Option.iter write_timing_json json;
-  Option.iter write_cache_json cache_json
+  Option.iter write_cache_json cache_json;
+  Option.iter write_kernels_json kernels_json

@@ -27,14 +27,19 @@ type eval = {
 
 let vt_thermal = Phys.Const.thermal_voltage Phys.Const.room_temperature
 
+(* The helpers below carry [@inline] so the Newton stamping loop — which
+   evaluates every device on every iterate — pays no cross-function float
+   boxing.  Inlining preserves the floating-point operation sequence
+   exactly, so results stay bit-identical. *)
+
 (* Clamp the junction potential so body effect stays defined for mildly
    forward body bias encountered during Newton iterations. *)
-let phi_minus_vbs p vbs = Float.max 0.05 (p.E.phi -. vbs)
+let[@inline] phi_minus_vbs p vbs = Float.max 0.05 (p.E.phi -. vbs)
 
-let slope_factor p ~vbs =
+let[@inline] slope_factor p ~vbs =
   1.0 +. p.E.gamma /. (2.0 *. sqrt (phi_minus_vbs p vbs))
 
-let threshold kind p ~l ~vbs =
+let[@inline] threshold kind p ~l ~vbs =
   let body = p.E.gamma *. (sqrt (phi_minus_vbs p vbs) -. sqrt p.E.phi) in
   let rolloff =
     match kind with
@@ -46,12 +51,12 @@ let threshold kind p ~l ~vbs =
 (* EKV-style smooth overdrive: equals vgs - vth in strong inversion and an
    exponential with slope 1/(n vt) below threshold, giving a C-infinity
    current characteristic through the weak/moderate inversion transition. *)
-let smooth_overdrive ~n veff =
+let[@inline] smooth_overdrive ~n veff =
   let a = 2.0 *. n *. vt_thermal in
   let x = veff /. a in
   if x > 40.0 then veff else a *. log1p (exp x)
 
-let kp_effective kind p ~l veffs =
+let[@inline] kp_effective kind p ~l veffs =
   let kp = E.kp p in
   match kind with
   | Level1 -> kp
@@ -63,7 +68,7 @@ let kp_effective kind p ~l veffs =
 (* Forward current with vds >= 0.  The (1 + lambda vds) factor multiplies
    both regions (as SPICE Level 1 does) so the characteristic stays
    continuous at vdsat. *)
-let ids_forward kind p ~w ~l { vgs; vds; vbs } =
+let[@inline] ids_forward kind p ~w ~l { vgs; vds; vbs } =
   let n = slope_factor p ~vbs in
   let vth = threshold kind p ~l ~vbs in
   let veffs = smooth_overdrive ~n (vgs -. vth) in
@@ -75,7 +80,7 @@ let ids_forward kind p ~w ~l { vgs; vds; vbs } =
   if vds >= vdsat then 0.5 *. beta /. n *. veffs *. veffs *. clm
   else beta /. n *. (veffs -. 0.5 *. vds) *. vds *. clm
 
-let drain_current kind p ~w ~l bias =
+let[@inline] drain_current kind p ~w ~l bias =
   if bias.vds >= 0.0 then ids_forward kind p ~w ~l bias
   else
     (* source/drain swap: with roles exchanged the controlling voltages are

@@ -24,25 +24,57 @@ let pareto pts =
 let of_variants variants =
   pareto (List.mapi (fun i (w, h) -> { w; h; choice = Variant i }) variants)
 
-let cross f a b =
-  let pts = ref [] in
-  Array.iteri
-    (fun i pa ->
-      Array.iteri (fun j pb -> pts := f i pa j pb :: !pts) b)
-    a;
-  pareto !pts
+(* Stockmeyer's linear merge.  Both inputs are Pareto frontiers (widths
+   strictly increasing, heights strictly decreasing), so the frontier of
+   the composition is a single two-pointer walk instead of the O(n * m)
+   all-pairs cross product.
 
+   For the horizontal composition (w = w1 + w2, h = max h1 h2) the walk
+   starts at the narrowest pair and repeatedly advances the child whose
+   current height realises the max — advancing the other child would grow
+   the width without lowering the height, which is dominated.  Equal
+   heights advance both: keeping either child back yields the same height
+   at a larger width.  Any two distinct pairs with identical (w, h) are
+   both dominated by a third pair, so the surviving points have unique
+   generating pairs and the merge reproduces the all-pairs result exactly,
+   choices included (the test suite checks this structurally against a
+   cross-product oracle). *)
 let combine_h a b =
-  cross
-    (fun i pa j pb ->
-      { w = pa.w + pb.w; h = max pa.h pb.h; choice = Compose (i, j) })
-    a b
+  let n = Array.length a and m = Array.length b in
+  let acc = ref [] in
+  let i = ref 0 and j = ref 0 in
+  while !i < n && !j < m do
+    let pa = a.(!i) and pb = b.(!j) in
+    acc := { w = pa.w + pb.w; h = max pa.h pb.h; choice = Compose (!i, !j) }
+           :: !acc;
+    if pa.h > pb.h then incr i
+    else if pb.h > pa.h then incr j
+    else begin
+      incr i;
+      incr j
+    end
+  done;
+  Array.of_list (List.rev !acc)
 
+(* Vertical composition is the same walk with the roles of width and
+   height swapped: start from the widest (lowest) pair and retreat the
+   child realising the max width. *)
 let combine_v a b =
-  cross
-    (fun i pa j pb ->
-      { w = max pa.w pb.w; h = pa.h + pb.h; choice = Compose (i, j) })
-    a b
+  let n = Array.length a and m = Array.length b in
+  let acc = ref [] in
+  let i = ref (n - 1) and j = ref (m - 1) in
+  while !i >= 0 && !j >= 0 do
+    let pa = a.(!i) and pb = b.(!j) in
+    acc := { w = max pa.w pb.w; h = pa.h + pb.h; choice = Compose (!i, !j) }
+           :: !acc;
+    if pa.w > pb.w then decr i
+    else if pb.w > pa.w then decr j
+    else begin
+      decr i;
+      decr j
+    end
+  done;
+  Array.of_list !acc
 
 let points t = Array.to_list t
 

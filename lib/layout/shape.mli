@@ -18,10 +18,13 @@ val of_variants : (int * int) list -> t
     variants are pruned but their indices are preserved in [choice]. *)
 
 val combine_h : t -> t -> t
-(** Side-by-side: w = w1 + w2, h = max h1 h2. *)
+(** Side-by-side: w = w1 + w2, h = max h1 h2.  Linear-time Stockmeyer
+    merge of the two frontiers (equivalent to the all-pairs cross product
+    followed by Pareto pruning, choices included). *)
 
 val combine_v : t -> t -> t
-(** Stacked: w = max w1 w2, h = h1 + h2. *)
+(** Stacked: w = max w1 w2, h = h1 + h2.  Same merge with the roles of
+    width and height swapped. *)
 
 val points : t -> point list
 

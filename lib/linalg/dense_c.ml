@@ -1,0 +1,186 @@
+(* Unboxed complex dense kernels: split re/im storage in two flat
+   row-major [floatarray] planes.
+
+   Hot-path twin of [Dense.Make (Field.Cx)].  Every complex primitive the
+   functor reaches through the stdlib [Complex] module (add, sub, mul, the
+   scaled division, [norm] for pivot magnitudes) is reproduced here inline
+   on the split representation with the exact same operation order, so the
+   two backends factor and solve bit-identically — the functor remains the
+   reference implementation.  Factorisation is in place and the triangular
+   solves write into caller-provided split vectors, so with reused buffers
+   (see {!Ws}) the factor/solve path allocates nothing. *)
+
+module FA = Float.Array
+
+type t = { n : int; re : floatarray; im : floatarray }
+
+let create n = { n; re = FA.make (n * n) 0.0; im = FA.make (n * n) 0.0 }
+let dim m = m.n
+
+let clear m =
+  FA.fill m.re 0 (m.n * m.n) 0.0;
+  FA.fill m.im 0 (m.n * m.n) 0.0
+
+let get m i j =
+  let k = (i * m.n) + j in
+  { Complex.re = FA.get m.re k; im = FA.get m.im k }
+
+let set m i j (x : Complex.t) =
+  let k = (i * m.n) + j in
+  FA.set m.re k x.Complex.re;
+  FA.set m.im k x.Complex.im
+
+(* componentwise accumulation — mirrors [Complex.add] exactly *)
+let add_to m i j ~re ~im =
+  let k = (i * m.n) + j in
+  FA.set m.re k (FA.get m.re k +. re);
+  FA.set m.im k (FA.get m.im k +. im)
+
+let blit ~src ~dst =
+  assert (src.n = dst.n);
+  let len = src.n * src.n in
+  FA.blit src.re 0 dst.re 0 len;
+  FA.blit src.im 0 dst.im 0 len
+
+(* In-place LU with partial pivoting, the split mirror of
+   [Dense.Make(Field.Cx).lu_factor]: pivot magnitudes via [Float.hypot]
+   (= [Complex.norm]), the factor via the stdlib's scaled complex
+   division, the rank-1 update via the textbook complex multiply.  [piv]
+   is reset to the identity and records the row permutation.  Raises
+   [Dense.Singular k] under exactly the functor's condition. *)
+let factor_core m ~piv =
+  let n = m.n in
+  assert (Array.length piv = n);
+  let re = m.re and im = m.im in
+  for i = 0 to n - 1 do
+    Array.unsafe_set piv i i
+  done;
+  for k = 0 to n - 1 do
+    (* pivot selection on |a_ik| *)
+    let kk = (k * n) + k in
+    let pivot = ref k
+    and best = ref (Float.hypot (FA.unsafe_get re kk) (FA.unsafe_get im kk)) in
+    for i = k + 1 to n - 1 do
+      let ik = (i * n) + k in
+      let v = Float.hypot (FA.unsafe_get re ik) (FA.unsafe_get im ik) in
+      if v > !best then begin
+        best := v;
+        pivot := i
+      end
+    done;
+    if !best < 1e-300 then raise (Dense.Singular k);
+    if !pivot <> k then begin
+      let p = !pivot in
+      for j = 0 to n - 1 do
+        let kj = (k * n) + j and pj = (p * n) + j in
+        let tr = FA.unsafe_get re kj in
+        FA.unsafe_set re kj (FA.unsafe_get re pj);
+        FA.unsafe_set re pj tr;
+        let ti = FA.unsafe_get im kj in
+        FA.unsafe_set im kj (FA.unsafe_get im pj);
+        FA.unsafe_set im pj ti
+      done;
+      let tp = Array.unsafe_get piv k in
+      Array.unsafe_set piv k (Array.unsafe_get piv p);
+      Array.unsafe_set piv p tp
+    end;
+    let akk_re = FA.unsafe_get re kk and akk_im = FA.unsafe_get im kk in
+    for i = k + 1 to n - 1 do
+      let ik = (i * n) + k in
+      let xr = FA.unsafe_get re ik and xi = FA.unsafe_get im ik in
+      (* factor = a_ik / a_kk, stdlib [Complex.div] branch for branch;
+         written straight back into the sub-diagonal slot (no tuple, the
+         factor loop must stay allocation-free) *)
+      if Float.abs akk_re >= Float.abs akk_im then begin
+        let r = akk_im /. akk_re in
+        let d = akk_re +. (r *. akk_im) in
+        FA.unsafe_set re ik ((xr +. (r *. xi)) /. d);
+        FA.unsafe_set im ik ((xi -. (r *. xr)) /. d)
+      end
+      else begin
+        let r = akk_re /. akk_im in
+        let d = akk_im +. (r *. akk_re) in
+        FA.unsafe_set re ik (((r *. xr) +. xi) /. d);
+        FA.unsafe_set im ik (((r *. xi) -. xr) /. d)
+      end;
+      let fr = FA.unsafe_get re ik and fi = FA.unsafe_get im ik in
+      if Float.hypot fr fi > 0.0 then
+        for j = k + 1 to n - 1 do
+          let ij = (i * n) + j and kj = (k * n) + j in
+          let ar = FA.unsafe_get re kj and ai = FA.unsafe_get im kj in
+          (* a_ij <- a_ij - factor * a_kj *)
+          FA.unsafe_set re ij
+            (FA.unsafe_get re ij -. ((fr *. ar) -. (fi *. ai)));
+          FA.unsafe_set im ij
+            (FA.unsafe_get im ij -. ((fr *. ai) +. (fi *. ar)))
+        done
+    done
+  done
+
+let lu_factor_in_place m ~piv =
+  if not !Obs.Config.flag then factor_core m ~piv
+  else begin
+    Obs.Metrics.incr "linalg.cx.factors";
+    let t0 = Obs.Clock.now_s () in
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Metrics.add "linalg.cx.factor_s" (Obs.Clock.now_s () -. t0))
+      (fun () -> factor_core m ~piv)
+  end
+
+(* Forward/back substitution into the split vector ([x_re], [x_im]); same
+   operation order as the functor's [lu_solve].  The output must not alias
+   the right-hand side. *)
+let lu_solve_into m ~piv ~b_re ~b_im ~x_re ~x_im =
+  let n = m.n in
+  assert (Array.length b_re = n && Array.length b_im = n);
+  assert (Array.length x_re = n && Array.length x_im = n);
+  if !Obs.Config.flag then Obs.Metrics.incr "linalg.cx.solves";
+  let re = m.re and im = m.im in
+  for i = 0 to n - 1 do
+    let p = Array.unsafe_get piv i in
+    Array.unsafe_set x_re i (Array.unsafe_get b_re p);
+    Array.unsafe_set x_im i (Array.unsafe_get b_im p)
+  done;
+  (* forward substitution, unit lower triangle *)
+  for i = 1 to n - 1 do
+    let acc_r = ref (Array.unsafe_get x_re i)
+    and acc_i = ref (Array.unsafe_get x_im i) in
+    for j = 0 to i - 1 do
+      let ij = (i * n) + j in
+      let ar = FA.unsafe_get re ij and ai = FA.unsafe_get im ij in
+      let xr = Array.unsafe_get x_re j and xi = Array.unsafe_get x_im j in
+      acc_r := !acc_r -. ((ar *. xr) -. (ai *. xi));
+      acc_i := !acc_i -. ((ar *. xi) +. (ai *. xr))
+    done;
+    Array.unsafe_set x_re i !acc_r;
+    Array.unsafe_set x_im i !acc_i
+  done;
+  (* back substitution *)
+  for i = n - 1 downto 0 do
+    let acc_r = ref (Array.unsafe_get x_re i)
+    and acc_i = ref (Array.unsafe_get x_im i) in
+    for j = i + 1 to n - 1 do
+      let ij = (i * n) + j in
+      let ar = FA.unsafe_get re ij and ai = FA.unsafe_get im ij in
+      let xr = Array.unsafe_get x_re j and xi = Array.unsafe_get x_im j in
+      acc_r := !acc_r -. ((ar *. xr) -. (ai *. xi));
+      acc_i := !acc_i -. ((ar *. xi) +. (ai *. xr))
+    done;
+    let ii = (i * n) + i in
+    let dr = FA.unsafe_get re ii and di = FA.unsafe_get im ii in
+    let xr = !acc_r and xi = !acc_i in
+    (* x_i <- x_i / a_ii, stdlib [Complex.div] branch for branch *)
+    if Float.abs dr >= Float.abs di then begin
+      let r = di /. dr in
+      let d = dr +. (r *. di) in
+      Array.unsafe_set x_re i ((xr +. (r *. xi)) /. d);
+      Array.unsafe_set x_im i ((xi -. (r *. xr)) /. d)
+    end
+    else begin
+      let r = dr /. di in
+      let d = di +. (r *. dr) in
+      Array.unsafe_set x_re i (((r *. xr) +. xi) /. d);
+      Array.unsafe_set x_im i (((r *. xi) -. xr) /. d)
+    end
+  done

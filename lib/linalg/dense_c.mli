@@ -1,0 +1,50 @@
+(** Unboxed complex dense kernels: split re/im flat [floatarray] planes,
+    in-place LU with partial pivoting and triangular solves into
+    caller-provided split vectors.
+
+    Hot-path twin of [Dense.Make (Field.Cx)].  The stdlib [Complex]
+    primitives the functor uses (add, sub, mul, the scaled division,
+    [norm] pivot magnitudes) are reproduced inline on the split
+    representation in the same operation order, so both backends produce
+    bit-identical factors and solutions; the functor remains the
+    reference.  With reused buffers (see {!Ws}) the factor/solve path
+    allocates nothing. *)
+
+type t
+(** Square [n x n] complex matrix as two flat row-major planes. *)
+
+val create : int -> t
+(** [create n] is a zero-filled [n x n] matrix. *)
+
+val dim : t -> int
+
+val clear : t -> unit
+
+val get : t -> int -> int -> Complex.t
+val set : t -> int -> int -> Complex.t -> unit
+
+val add_to : t -> int -> int -> re:float -> im:float -> unit
+(** Componentwise accumulation — mirrors [Complex.add] on a boxed
+    matrix entry exactly. *)
+
+val blit : src:t -> dst:t -> unit
+(** Copy [src] over [dst] (same dimension) — used to restore the
+    frequency-independent part of an MNA system before re-stamping only
+    the [jwC] entries. *)
+
+val lu_factor_in_place : t -> piv:int array -> unit
+(** Factor in place with partial pivoting, destroying the matrix
+    contents.  [piv] is reset to the identity and records the row
+    permutation.  Raises {!Dense.Singular} under exactly the functor's
+    condition. *)
+
+val lu_solve_into :
+  t ->
+  piv:int array ->
+  b_re:float array ->
+  b_im:float array ->
+  x_re:float array ->
+  x_im:float array ->
+  unit
+(** Forward/back substitution of a factored matrix into the split output
+    vector (must not alias the right-hand side).  Zero allocation. *)

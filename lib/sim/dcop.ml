@@ -1,45 +1,41 @@
 module R = Linalg.Real
-module El = Netlist.Element
 
 type t = {
   idx : Indexing.t;
   x : float array;
-  ops : (string * Device.Op.t) list;
+  mutable ops_cache : (string * Device.Op.t) list option;
+      (* device operating points, computed on first access: solves that
+         only need voltages (transient initial conditions, bias searches)
+         skip the per-device cap/geometry assembly entirely.  The compute
+         is deterministic, so the benign race of two domains filling the
+         cache concurrently stores structurally identical values. *)
   iters : int;
   circ : Netlist.Circuit.t;
   proc : Technology.Process.t;
   kind : Device.Model.kind;
 }
 
-(* Residual f(x) (KCL: currents leaving each node) and Jacobian.  [alpha]
-   scales all independent sources for source stepping; [gmin] is a
-   conductance to ground on every node. *)
-let build proc kind circuit idx ~gmin ~alpha x =
-  let ctx = Stamps.make idx x in
-  let stamp_elem = function
-    | El.Resistor { p; n; r; _ } -> Stamps.resistor ctx ~p ~n ~r
-    | El.Capacitor _ -> ()
-    | El.Isource { p; n; i; _ } -> Stamps.isource ctx ~p ~n (alpha *. i.El.dc)
-    | El.Vsource { name; p; n; v; _ } ->
-      let row = Indexing.vsource_index idx name in
-      Stamps.vsource ctx ~row ~p ~n (alpha *. v.El.dc)
-    | El.Mos { dev; d; g; s; b } -> Stamps.mos proc kind ctx ~dev ~d ~g ~s ~b
-  in
-  List.iter stamp_elem (Netlist.Circuit.elements circuit);
-  Stamps.gmin_all ctx gmin;
-  (ctx.Stamps.jac, ctx.Stamps.f)
-
 let max_abs a = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 a
 
 exception Diverged
 
-(* One Newton solve at fixed gmin/alpha.  Raises [Diverged] on failure.
-   Iteration counts, damping-scale retreats and the residual at exit are
-   recorded as a telemetry span when enabled. *)
-let newton proc kind circuit idx ~gmin ~alpha ~max_iter x0 =
+(* One Newton solve of a compiled stamp program at fixed gmin/alpha.
+   Raises [Diverged] on failure.  Iteration counts, damping-scale retreats
+   and the residual at exit are recorded as a telemetry span when enabled.
+
+   Under the [Kernel] backend every iterate re-stamps the calling domain's
+   reusable workspace and factors it in place, so the whole Newton loop
+   performs no linear-algebra allocation; [Reference] rebuilds the boxed
+   functor system per iterate exactly as the original implementation. *)
+let newton backend kind prog idx ~gmin ~alpha ~max_iter x0 =
   let n = Indexing.size idx in
   assert (Array.length x0 = n);
   let x = Array.copy x0 in
+  let ws =
+    match backend with
+    | Stamps.Kernel -> Some (Linalg.Ws.real n)
+    | Stamps.Reference -> None
+  in
   let step_limit = 0.5 in
   (* local accumulators keep the hot loop free of telemetry lookups *)
   let damped = ref 0 in
@@ -47,9 +43,28 @@ let newton proc kind circuit idx ~gmin ~alpha ~max_iter x0 =
   let rec loop iter =
     if iter >= max_iter then raise Diverged
     else begin
-      let jac, f = build proc kind circuit idx ~gmin ~alpha x in
+      let ctx =
+        match ws with
+        | Some w -> Stamps.make_ws idx w x
+        | None -> Stamps.make idx x
+      in
+      Stamps.run kind prog ctx ~gmin ~alpha;
+      let f = ctx.Stamps.f in
       let delta =
-        try R.solve jac (Array.map (fun v -> -.v) f)
+        try
+          match ctx.Stamps.jac, ws with
+          | Stamps.Unboxed m, Some w ->
+            (* RHS is -f; negate the residual buffer in place, then factor
+               and solve into the workspace without allocating *)
+            for i = 0 to n - 1 do
+              Array.unsafe_set f i (-.(Array.unsafe_get f i))
+            done;
+            Linalg.Dense_f.lu_factor_in_place m ~piv:w.Linalg.Ws.piv;
+            Linalg.Dense_f.lu_solve_into m ~piv:w.Linalg.Ws.piv
+              ~b:w.Linalg.Ws.rhs ~x:w.Linalg.Ws.delta;
+            w.Linalg.Ws.delta
+          | Stamps.Boxed m, _ -> R.solve m (Array.map (fun v -> -.v) f)
+          | Stamps.Unboxed _, None -> assert false
         with Linalg.Singular _ -> raise Diverged
       in
       let m = max_abs delta in
@@ -99,13 +114,15 @@ let device_ops_at proc kind circuit volt =
       (dev.Device.Mos.name, Device.Op.compute proc kind dev bias))
     (Netlist.Circuit.mos_devices circuit)
 
-let solve ?(guess = fun _ -> None) ?(max_iter = 100) ~proc ~kind circuit =
+let solve ?(backend = Stamps.Kernel) ?(guess = fun _ -> None)
+    ?(max_iter = 100) ~proc ~kind circuit =
   Obs.Trace.with_span ~cat:"sim" "dcop.solve" @@ fun () ->
   let idx = Indexing.build circuit in
+  let prog = Stamps.compile proc idx circuit in
   let x0 = initial_guess idx guess in
   let total_iters = ref 0 in
   let attempt ~gmin ~alpha x =
-    let x, it = newton proc kind circuit idx ~gmin ~alpha ~max_iter x in
+    let x, it = newton backend kind prog idx ~gmin ~alpha ~max_iter x in
     total_iters := !total_iters + it;
     x
   in
@@ -142,19 +159,16 @@ let solve ?(guess = fun _ -> None) ?(max_iter = 100) ~proc ~kind circuit =
             Obs.Metrics.incr "sim.dcop.failures";
             raise (Phys.Numerics.No_convergence "Dcop.solve: DC analysis failed")))
   in
-  let volt node =
-    match Indexing.node_index idx node with None -> 0.0 | Some i -> x.(i)
-  in
-  let ops = device_ops_at proc kind circuit volt in
   if !Obs.Config.flag then begin
     Obs.Metrics.incr "sim.dcop.solves";
     Obs.Trace.add_arg "total_iters" (Obs.Trace.Int !total_iters);
     Obs.Trace.add_arg "unknowns" (Obs.Trace.Int (Indexing.size idx))
   end;
-  { idx; x; ops; iters = !total_iters; circ = circuit; proc; kind }
+  { idx; x; ops_cache = None; iters = !total_iters; circ = circuit; proc;
+    kind }
 
-let solve_result ?guess ?max_iter ~proc ~kind circuit =
-  match solve ?guess ?max_iter ~proc ~kind circuit with
+let solve_result ?backend ?guess ?max_iter ~proc ~kind circuit =
+  match solve ?backend ?guess ?max_iter ~proc ~kind circuit with
   | t -> Ok t
   | exception e ->
     (match Sim_error.of_exn ~analysis:"dcop" e with
@@ -165,8 +179,16 @@ let voltage t node =
   match Indexing.node_index t.idx node with None -> 0.0 | Some i -> t.x.(i)
 
 let vsource_current t name = t.x.(Indexing.vsource_index t.idx name)
-let device_op t name = List.assoc name t.ops
-let device_ops t = t.ops
+
+let device_ops t =
+  match t.ops_cache with
+  | Some ops -> ops
+  | None ->
+    let ops = device_ops_at t.proc t.kind t.circ (voltage t) in
+    t.ops_cache <- Some ops;
+    ops
+
+let device_op t name = List.assoc name (device_ops t)
 let iterations t = t.iters
 let indexing t = t.idx
 let circuit t = t.circ
@@ -181,5 +203,5 @@ let pp fmt t =
     (Indexing.node_names t.idx);
   List.iter
     (fun (name, op) -> Format.fprintf fmt "  %s: %a@," name Device.Op.pp op)
-    t.ops;
+    (device_ops t);
   Format.fprintf fmt "@]"

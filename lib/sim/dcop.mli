@@ -6,6 +6,7 @@ type t
 (** A converged operating point. *)
 
 val solve :
+  ?backend:Stamps.backend ->
   ?guess:(string -> float option) ->
   ?max_iter:int ->
   proc:Technology.Process.t ->
@@ -13,12 +14,16 @@ val solve :
   Netlist.Circuit.t -> t
 (** Solve for the operating point.  [guess] seeds node voltages (nodes not
     covered start at 0 V); the sizing tool passes its intended bias point
-    here.  Raises [Phys.Numerics.No_convergence] when every continuation
-    strategy fails.  This is a thin wrapper over {!solve_result} kept for
-    existing callers; new code that wants to degrade gracefully should
-    match on the result instead. *)
+    here.  [backend] selects the linear solver (default [Kernel], the
+    unboxed in-place workspace path; [Reference] keeps the boxed functor
+    solver — both produce bit-identical results).  Raises
+    [Phys.Numerics.No_convergence] when every continuation strategy
+    fails.  This is a thin wrapper over {!solve_result} kept for existing
+    callers; new code that wants to degrade gracefully should match on
+    the result instead. *)
 
 val solve_result :
+  ?backend:Stamps.backend ->
   ?guess:(string -> float option) ->
   ?max_iter:int ->
   proc:Technology.Process.t ->

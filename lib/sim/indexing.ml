@@ -1,30 +1,33 @@
-module SM = Map.Make (String)
-
 type t = {
-  node_of : int SM.t;
-  vsrc_of : int SM.t;
+  node_of : (string, int) Hashtbl.t;
+  vsrc_of : (string, int) Hashtbl.t;
   names : string array;
   n_nodes : int;
   n_total : int;
 }
 
+(* Index assignment is order-identical to the original map-based
+   implementation: nodes in [Circuit.nodes] order (sorted, ground
+   removed), then one branch-current row per voltage source in element
+   order.  Only the lookup structure changed (hash table instead of a
+   balanced map) — every solve builds one of these, so construction is
+   on the hot path. *)
 let build circuit =
   let nodes = Netlist.Circuit.nodes circuit in
-  let node_of =
-    List.fold_left
-      (fun (m, i) name -> (SM.add name i m, i + 1))
-      (SM.empty, 0) nodes
-    |> fst
-  in
   let n_nodes = List.length nodes in
-  let vsrc_of, n_total =
+  let node_of = Hashtbl.create (2 * n_nodes) in
+  List.iteri (fun i name -> Hashtbl.replace node_of name i) nodes;
+  let vsrc_of = Hashtbl.create 8 in
+  let n_total =
     List.fold_left
-      (fun (m, i) e ->
+      (fun i e ->
         match e with
-        | Netlist.Element.Vsource { name; _ } -> (SM.add name i m, i + 1)
+        | Netlist.Element.Vsource { name; _ } ->
+          Hashtbl.replace vsrc_of name i;
+          i + 1
         | Netlist.Element.Mos _ | Netlist.Element.Resistor _
-        | Netlist.Element.Capacitor _ | Netlist.Element.Isource _ -> (m, i))
-      (SM.empty, n_nodes)
+        | Netlist.Element.Capacitor _ | Netlist.Element.Isource _ -> i)
+      n_nodes
       (Netlist.Circuit.elements circuit)
   in
   { node_of; vsrc_of; names = Array.of_list nodes; n_nodes; n_total }
@@ -35,9 +38,10 @@ let node_count t = t.n_nodes
 let node_index t name =
   if name = Netlist.Element.ground then None
   else
-    match SM.find_opt name t.node_of with
-    | Some i -> Some i
-    | None -> invalid_arg (Printf.sprintf "Indexing.node_index: unknown node %s" name)
+    match Hashtbl.find_opt t.node_of name with
+    | Some _ as r -> r
+    | None ->
+      invalid_arg (Printf.sprintf "Indexing.node_index: unknown node %s" name)
 
 let node_index_exn t name =
   match node_index t name with
@@ -45,9 +49,12 @@ let node_index_exn t name =
   | None -> invalid_arg "Indexing.node_index_exn: ground node"
 
 let vsource_index t name =
-  match SM.find_opt name t.vsrc_of with
+  match Hashtbl.find_opt t.vsrc_of name with
   | Some i -> i
-  | None -> invalid_arg (Printf.sprintf "Indexing.vsource_index: unknown source %s" name)
+  | None ->
+    invalid_arg (Printf.sprintf "Indexing.vsource_index: unknown source %s" name)
 
 let node_names t = t.names
-let vsource_names t = List.map fst (SM.bindings t.vsrc_of)
+
+let vsource_names t =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.vsrc_of [])

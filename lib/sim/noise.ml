@@ -9,10 +9,7 @@ type contribution = {
 let output_psd dcop net ~out ~freq =
   let proc = Dcop.process dcop in
   let f = Acs.factor net ~freq in
-  let transfer_sq ~p ~n =
-    let x = Acs.solve_injection f ~p ~n in
-    Complex.norm2 (Acs.voltage net x out)
-  in
+  let transfer_sq ~p ~n = Acs.injection_gain2 f ~p ~n ~out in
   let contributions =
     List.filter_map
       (fun e ->

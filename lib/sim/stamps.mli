@@ -1,16 +1,36 @@
 (** Shared MNA stamping primitives for the nonlinear analyses (DC Newton
     and transient): residual accumulation (KCL currents leaving each node)
-    and Jacobian entries.  The AC analysis uses its own complex assembly. *)
+    and Jacobian entries.  The AC analysis uses its own complex assembly.
+
+    Two matrix backends sit behind the same stamping calls: the unboxed
+    flat-[floatarray] kernel matrix ({!Linalg.Dense_f}, the default hot
+    path, stamped into a reusable per-domain workspace) and the boxed
+    functor matrix ({!Linalg.Real}, the reference).  Both receive the
+    identical sequence of accumulations, so solver results agree
+    bit-for-bit between backends. *)
+
+type backend = Kernel | Reference
+(** Solver backend selector threaded through the analyses: [Kernel] is the
+    unboxed in-place workspace path, [Reference] the original boxed
+    functor path kept for verification and benchmarking baselines. *)
+
+type mat = Unboxed of Linalg.Dense_f.t | Boxed of Linalg.Real.t
 
 type ctx = {
   idx : Indexing.t;
-  jac : Linalg.Real.t;
+  jac : mat;
   f : float array;
   x : float array;  (** current iterate *)
 }
 
 val make : Indexing.t -> float array -> ctx
-(** Fresh zeroed Jacobian and residual around iterate [x]. *)
+(** Fresh zeroed boxed Jacobian and residual around iterate [x]
+    (the [Reference] backend). *)
+
+val make_ws : Indexing.t -> Linalg.Ws.real -> float array -> ctx
+(** Stamping context over a reusable workspace: clears the workspace
+    matrix and right-hand side and aliases them as [jac]/[f], so repeated
+    Newton iterates re-stamp the same buffers without allocating. *)
 
 val volt : ctx -> string -> float
 val add_current : ctx -> string -> float -> unit
@@ -43,3 +63,20 @@ val mos :
   dev:Device.Mos.t -> d:string -> g:string -> s:string -> b:string -> unit
 (** Nonlinear MOS stamp: drain current residual plus gm/gds/gmb Jacobian
     entries (polarity-independent, see the model documentation). *)
+
+type prog
+(** A compiled DC stamp program: the circuit walk with every node name
+    resolved to its MNA index and per-device model cards fetched once,
+    so Newton iterates perform no string-map lookups.  The program
+    replays the exact accumulation sequence of the name-based stamps
+    above (element order preserved, capacitors open), keeping both
+    backends bit-identical to the uncompiled walk. *)
+
+val compile : Technology.Process.t -> Indexing.t -> Netlist.Circuit.t -> prog
+(** Resolve the circuit against the indexing.  Raises like the
+    name-based stamps on unknown nodes. *)
+
+val run : Device.Model.kind -> prog -> ctx -> gmin:float -> alpha:float -> unit
+(** Stamp one Newton iterate: residual and Jacobian of the full circuit
+    at the context's [x], with all independent sources scaled by [alpha]
+    and [gmin] to ground on every node. *)

@@ -16,8 +16,7 @@ let cap_companion ctx ~p ~n ~c ~dt ~vprev =
   let g = c /. dt in
   Stamps.conductor ctx ~p ~n ~g ~i_extra:(-.g *. vprev)
 
-let build proc kind circuit idx ~time ~dt ~prev x =
-  let ctx = Stamps.make idx x in
+let build proc kind circuit idx ~time ~dt ~prev ctx =
   let prev_volt node =
     match Indexing.node_index idx node with None -> 0.0 | Some i -> prev.(i)
   in
@@ -48,21 +47,43 @@ let build proc kind circuit idx ~time ~dt ~prev x =
       pair s b cc.Device.Caps.csb
   in
   List.iter stamp_elem (Netlist.Circuit.elements circuit);
-  Stamps.gmin_all ctx 1e-12;
-  (ctx.Stamps.jac, ctx.Stamps.f)
+  Stamps.gmin_all ctx 1e-12
 
 let max_abs a = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 a
 
-let newton_step proc kind circuit idx ~time ~dt ~prev x0 =
+let newton_step backend proc kind circuit idx ~time ~dt ~prev x0 =
+  let n = Indexing.size idx in
   let x = Array.copy x0 in
+  let ws =
+    match backend with
+    | Stamps.Kernel -> Some (Linalg.Ws.real n)
+    | Stamps.Reference -> None
+  in
   let rec loop iter =
     if iter >= 80 then
       raise (Phys.Numerics.No_convergence
                (Printf.sprintf "Tran: Newton failed at t=%g" time))
     else begin
-      let jac, f = build proc kind circuit idx ~time ~dt ~prev x in
+      let ctx =
+        match ws with
+        | Some w -> Stamps.make_ws idx w x
+        | None -> Stamps.make idx x
+      in
+      build proc kind circuit idx ~time ~dt ~prev ctx;
+      let f = ctx.Stamps.f in
       let delta =
-        try R.solve jac (Array.map (fun v -> -.v) f)
+        try
+          match ctx.Stamps.jac, ws with
+          | Stamps.Unboxed m, Some w ->
+            for i = 0 to n - 1 do
+              Array.unsafe_set f i (-.(Array.unsafe_get f i))
+            done;
+            Linalg.Dense_f.lu_factor_in_place m ~piv:w.Linalg.Ws.piv;
+            Linalg.Dense_f.lu_solve_into m ~piv:w.Linalg.Ws.piv
+              ~b:w.Linalg.Ws.rhs ~x:w.Linalg.Ws.delta;
+            w.Linalg.Ws.delta
+          | Stamps.Boxed m, _ -> R.solve m (Array.map (fun v -> -.v) f)
+          | Stamps.Unboxed _, None -> assert false
         with Linalg.Singular _ ->
           raise (Phys.Numerics.No_convergence
                    (Printf.sprintf "Tran: singular Jacobian at t=%g" time))
@@ -89,11 +110,12 @@ let circuit_at_t0 circuit =
     (Netlist.Circuit.create ~title:(Netlist.Circuit.title circuit))
     (Netlist.Circuit.elements circuit)
 
-let run ?dt ?(guess = fun _ -> None) ~proc ~kind ~tstop circuit =
+let run ?(backend = Stamps.Kernel) ?dt ?(guess = fun _ -> None) ~proc ~kind
+    ~tstop circuit =
   assert (tstop > 0.0);
   let dt = match dt with Some d -> d | None -> tstop /. 2000.0 in
   let n_steps = int_of_float (Float.ceil (tstop /. dt)) in
-  let dc = Dcop.solve ~guess ~proc ~kind (circuit_at_t0 circuit) in
+  let dc = Dcop.solve ~backend ~guess ~proc ~kind (circuit_at_t0 circuit) in
   let idx = Dcop.indexing dc in
   let x0 =
     Array.init (Indexing.size idx) (fun i ->
@@ -106,7 +128,7 @@ let run ?dt ?(guess = fun _ -> None) ~proc ~kind ~tstop circuit =
   let prev = ref x0 in
   for step = 1 to n_steps do
     let time = ts.(step) in
-    let x = newton_step proc kind circuit idx ~time ~dt ~prev:!prev !prev in
+    let x = newton_step backend proc kind circuit idx ~time ~dt ~prev:!prev !prev in
     states.(step) <- x;
     prev := x
   done;

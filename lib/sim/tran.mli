@@ -10,6 +10,7 @@
 type result
 
 val run :
+  ?backend:Stamps.backend ->
   ?dt:float ->
   ?guess:(string -> float option) ->
   proc:Technology.Process.t ->
@@ -18,7 +19,9 @@ val run :
   Netlist.Circuit.t -> result
 (** Simulate from a DC operating point at t = 0 (computed with sources at
     their [wave 0] / DC values) to [tstop].  [dt] defaults to
-    [tstop / 2000]. *)
+    [tstop / 2000].  [backend] selects the linear solver as in
+    {!Dcop.solve} (default [Kernel]); results are bit-identical either
+    way. *)
 
 val times : result -> float array
 val waveform : result -> string -> float array

@@ -145,6 +145,59 @@ let test_shape_combine () =
   | None -> Alcotest.fail "expected a fit"
   | Some i -> Alcotest.(check int) "picks (8,5)" 5 ((Shape.points v |> Array.of_list).(i)).Shape.h
 
+(* Oracle for the linear Stockmeyer merge: the original O(n*m) all-pairs
+   cross product followed by Pareto pruning, reimplemented here verbatim.
+   The merge must reproduce it structurally — points and recorded choice
+   pairs alike. *)
+let oracle_pareto pts =
+  let sorted =
+    List.sort
+      (fun a b ->
+        if a.Shape.w = b.Shape.w then compare a.Shape.h b.Shape.h
+        else compare a.Shape.w b.Shape.w)
+      pts
+  in
+  let rec keep acc best_h = function
+    | [] -> List.rev acc
+    | p :: rest ->
+      if p.Shape.h < best_h then keep (p :: acc) p.Shape.h rest
+      else keep acc best_h rest
+  in
+  Array.of_list (keep [] max_int sorted)
+
+let oracle_cross f a b =
+  let pts = ref [] in
+  Array.iteri
+    (fun i pa -> Array.iteri (fun j pb -> pts := f i pa j pb :: !pts) b)
+    a;
+  oracle_pareto !pts
+
+let gen_variants =
+  QCheck.(list_of_size Gen.(int_range 1 8) (pair (int_range 1 30) (int_range 1 30)))
+
+let prop_shape_merge_matches_cross =
+  QCheck.Test.make ~name:"shape merge equals all-pairs cross + pareto"
+    ~count:300
+    (QCheck.pair gen_variants gen_variants)
+    (fun (va, vb) ->
+      let a = Shape.of_variants va and b = Shape.of_variants vb in
+      let h_ref =
+        oracle_cross
+          (fun i pa j pb ->
+            { Shape.w = pa.Shape.w + pb.Shape.w;
+              h = max pa.Shape.h pb.Shape.h;
+              choice = Shape.Compose (i, j) })
+          a b
+      and v_ref =
+        oracle_cross
+          (fun i pa j pb ->
+            { Shape.w = max pa.Shape.w pb.Shape.w;
+              h = pa.Shape.h + pb.Shape.h;
+              choice = Shape.Compose (i, j) })
+          a b
+      in
+      Shape.combine_h a b = h_ref && Shape.combine_v a b = v_ref)
+
 let gen_tree =
   (* random small slicing trees with random variants *)
   let open QCheck.Gen in
@@ -484,6 +537,7 @@ let suite =
     @ qcheck_cases
         [
           prop_motif_area_matches_folding;
+          prop_shape_merge_matches_cross;
           prop_stockmeyer_optimal;
           prop_placements_inside_box;
         ] )

@@ -58,6 +58,184 @@ let test_complex_rc () =
   check_close ~rel:1e-9 "rc re" expect.Complex.re x.(0).Complex.re;
   check_close ~rel:1e-9 "rc im" expect.Complex.im x.(0).Complex.im
 
+(* --- unboxed kernel backend ------------------------------------------- *)
+
+module Df = Linalg.Dense_f
+module Dc = Linalg.Dense_c
+module Ws = Linalg.Ws
+
+let bits_eq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+(* random square system with no diagonal dominance, so partial pivoting
+   actually has to reorder rows *)
+let random_general_system n seed =
+  let st = Random.State.make [| seed |] in
+  let a =
+    Array.init n (fun _ ->
+      Array.init n (fun _ -> Random.State.float st 2.0 -. 1.0))
+  in
+  let b = Array.init n (fun _ -> Random.State.float st 10.0 -. 5.0) in
+  (a, b)
+
+(* solve through the workspace kernel path, exactly as the analyses do *)
+let kernel_real_solve rows b =
+  let n = Array.length b in
+  let ws = Ws.real n in
+  Df.blit ~src:(Df.of_arrays rows) ~dst:ws.Ws.jac;
+  Array.blit b 0 ws.Ws.rhs 0 n;
+  Df.lu_factor_in_place ws.Ws.jac ~piv:ws.Ws.piv;
+  Df.lu_solve_into ws.Ws.jac ~piv:ws.Ws.piv ~b:ws.Ws.rhs ~x:ws.Ws.delta;
+  Array.copy ws.Ws.delta
+
+let prop_kernel_real_bit_identical =
+  QCheck.Test.make
+    ~name:"unboxed real kernel bit-identical to functor backend" ~count:200
+    QCheck.(pair (int_range 1 24) (int_range 0 100000))
+    (fun (n, seed) ->
+      let rows, b = random_general_system n seed in
+      match R.solve (R.of_arrays rows) b with
+      | x -> (
+        match kernel_real_solve rows b with
+        | y -> Array.for_all2 bits_eq x y
+        | exception Linalg.Singular _ -> false)
+      | exception Linalg.Singular k -> (
+        match kernel_real_solve rows b with
+        | _ -> false
+        | exception Linalg.Singular k' -> k = k'))
+
+let random_complex_system n seed =
+  let st = Random.State.make [| seed |] in
+  let e () = Random.State.float st 2.0 -. 1.0 in
+  let a =
+    Array.init n (fun _ ->
+      Array.init n (fun _ ->
+        let re = e () in
+        { Complex.re; im = e () }))
+  in
+  let b =
+    Array.init n (fun _ ->
+      let re = e () in
+      { Complex.re; im = e () })
+  in
+  (a, b)
+
+let kernel_cx_solve rows b =
+  let n = Array.length b in
+  let ws = Ws.cx n in
+  Array.iteri
+    (fun i row -> Array.iteri (fun j v -> Dc.set ws.Ws.y i j v) row)
+    rows;
+  (* the workspace matrix no longer holds whatever factorisation a live
+     Acs handle might expect: invalidate them *)
+  ws.Ws.serial <- ws.Ws.serial + 1;
+  Array.iteri
+    (fun i (v : Complex.t) ->
+      ws.Ws.b_re.(i) <- v.Complex.re;
+      ws.Ws.b_im.(i) <- v.Complex.im)
+    b;
+  Dc.lu_factor_in_place ws.Ws.y ~piv:ws.Ws.cpiv;
+  Dc.lu_solve_into ws.Ws.y ~piv:ws.Ws.cpiv ~b_re:ws.Ws.b_re
+    ~b_im:ws.Ws.b_im ~x_re:ws.Ws.x_re ~x_im:ws.Ws.x_im;
+  Array.init n (fun i -> { Complex.re = ws.Ws.x_re.(i); im = ws.Ws.x_im.(i) })
+
+let prop_kernel_cx_bit_identical =
+  QCheck.Test.make
+    ~name:"unboxed complex kernel bit-identical to functor backend"
+    ~count:200
+    QCheck.(pair (int_range 1 16) (int_range 0 100000))
+    (fun (n, seed) ->
+      let rows, b = random_complex_system n seed in
+      let eq (u : Complex.t) (v : Complex.t) =
+        bits_eq u.Complex.re v.Complex.re && bits_eq u.Complex.im v.Complex.im
+      in
+      match C.solve (C.of_arrays rows) b with
+      | x -> (
+        match kernel_cx_solve rows b with
+        | y -> Array.for_all2 eq x y
+        | exception Linalg.Singular _ -> false)
+      | exception Linalg.Singular k -> (
+        match kernel_cx_solve rows b with
+        | _ -> false
+        | exception Linalg.Singular k' -> k = k'))
+
+let test_kernel_singular_identical () =
+  let rows = [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  let k_ref =
+    match R.solve (R.of_arrays rows) [| 1.0; 1.0 |] with
+    | _ -> Alcotest.fail "functor: expected Singular"
+    | exception Linalg.Singular k -> k
+  in
+  match kernel_real_solve rows [| 1.0; 1.0 |] with
+  | _ -> Alcotest.fail "kernel: expected Singular"
+  | exception Linalg.Singular k ->
+    Alcotest.(check int) "same failing column" k_ref k
+
+let test_matvec_into () =
+  let m = Df.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let y = Array.make 2 0.0 in
+  Df.matvec_into m [| 5.0; 6.0 |] ~y;
+  check_close "y0" 17.0 y.(0);
+  check_close "y1" 39.0 y.(1)
+
+(* Re-solving through a reused workspace must leave the minor heap alone:
+   the factor/solve path of both kernels is allocation-free once the
+   buffers exist.  The small slack absorbs the boxed floats of the
+   [Gc.minor_words] bookkeeping itself — a backend that boxed matrix
+   elements would allocate thousands of words per solve. *)
+let test_workspace_zero_alloc () =
+  let saved = !Obs.Config.flag in
+  Obs.Config.flag := false;
+  Fun.protect ~finally:(fun () -> Obs.Config.flag := saved) @@ fun () ->
+  let n = 16 in
+  let st = Random.State.make [| 7 |] in
+  let rows =
+    Array.init n (fun i ->
+      Array.init n (fun j ->
+        let v = Random.State.float st 2.0 -. 1.0 in
+        if i = j then v +. float_of_int n +. 1.0 else v))
+  in
+  let b = Array.init n (fun i -> float_of_int (i + 1)) in
+  let template = Df.of_arrays rows in
+  let ws = Ws.real n in
+  let cws = Ws.cx n in
+  let ctemplate = Dc.create n in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j v ->
+          Dc.set ctemplate i j
+            { Complex.re = v; im = if i = j then 0.0 else 0.1 })
+        row)
+    rows;
+  cws.Ws.serial <- cws.Ws.serial + 1;
+  let real_solve () =
+    Df.blit ~src:template ~dst:ws.Ws.jac;
+    Array.blit b 0 ws.Ws.rhs 0 n;
+    Df.lu_factor_in_place ws.Ws.jac ~piv:ws.Ws.piv;
+    Df.lu_solve_into ws.Ws.jac ~piv:ws.Ws.piv ~b:ws.Ws.rhs ~x:ws.Ws.delta
+  in
+  let cx_solve () =
+    Dc.blit ~src:ctemplate ~dst:cws.Ws.y;
+    Array.blit b 0 cws.Ws.b_re 0 n;
+    Array.fill cws.Ws.b_im 0 n 0.0;
+    Dc.lu_factor_in_place cws.Ws.y ~piv:cws.Ws.cpiv;
+    Dc.lu_solve_into cws.Ws.y ~piv:cws.Ws.cpiv ~b_re:cws.Ws.b_re
+      ~b_im:cws.Ws.b_im ~x_re:cws.Ws.x_re ~x_im:cws.Ws.x_im
+  in
+  real_solve ();
+  cx_solve ();
+  (* warmed up; now measure *)
+  let before = Gc.minor_words () in
+  for _ = 1 to 100 do
+    real_solve ();
+    cx_solve ()
+  done;
+  let words = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "solve path allocated %.0f minor words in 200 solves"
+       words)
+    true (words <= 64.0)
+
 let random_spd_system n seed =
   (* diagonally dominant random system: always solvable *)
   let st = Random.State.make [| seed |] in
@@ -102,5 +280,14 @@ let suite =
       case "transpose" test_transpose;
       case "complex 1x1 solve" test_complex_solve;
       case "complex RC divider" test_complex_rc;
+      case "kernel singular agrees with functor" test_kernel_singular_identical;
+      case "kernel matvec_into" test_matvec_into;
+      case "workspace solves allocate nothing" test_workspace_zero_alloc;
     ]
-    @ qcheck_cases [ prop_lu_residual; prop_matvec_linear ] )
+    @ qcheck_cases
+        [
+          prop_lu_residual;
+          prop_matvec_linear;
+          prop_kernel_real_bit_identical;
+          prop_kernel_cx_bit_identical;
+        ] )

@@ -326,12 +326,124 @@ let test_dc_without_guess_converges () =
   let op = Sim.Dcop.solve ~proc:P.c06 ~kind:M.Bsim_lite c in
   check_in_range "output inside the rails" 0.0 3.3 (Sim.Dcop.voltage op "out")
 
+(* --- backend identity --------------------------------------------------
+   The unboxed workspace kernels (the default) and the boxed functor
+   reference must produce bit-for-bit identical results on real
+   circuits. *)
+
+let bits_eq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let cascode_testbench () =
+  let d =
+    Comdiac.Folded_cascode.size ~proc:P.c06 ~kind:M.Bsim_lite
+      ~spec:Comdiac.Spec.paper_ota ~parasitics:Comdiac.Parasitics.none
+  in
+  let vcm = Comdiac.Spec.input_common_mode Comdiac.Spec.paper_ota in
+  let c = Ckt.create ~title:"backend identity" in
+  let c = Comdiac.Amp.add_to d.Comdiac.Folded_cascode.amp c in
+  let c = Ckt.add_vsource c ~name:"dd" ~p:"vdd" ~n:"0" (El.dc_source 3.3) in
+  let c = Ckt.add_vsource c ~name:"a" ~p:"inp" ~n:"0" (El.dc_source vcm) in
+  let c = Ckt.add_vsource c ~name:"b" ~p:"inn" ~n:"0" (El.dc_source vcm) in
+  c
+
+let test_backend_dc_bit_identical () =
+  let c = cascode_testbench () in
+  let k = Sim.Dcop.solve ~proc:P.c06 ~kind:M.Bsim_lite c in
+  let r =
+    Sim.Dcop.solve ~backend:Sim.Stamps.Reference ~proc:P.c06 ~kind:M.Bsim_lite c
+  in
+  Alcotest.(check int) "same Newton iteration count"
+    (Sim.Dcop.iterations r) (Sim.Dcop.iterations k);
+  Array.iter
+    (fun name ->
+      Alcotest.(check bool) ("V(" ^ name ^ ") bit-identical") true
+        (bits_eq (Sim.Dcop.voltage k name) (Sim.Dcop.voltage r name)))
+    (Sim.Indexing.node_names (Sim.Dcop.indexing k))
+
+let test_backend_ac_bit_identical () =
+  let dev = Device.Mos.make ~name:"1" ~mtype:E.Nmos ~w:50e-6 ~l:1e-6 () in
+  let c =
+    Ckt.create ~title:"ac identity"
+    |> fun c -> Ckt.add_vsource c ~name:"dd" ~p:"vdd" ~n:"0" (El.dc_source 3.3)
+    |> fun c -> Ckt.add_vsource c ~name:"in" ~p:"g" ~n:"0" (El.ac_source ~dc:1.0 1.0)
+    |> fun c -> Ckt.add_resistor c ~name:"l" ~p:"vdd" ~n:"d" ~r:50e3
+    |> fun c -> Ckt.add_capacitor c ~name:"c" ~p:"d" ~n:"0" ~c:1e-12
+    |> fun c -> Ckt.add_mos c ~dev ~d:"d" ~g:"g" ~s:"0" ~b:"0"
+  in
+  let op = solve c in
+  let net = Sim.Acs.prepare op in
+  List.iter
+    (fun freq ->
+      let hk = Sim.Acs.transfer net ~freq ~out:"d" in
+      let hr =
+        Sim.Acs.transfer ~backend:Sim.Stamps.Reference net ~freq ~out:"d"
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "H(%.0e) bit-identical" freq)
+        true
+        (bits_eq hk.Complex.re hr.Complex.re
+         && bits_eq hk.Complex.im hr.Complex.im))
+    [ 1.0; 1e3; 1e6; 1e9 ];
+  (* noise inner loop: the in-workspace |V(out)|^2 equals the reference
+     backend's, and the phasor-vector formulation of the same quantity *)
+  let fk = Sim.Acs.factor net ~freq:1e6 in
+  let fr = Sim.Acs.factor ~backend:Sim.Stamps.Reference net ~freq:1e6 in
+  let gk = Sim.Acs.injection_gain2 fk ~p:"d" ~n:"0" ~out:"d" in
+  let gr = Sim.Acs.injection_gain2 fr ~p:"d" ~n:"0" ~out:"d" in
+  Alcotest.(check bool) "injection gain bit-identical" true (bits_eq gk gr);
+  let via_vector =
+    Complex.norm2 (Sim.Acs.voltage net (Sim.Acs.solve_injection fk ~p:"d" ~n:"0") "d")
+  in
+  Alcotest.(check bool) "gain2 equals norm2 of phasor" true
+    (bits_eq gk via_vector)
+
+let test_backend_ac_interleaved_factors () =
+  (* two live kernel factorisations share the domain's workspace: each
+     solve transparently re-factors when the other clobbered it, and the
+     results stay bit-identical to the reference backend *)
+  let r = 1e3 and cap = 1e-9 in
+  let op = solve (rc_lowpass r cap) in
+  let net = Sim.Acs.prepare op in
+  let f1 = Sim.Acs.factor net ~freq:1e4 in
+  let f2 = Sim.Acs.factor net ~freq:1e7 in
+  let h1 = Sim.Acs.voltage net (Sim.Acs.solve_sources f1) "out" in
+  let h2 = Sim.Acs.voltage net (Sim.Acs.solve_sources f2) "out" in
+  let h1r = Sim.Acs.transfer ~backend:Sim.Stamps.Reference net ~freq:1e4 ~out:"out" in
+  let h2r = Sim.Acs.transfer ~backend:Sim.Stamps.Reference net ~freq:1e7 ~out:"out" in
+  Alcotest.(check bool) "stale handle refactors identically" true
+    (bits_eq h1.Complex.re h1r.Complex.re && bits_eq h1.Complex.im h1r.Complex.im);
+  Alcotest.(check bool) "second handle intact" true
+    (bits_eq h2.Complex.re h2r.Complex.re && bits_eq h2.Complex.im h2r.Complex.im)
+
+let test_backend_tran_bit_identical () =
+  let r = 1e3 and cap = 1e-9 in
+  let tau = r *. cap in
+  let step t = if t <= 0.0 then 0.0 else 1.0 in
+  let c =
+    Ckt.create ~title:"tran identity"
+    |> fun c -> Ckt.add_vsource c ~name:"in" ~p:"in" ~n:"0" (El.wave_source step)
+    |> fun c -> Ckt.add_resistor c ~name:"1" ~p:"in" ~n:"out" ~r
+    |> fun c -> Ckt.add_capacitor c ~name:"1" ~p:"out" ~n:"0" ~c:cap
+  in
+  let run backend =
+    Sim.Tran.run ~backend ~proc:P.c06 ~kind:M.Level1 ~tstop:(5.0 *. tau)
+      ~dt:(tau /. 50.0) c
+  in
+  let wk = Sim.Tran.waveform (run Sim.Stamps.Kernel) "out" in
+  let wr = Sim.Tran.waveform (run Sim.Stamps.Reference) "out" in
+  Alcotest.(check bool) "every time point bit-identical" true
+    (Array.for_all2 bits_eq wk wr)
+
 let edge_cases =
   [
     case "floating node handled by gmin" test_floating_node_gmin;
     case "source-only circuit" test_source_only_circuit;
     case "cascaded RC matches analytic" test_two_stage_rc_transfer;
     case "cold-start DC convergence" test_dc_without_guess_converges;
+    case "DC backends bit-identical" test_backend_dc_bit_identical;
+    case "AC backends bit-identical" test_backend_ac_bit_identical;
+    case "interleaved AC factorisations" test_backend_ac_interleaved_factors;
+    case "transient backends bit-identical" test_backend_tran_bit_identical;
   ]
 
 
