@@ -50,6 +50,32 @@ let jobs_term =
        & opt (some int) None
        & info [ "j"; "jobs" ] ~docv:"N" ~env:(Cmd.Env.info "LOSAC_JOBS") ~doc)
 
+(* --- solver backend --------------------------------------------------- *)
+
+let backend_conv =
+  let parse s =
+    match Sim.Stamps.backend_of_string s with
+    | Ok b -> Ok b
+    | Error msg -> Error (`Msg msg)
+  in
+  let print fmt b = Format.pp_print_string fmt (Sim.Stamps.backend_name b) in
+  Arg.conv (parse, print)
+
+let backend_term =
+  let doc =
+    "Linear-solver backend for every analysis: $(b,kernel) (dense unboxed \
+     in-place LU, the default), $(b,reference) (boxed functor solver), \
+     $(b,sparse) (CSR LU with fill-reducing minimum-degree ordering and \
+     symbolic/numeric split — fastest on large circuits) or \
+     $(b,sparse-natural) (sparse with the dense pivoting rule, \
+     bit-identical to $(b,kernel)).  Overrides the $(b,LOSAC_BACKEND) \
+     environment variable."
+  in
+  Arg.(value
+       & opt (some backend_conv) None
+       & info [ "backend" ] ~docv:"NAME"
+           ~env:(Cmd.Env.info "LOSAC_BACKEND") ~doc)
+
 (* --- caching ---------------------------------------------------------- *)
 
 let cache_term =
@@ -96,6 +122,7 @@ type telemetry = {
   stats : bool;
   jobs : int option;
   cache : bool option;
+  backend : Sim.Stamps.backend option;
 }
 
 let telemetry_term =
@@ -127,7 +154,7 @@ let telemetry_term =
                    pool counters after the run (the $(b,losac stats) \
                    view).")
   in
-  let setup trace metrics verbose jobs cache stats =
+  let setup trace metrics verbose jobs cache backend stats =
     Fmt_tty.setup_std_outputs ();
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level
@@ -138,15 +165,16 @@ let telemetry_term =
     if trace <> None || metrics then Obs.Config.set_enabled true;
     Option.iter Par.Pool.set_default_jobs jobs;
     Option.iter Cache.Config.set_enabled cache;
-    { trace; metrics; stats; jobs; cache }
+    Option.iter Sim.Stamps.set_default_backend backend;
+    { trace; metrics; stats; jobs; cache; backend }
   in
   Term.(const setup $ trace $ metrics $ verbose $ jobs_term $ cache_term
-        $ stats)
+        $ backend_term $ stats)
 
 (* The execution context handed to the analyses: one bundle instead of
    loose ?jobs/?cache/?telemetry arguments (see Core.Ctx). *)
 let ctx_of tele proc =
-  Core.Ctx.make ?jobs:tele.jobs ?cache:tele.cache proc
+  Core.Ctx.make ?jobs:tele.jobs ?cache:tele.cache ?backend:tele.backend proc
 
 (* Emit whatever telemetry the flags requested, after the command ran. *)
 let telemetry_finish tele =

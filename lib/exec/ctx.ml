@@ -3,9 +3,11 @@ type t = {
   jobs : int option;
   cache : bool option;
   telemetry : bool option;
+  backend : Sim.Stamps.backend option;
 }
 
-let make ?jobs ?cache ?telemetry proc = { proc; jobs; cache; telemetry }
+let make ?jobs ?cache ?telemetry ?backend proc =
+  { proc; jobs; cache; telemetry; backend }
 
 let jobs ?override ctx =
   match override with
@@ -28,6 +30,7 @@ let scope ctx f =
     in
     with_opt Cache.Config.with_enabled c.cache @@ fun () ->
     with_opt Obs.Config.with_enabled c.telemetry @@ fun () ->
+    with_opt Sim.Stamps.with_default_backend c.backend @@ fun () ->
     ( try Ok (f ()) with e -> Error e)
 
 let run ctx f =

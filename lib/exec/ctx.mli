@@ -23,10 +23,14 @@ type t = {
       (** force memo caches on/off; [None] = leave {!Cache.Config} alone *)
   telemetry : bool option;
       (** force telemetry on/off; [None] = leave {!Obs.Config} alone *)
+  backend : Sim.Stamps.backend option;
+      (** linear-solver backend for every analysis in scope; [None] =
+          leave {!Sim.Stamps.default_backend} alone *)
 }
 
 val make :
   ?jobs:int -> ?cache:bool -> ?telemetry:bool ->
+  ?backend:Sim.Stamps.backend ->
   Technology.Process.t -> t
 (** [make proc] is a context with all switches at their defaults. *)
 

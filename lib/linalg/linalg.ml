@@ -16,5 +16,6 @@ module Cx = Dense.Make (Field.Cx)
 module Dense_f = Dense_f
 module Dense_c = Dense_c
 module Ws = Ws
+module Sparse = Sparse
 
 exception Singular = Dense.Singular

@@ -1,0 +1,1168 @@
+(* CSR sparse LU with a symbolic/numeric split.
+
+   The symbolic phase runs once per matrix structure: it chooses an
+   ordering, computes the elimination pattern with every fill-in slot
+   preallocated, and builds the slot maps the numeric phase needs.  The
+   numeric phase then refactors arbitrarily many value sets over that
+   frozen pattern — one refactorization per Newton iterate, transient
+   step or AC frequency point — touching only flat arrays and allocating
+   nothing (scratch comes from the per-domain {!Ws} pools).
+
+   Two orderings:
+
+   - [Natural] keeps the MNA row/column order and performs partial
+     pivoting over a precomputed *upper-bound* fill pattern, replicating
+     {!Dense_f.factor_core}'s pivot rule (first strict maximum, the
+     [1e-300] threshold, the [|factor| > 0] update skip) with a virtual
+     row permutation instead of physical swaps.  The bound pattern is
+     closed under any pivot choice: at step [k] the union [U_k] of the
+     tails (columns ≥ k) of every row with a structural entry in column
+     [k] is added to each of those rows, so whichever of them pivots,
+     the others can absorb its tail.  Update arithmetic therefore visits
+     exactly the positions the dense kernel visits with nonzero
+     operands, in the same order — the only deviation is that
+     structurally absent positions (which in the dense kernel hold
+     signed zeros) are skipped, which cannot perturb any nonzero result.
+     Natural ordering is the verification mode: it is asserted
+     bit-identical to the dense kernels by the test suite and the bench.
+
+   - [Min_degree] is the performance mode: a maximum transversal puts a
+     structural nonzero on every diagonal, a minimum-degree ordering of
+     the symmetrized permuted graph cuts fill, and the numeric phase is
+     an up-looking row factorization with a *static* pivot order (no
+     numerical pivoting; a tiny pivot raises {!Dense.Singular}, which
+     the Newton drivers already treat as a divergence and answer with
+     gmin/source stepping). *)
+
+type ordering = Natural | Min_degree
+
+let ordering_name = function
+  | Natural -> "natural"
+  | Min_degree -> "min-degree"
+
+(* ------------------------------------------------------------------ *)
+(* Patterns                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type pattern = { n : int; row_ptr : int array; col_idx : int array }
+
+let nnz p = p.row_ptr.(p.n)
+
+let of_coords ~n coords =
+  let enc =
+    List.rev_map
+      (fun (i, j) ->
+        if i < 0 || i >= n || j < 0 || j >= n then
+          invalid_arg "Sparse.of_coords: index out of range";
+        (i * n) + j)
+      coords
+  in
+  let a = Array.of_list enc in
+  Array.sort compare a;
+  let m = Array.length a in
+  let uniq = ref 0 in
+  for t = 0 to m - 1 do
+    if t = 0 || a.(t) <> a.(t - 1) then incr uniq
+  done;
+  let row_ptr = Array.make (n + 1) 0 in
+  let col_idx = Array.make !uniq 0 in
+  let w = ref 0 in
+  for t = 0 to m - 1 do
+    if t = 0 || a.(t) <> a.(t - 1) then begin
+      let i = a.(t) / n and j = a.(t) mod n in
+      row_ptr.(i + 1) <- row_ptr.(i + 1) + 1;
+      col_idx.(!w) <- j;
+      incr w
+    end
+  done;
+  for i = 0 to n - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i + 1) + row_ptr.(i)
+  done;
+  { n; row_ptr; col_idx }
+
+(* binary search for column [j] within a sorted slot range *)
+let search col_idx lo0 hi0 j =
+  let lo = ref lo0 and hi = ref (hi0 - 1) in
+  let r = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = col_idx.(mid) in
+    if c = j then begin
+      r := mid;
+      lo := !hi + 1
+    end
+    else if c < j then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !r
+
+let slot p i j = search p.col_idx p.row_ptr.(i) p.row_ptr.(i + 1) j
+
+let slot_exn p i j =
+  let s = slot p i j in
+  if s < 0 then
+    invalid_arg (Printf.sprintf "Sparse.slot_exn: (%d,%d) not in pattern" i j);
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Bitset rows for the symbolic phase                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Bits = struct
+  let bpw = Sys.int_size
+
+  let make n = Array.make ((n + bpw - 1) / bpw) 0
+  let set b i = b.(i / bpw) <- b.(i / bpw) lor (1 lsl (i mod bpw))
+  let clear_bit b i = b.(i / bpw) <- b.(i / bpw) land lnot (1 lsl (i mod bpw))
+  let test b i = (b.(i / bpw) lsr (i mod bpw)) land 1 = 1
+  let reset b = Array.fill b 0 (Array.length b) 0
+
+  let union dst src =
+    for w = 0 to Array.length dst - 1 do
+      dst.(w) <- dst.(w) lor src.(w)
+    done
+
+  (* dst |= { i in src : i > k } *)
+  let union_above dst src k =
+    let w0 = k / bpw and o = k mod bpw in
+    if o < bpw - 1 then
+      dst.(w0) <- dst.(w0) lor (src.(w0) land ((-1) lsl (o + 1)));
+    for w = w0 + 1 to Array.length dst - 1 do
+      dst.(w) <- dst.(w) lor src.(w)
+    done
+
+  let popcount b =
+    let c = ref 0 in
+    for w = 0 to Array.length b - 1 do
+      let x = ref b.(w) in
+      while !x <> 0 do
+        x := !x land (!x - 1);
+        incr c
+      done
+    done;
+    !c
+end
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic analysis                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type symbolic = {
+  ordering : ordering;
+  pat : pattern;  (* the stamped pattern the analysis was built from *)
+  f_row_ptr : int array;  (* filled elimination pattern (CSR) *)
+  f_col_idx : int array;
+  f_nnz : int;
+  a2f : int array;  (* stamped slot -> filled slot *)
+  (* static pivot order ([Min_degree]; identity rows/cols for [Natural]) *)
+  rowperm : int array;  (* k -> physical row eliminated k-th *)
+  colperm : int array;  (* k -> physical column of the k-th pivot *)
+  f_diag : int array;  (* [Min_degree]: slot of the diagonal in filled row k *)
+  (* static column lists of the filled pattern ([Natural] pivot scans) *)
+  fc_ptr : int array;
+  fc_rows : int array;  (* ascending physical row within each column *)
+  fc_slots : int array;
+}
+
+let fill_nnz s = s.f_nnz
+let sym_ordering s = s.ordering
+
+(* rows bitsets -> filled CSR *)
+let csr_of_bits n rows =
+  let f_row_ptr = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    f_row_ptr.(i + 1) <- f_row_ptr.(i) + Bits.popcount rows.(i)
+  done;
+  let f_col_idx = Array.make f_row_ptr.(n) 0 in
+  for i = 0 to n - 1 do
+    let w = ref f_row_ptr.(i) in
+    for j = 0 to n - 1 do
+      if Bits.test rows.(i) j then begin
+        f_col_idx.(!w) <- j;
+        incr w
+      end
+    done
+  done;
+  (f_row_ptr, f_col_idx)
+
+(* Upper-bound fill for partial pivoting in natural order: at step [k],
+   every row holding a structural entry in column [k] is a pivot
+   candidate; whichever is chosen, the others receive its tail.  Closing
+   the pattern under the union of all candidate tails makes it valid for
+   any pivot sequence the numeric phase selects. *)
+let symbolic_natural pat =
+  let n = pat.n in
+  let rows = Array.init n (fun _ -> Bits.make n) in
+  for i = 0 to n - 1 do
+    for t = pat.row_ptr.(i) to pat.row_ptr.(i + 1) - 1 do
+      Bits.set rows.(i) pat.col_idx.(t)
+    done
+  done;
+  let u = Bits.make n in
+  for k = 0 to n - 1 do
+    Bits.reset u;
+    for r = 0 to n - 1 do
+      if Bits.test rows.(r) k then Bits.union_above u rows.(r) (k - 1)
+    done;
+    for r = 0 to n - 1 do
+      if Bits.test rows.(r) k then Bits.union_above rows.(r) u k
+    done
+  done;
+  let f_row_ptr, f_col_idx = csr_of_bits n rows in
+  (f_row_ptr, f_col_idx)
+
+(* Maximum transversal (augmenting-path bipartite matching): a row for
+   every column so the permuted matrix has a structurally nonzero
+   diagonal.  Structurally deficient columns fall back to any unused row
+   — the numeric phase then meets a zero pivot and raises, exactly as a
+   numerically singular system would. *)
+let transversal pat =
+  let n = pat.n in
+  (* column -> rows adjacency *)
+  let c_ptr = Array.make (n + 1) 0 in
+  let m = nnz pat in
+  for t = 0 to m - 1 do
+    c_ptr.(pat.col_idx.(t) + 1) <- c_ptr.(pat.col_idx.(t) + 1) + 1
+  done;
+  for j = 0 to n - 1 do
+    c_ptr.(j + 1) <- c_ptr.(j + 1) + c_ptr.(j)
+  done;
+  let c_rows = Array.make m 0 in
+  let fill = Array.copy c_ptr in
+  for i = 0 to n - 1 do
+    for t = pat.row_ptr.(i) to pat.row_ptr.(i + 1) - 1 do
+      let j = pat.col_idx.(t) in
+      c_rows.(fill.(j)) <- i;
+      fill.(j) <- fill.(j) + 1
+    done
+  done;
+  let row_of_col = Array.make n (-1) in
+  let col_of_row = Array.make n (-1) in
+  let visited = Array.make n (-1) in
+  let rec augment stamp j =
+    let found = ref false in
+    let t = ref c_ptr.(j) in
+    while (not !found) && !t < c_ptr.(j + 1) do
+      let r = c_rows.(!t) in
+      if visited.(r) <> stamp then begin
+        visited.(r) <- stamp;
+        if col_of_row.(r) = -1 || augment stamp col_of_row.(r) then begin
+          col_of_row.(r) <- j;
+          row_of_col.(j) <- r;
+          found := true
+        end
+      end;
+      incr t
+    done;
+    !found
+  in
+  for j = 0 to n - 1 do
+    ignore (augment j j)
+  done;
+  (* assign leftover rows to unmatched columns *)
+  let free = ref [] in
+  for r = n - 1 downto 0 do
+    if col_of_row.(r) = -1 then free := r :: !free
+  done;
+  for j = 0 to n - 1 do
+    if row_of_col.(j) = -1 then
+      match !free with
+      | r :: rest ->
+        row_of_col.(j) <- r;
+        free := rest
+      | [] -> assert false
+  done;
+  row_of_col
+
+(* Minimum-degree ordering of the symmetrized matched graph: vertices
+   are the matched pivots, elimination turns a vertex's neighbourhood
+   into a clique.  Deterministic: ties break towards the smallest
+   vertex index. *)
+let min_degree_order pat row_of_col =
+  let n = pat.n in
+  let adj = Array.init n (fun _ -> Bits.make n) in
+  for j = 0 to n - 1 do
+    let r = row_of_col.(j) in
+    for t = pat.row_ptr.(r) to pat.row_ptr.(r + 1) - 1 do
+      let c = pat.col_idx.(t) in
+      Bits.set adj.(j) c;
+      Bits.set adj.(c) j
+    done;
+    Bits.set adj.(j) j
+  done;
+  let alive = Array.make n true in
+  let order = Array.make n 0 in
+  for k = 0 to n - 1 do
+    let bestv = ref (-1) and bestd = ref max_int in
+    for v = 0 to n - 1 do
+      if alive.(v) then begin
+        let d = Bits.popcount adj.(v) in
+        if d < !bestd then begin
+          bestd := d;
+          bestv := v
+        end
+      end
+    done;
+    let v = !bestv in
+    order.(k) <- v;
+    alive.(v) <- false;
+    for u = 0 to n - 1 do
+      if alive.(u) && Bits.test adj.(v) u then begin
+        Bits.union adj.(u) adj.(v);
+        Bits.clear_bit adj.(u) v
+      end
+    done
+  done;
+  order
+
+(* Exact elimination pattern of the permuted matrix under the static
+   pivot order (classic up-looking row merge: row k absorbs the tails of
+   every filled row j < k it reaches). *)
+let symbolic_fill pat ~rowperm ~colperm_inv =
+  let n = pat.n in
+  let rows = Array.init n (fun _ -> Bits.make n) in
+  for k = 0 to n - 1 do
+    let r = rowperm.(k) in
+    for t = pat.row_ptr.(r) to pat.row_ptr.(r + 1) - 1 do
+      Bits.set rows.(k) colperm_inv.(pat.col_idx.(t))
+    done;
+    Bits.set rows.(k) k;
+    for j = 0 to k - 1 do
+      if Bits.test rows.(k) j then Bits.union_above rows.(k) rows.(j) j
+    done
+  done;
+  csr_of_bits n rows
+
+let build_symbolic ordering pat =
+  let n = pat.n in
+  match ordering with
+  | Natural ->
+    let f_row_ptr, f_col_idx = symbolic_natural pat in
+    let m = nnz pat in
+    let a2f = Array.make m 0 in
+    for i = 0 to n - 1 do
+      for t = pat.row_ptr.(i) to pat.row_ptr.(i + 1) - 1 do
+        a2f.(t) <- search f_col_idx f_row_ptr.(i) f_row_ptr.(i + 1)
+                     pat.col_idx.(t)
+      done
+    done;
+    (* static column lists over the filled pattern, rows ascending *)
+    let f_nnz = f_row_ptr.(n) in
+    let fc_ptr = Array.make (n + 1) 0 in
+    for t = 0 to f_nnz - 1 do
+      fc_ptr.(f_col_idx.(t) + 1) <- fc_ptr.(f_col_idx.(t) + 1) + 1
+    done;
+    for j = 0 to n - 1 do
+      fc_ptr.(j + 1) <- fc_ptr.(j + 1) + fc_ptr.(j)
+    done;
+    let fc_rows = Array.make f_nnz 0 in
+    let fc_slots = Array.make f_nnz 0 in
+    let fill = Array.copy fc_ptr in
+    for i = 0 to n - 1 do
+      for t = f_row_ptr.(i) to f_row_ptr.(i + 1) - 1 do
+        let j = f_col_idx.(t) in
+        fc_rows.(fill.(j)) <- i;
+        fc_slots.(fill.(j)) <- t;
+        fill.(j) <- fill.(j) + 1
+      done
+    done;
+    { ordering;
+      pat;
+      f_row_ptr;
+      f_col_idx;
+      f_nnz;
+      a2f;
+      rowperm = Array.init n (fun i -> i);
+      colperm = Array.init n (fun i -> i);
+      f_diag = [||];
+      fc_ptr;
+      fc_rows;
+      fc_slots }
+  | Min_degree ->
+    let row_of_col = transversal pat in
+    let order = min_degree_order pat row_of_col in
+    let colperm = order in
+    let rowperm = Array.map (fun j -> row_of_col.(j)) order in
+    let colperm_inv = Array.make n 0 in
+    Array.iteri (fun k j -> colperm_inv.(j) <- k) colperm;
+    let f_row_ptr, f_col_idx = symbolic_fill pat ~rowperm ~colperm_inv in
+    let rowperm_inv = Array.make n 0 in
+    Array.iteri (fun k r -> rowperm_inv.(r) <- k) rowperm;
+    let m = nnz pat in
+    let a2f = Array.make m 0 in
+    for i = 0 to n - 1 do
+      let ki = rowperm_inv.(i) in
+      for t = pat.row_ptr.(i) to pat.row_ptr.(i + 1) - 1 do
+        a2f.(t) <- search f_col_idx f_row_ptr.(ki) f_row_ptr.(ki + 1)
+                     colperm_inv.(pat.col_idx.(t))
+      done
+    done;
+    let f_diag = Array.make n 0 in
+    for k = 0 to n - 1 do
+      f_diag.(k) <- search f_col_idx f_row_ptr.(k) f_row_ptr.(k + 1) k
+    done;
+    { ordering;
+      pat;
+      f_row_ptr;
+      f_col_idx;
+      f_nnz = f_row_ptr.(n);
+      a2f;
+      rowperm;
+      colperm;
+      f_diag;
+      fc_ptr = [||];
+      fc_rows = [||];
+      fc_slots = [||] }
+
+(* Per-domain symbolic cache: the analyses rebuild their stamped pattern
+   from the circuit on every solve, so repeated same-structure solves
+   (Newton restarts, Monte Carlo samples, sweep points) hit here and pay
+   only a structural comparison. *)
+let cache_key :
+    (ordering * int * int, (pattern * symbolic) list ref) Hashtbl.t
+    Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let same_pattern p q = p.row_ptr = q.row_ptr && p.col_idx = q.col_idx
+
+let symbolic ordering pat =
+  let tbl = Domain.DLS.get cache_key in
+  let key = (ordering, pat.n, nnz pat) in
+  let bucket =
+    match Hashtbl.find_opt tbl key with
+    | Some b -> b
+    | None ->
+      let b = ref [] in
+      Hashtbl.add tbl key b;
+      b
+  in
+  match List.find_opt (fun (p, _) -> same_pattern p pat) !bucket with
+  | Some (_, sym) ->
+    if !Obs.Config.flag then Obs.Metrics.incr "linalg.sparse.symbolic_hits";
+    sym
+  | None ->
+    let build () = build_symbolic ordering pat in
+    let sym =
+      if not !Obs.Config.flag then build ()
+      else begin
+        Obs.Metrics.incr "linalg.sparse.symbolic_builds";
+        let t0 = Obs.Clock.now_s () in
+        Fun.protect
+          ~finally:(fun () ->
+            Obs.Metrics.add "linalg.sparse.symbolic_s"
+              (Obs.Clock.now_s () -. t0))
+          build
+      end
+    in
+    if !Obs.Config.flag then begin
+      Obs.Metrics.set "linalg.sparse.nnz" (float_of_int (nnz pat));
+      Obs.Metrics.set "linalg.sparse.fill_nnz" (float_of_int sym.f_nnz)
+    end;
+    bucket := (pat, sym) :: !bucket;
+    sym
+
+let count_numeric seconds =
+  Obs.Metrics.incr "linalg.sparse.refactors";
+  Obs.Metrics.add "linalg.sparse.numeric_s" seconds
+
+(* A static pivot order cannot exchange rows when a pivot turns out
+   numerically poor, so element growth is unbounded in principle: an MNA
+   Jacobian whose transversal lands on a gmin-sized diagonal entry can
+   produce multipliers of 1e9 and a factorization with no correct digits
+   — while staying finite, so nothing downstream notices.  Any
+   multiplier beyond this bound rejects the factorization with
+   {!Dense.Singular}; the Newton/AC drivers answer by refactoring the
+   same values under the pivoting natural order.  Growth below the bound
+   costs at most ~1e6 * eps backward error, which the iterative
+   refinement in the min-degree solve paths repairs.  The comparison is
+   negated so a NaN multiplier (overflow feeding 0/0 or inf - inf) also
+   rejects. *)
+let growth_limit = 1e6
+
+(* ------------------------------------------------------------------ *)
+(* Real numeric phase                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Real = struct
+  type t = {
+    sym : symbolic;
+    lu : float array;  (* values on the filled pattern *)
+    piv : int array;  (* [Natural]: virtual row -> physical row *)
+    vinv : int array;  (* [Natural]: physical row -> virtual row *)
+    udiag_slot : int array;  (* [Natural]: slot of the k-th U diagonal *)
+    udiag : float array;  (* [Min_degree]: U diagonal values *)
+    avals : float array;
+        (* [Min_degree]: stamped values retained for the iterative
+           refinement residual *)
+  }
+
+  let create sym =
+    let n = sym.pat.n in
+    { sym;
+      lu = Array.make sym.f_nnz 0.0;
+      piv = Array.make n 0;
+      vinv = Array.make n 0;
+      udiag_slot = Array.make n 0;
+      udiag = Array.make n 0.0;
+      avals = Array.make (Array.length sym.a2f) 0.0 }
+
+  (* Natural order with virtual partial pivoting: the exact mirror of
+     [Dense_f.factor_core] restricted to structural positions.  [piv]
+     plays the role of the dense row permutation ([piv.(vi)] is the
+     physical row currently at virtual position [vi]); candidate rows
+     are scanned in ascending virtual order so the first strict maximum
+     wins exactly as in the dense scan. *)
+  let refactor_natural t ~vals =
+    let sym = t.sym in
+    let n = sym.pat.n in
+    let ws = Ws.sparse_real n in
+    let lu = t.lu in
+    Array.fill lu 0 sym.f_nnz 0.0;
+    let a2f = sym.a2f in
+    for s = 0 to Array.length a2f - 1 do
+      lu.(a2f.(s)) <- vals.(s)
+    done;
+    let piv = t.piv and vinv = t.vinv in
+    for i = 0 to n - 1 do
+      piv.(i) <- i;
+      vinv.(i) <- i
+    done;
+    let frp = sym.f_row_ptr and fci = sym.f_col_idx in
+    let pos = ws.Ws.spos in
+    let cand = ws.Ws.scand
+    and ckey = ws.Ws.scand_key
+    and cslot = ws.Ws.scand_slot in
+    for k = 0 to n - 1 do
+      (* collect pivot candidates: filled column k, still-active rows *)
+      let nc = ref 0 in
+      for u = sym.fc_ptr.(k) to sym.fc_ptr.(k + 1) - 1 do
+        let r = sym.fc_rows.(u) in
+        let vi = vinv.(r) in
+        if vi >= k then begin
+          cand.(!nc) <- r;
+          ckey.(!nc) <- vi;
+          cslot.(!nc) <- sym.fc_slots.(u);
+          incr nc
+        end
+      done;
+      let nc = !nc in
+      (* ascending virtual order (dense scan order); insertion sort — the
+         candidate lists are short *)
+      for a = 1 to nc - 1 do
+        let cr = cand.(a) and ck = ckey.(a) and cs = cslot.(a) in
+        let b = ref (a - 1) in
+        while !b >= 0 && ckey.(!b) > ck do
+          cand.(!b + 1) <- cand.(!b);
+          ckey.(!b + 1) <- ckey.(!b);
+          cslot.(!b + 1) <- cslot.(!b);
+          decr b
+        done;
+        cand.(!b + 1) <- cr;
+        ckey.(!b + 1) <- ck;
+        cslot.(!b + 1) <- cs
+      done;
+      (* pivot selection: best starts at |a[k][k]| (0 when structurally
+         absent), later rows must beat it strictly *)
+      let start = ref 0 in
+      let best = ref 0.0 and pvi = ref k and pslot = ref (-1) in
+      if nc > 0 && ckey.(0) = k then begin
+        best := Float.abs lu.(cslot.(0));
+        pslot := cslot.(0);
+        start := 1
+      end;
+      for a = !start to nc - 1 do
+        let v = Float.abs lu.(cslot.(a)) in
+        if v > !best then begin
+          best := v;
+          pvi := ckey.(a);
+          pslot := cslot.(a)
+        end
+      done;
+      if !best < 1e-300 then raise (Dense.Singular k);
+      if !pvi <> k then begin
+        let p = !pvi in
+        let tr = piv.(k) in
+        piv.(k) <- piv.(p);
+        piv.(p) <- tr;
+        vinv.(piv.(k)) <- k;
+        vinv.(piv.(p)) <- p
+      end;
+      let pr = piv.(k) in
+      t.udiag_slot.(k) <- !pslot;
+      let akk = lu.(!pslot) in
+      (* pivot-row active tail: columns > k *)
+      let prs = ref frp.(pr) in
+      let pre = frp.(pr + 1) in
+      while !prs < pre && fci.(!prs) <= k do
+        incr prs
+      done;
+      let prs = !prs in
+      for a = 0 to nc - 1 do
+        let r = cand.(a) in
+        if vinv.(r) <> k then begin
+          let s_rk = cslot.(a) in
+          let f = lu.(s_rk) /. akk in
+          lu.(s_rk) <- f;
+          if Float.abs f > 0.0 then begin
+            for u = frp.(r) to frp.(r + 1) - 1 do
+              pos.(fci.(u)) <- u
+            done;
+            for u = prs to pre - 1 do
+              let sl = pos.(fci.(u)) in
+              lu.(sl) <- lu.(sl) -. (f *. lu.(u))
+            done;
+            for u = frp.(r) to frp.(r + 1) - 1 do
+              pos.(fci.(u)) <- -1
+            done
+          end
+        end
+      done
+    done
+
+  (* Static order, up-looking row factorization: row k of the permuted
+     matrix is scattered into the work vector, reduced by every earlier
+     U row it reaches (ascending, the classic in-place Doolittle row
+     recurrence) and gathered back.  The symbolic closure guarantees
+     every update lands on a preallocated slot. *)
+  let refactor_md t ~vals =
+    let sym = t.sym in
+    let n = sym.pat.n in
+    let ws = Ws.sparse_real n in
+    let lu = t.lu in
+    Array.fill lu 0 sym.f_nnz 0.0;
+    let a2f = sym.a2f in
+    Array.blit vals 0 t.avals 0 (Array.length a2f);
+    for s = 0 to Array.length a2f - 1 do
+      lu.(a2f.(s)) <- vals.(s)
+    done;
+    let frp = sym.f_row_ptr and fci = sym.f_col_idx in
+    let fd = sym.f_diag in
+    let work = ws.Ws.swork in
+    let udiag = t.udiag in
+    for k = 0 to n - 1 do
+      for u = frp.(k) to frp.(k + 1) - 1 do
+        work.(fci.(u)) <- lu.(u)
+      done;
+      for u = frp.(k) to fd.(k) - 1 do
+        let j = fci.(u) in
+        let f = work.(j) /. udiag.(j) in
+        if not (Float.abs f <= growth_limit) then raise (Dense.Singular j);
+        work.(j) <- f;
+        if Float.abs f > 0.0 then
+          for v = fd.(j) + 1 to frp.(j + 1) - 1 do
+            let c = fci.(v) in
+            work.(c) <- work.(c) -. (f *. lu.(v))
+          done
+      done;
+      for u = frp.(k) to frp.(k + 1) - 1 do
+        lu.(u) <- work.(fci.(u))
+      done;
+      let d = lu.(fd.(k)) in
+      if Float.abs d < 1e-300 then raise (Dense.Singular k);
+      udiag.(k) <- d
+    done
+
+  let refactor_core t ~vals =
+    match t.sym.ordering with
+    | Natural -> refactor_natural t ~vals
+    | Min_degree -> refactor_md t ~vals
+
+  let refactor t ~vals =
+    if not !Obs.Config.flag then refactor_core t ~vals
+    else begin
+      let t0 = Obs.Clock.now_s () in
+      Fun.protect
+        ~finally:(fun () -> count_numeric (Obs.Clock.now_s () -. t0))
+        (fun () -> refactor_core t ~vals)
+    end
+
+  (* [Min_degree] forward/back substitution on the permuted vector [y],
+     in place *)
+  let md_apply t y =
+    let sym = t.sym in
+    let n = sym.pat.n in
+    let lu = t.lu in
+    let frp = sym.f_row_ptr and fci = sym.f_col_idx in
+    let fd = sym.f_diag in
+    for k = 1 to n - 1 do
+      let acc = ref y.(k) in
+      for u = frp.(k) to fd.(k) - 1 do
+        acc := !acc -. (lu.(u) *. y.(fci.(u)))
+      done;
+      y.(k) <- !acc
+    done;
+    for k = n - 1 downto 0 do
+      let acc = ref y.(k) in
+      for u = fd.(k) + 1 to frp.(k + 1) - 1 do
+        acc := !acc -. (lu.(u) *. y.(fci.(u)))
+      done;
+      y.(k) <- !acc /. t.udiag.(k)
+    done
+
+  (* forward/back substitution; the [Natural] branch mirrors
+     [Dense_f.lu_solve_into] on the virtual permutation *)
+  let solve_into t ~b ~x =
+    let sym = t.sym in
+    let n = sym.pat.n in
+    if !Obs.Config.flag then Obs.Metrics.incr "linalg.sparse.solves";
+    let lu = t.lu in
+    let frp = sym.f_row_ptr and fci = sym.f_col_idx in
+    match sym.ordering with
+    | Natural ->
+      let piv = t.piv in
+      for i = 0 to n - 1 do
+        x.(i) <- b.(piv.(i))
+      done;
+      for i = 1 to n - 1 do
+        let acc = ref x.(i) in
+        let r = piv.(i) in
+        let u = ref frp.(r) in
+        let e = frp.(r + 1) in
+        while !u < e && fci.(!u) < i do
+          acc := !acc -. (lu.(!u) *. x.(fci.(!u)));
+          incr u
+        done;
+        x.(i) <- !acc
+      done;
+      for i = n - 1 downto 0 do
+        let acc = ref x.(i) in
+        let ds = t.udiag_slot.(i) in
+        let r = piv.(i) in
+        for u = ds + 1 to frp.(r + 1) - 1 do
+          acc := !acc -. (lu.(u) *. x.(fci.(u)))
+        done;
+        x.(i) <- !acc /. lu.(ds)
+      done
+    | Min_degree ->
+      let ws = Ws.sparse_real n in
+      let y = ws.Ws.sy in
+      for k = 0 to n - 1 do
+        y.(k) <- b.(sym.rowperm.(k))
+      done;
+      md_apply t y;
+      for k = 0 to n - 1 do
+        x.(sym.colperm.(k)) <- y.(k)
+      done;
+      (* iterative refinement: the static pivot order can let element
+         growth eat digits that dense partial pivoting would keep; a few
+         substitution passes over the residual restore them at a
+         fraction of the refactorization cost.  Stop when the residual
+         norm no longer shrinks (ill conditioning, not pivot growth). *)
+      let r = ws.Ws.swork in
+      let rp = sym.pat.row_ptr and ci = sym.pat.col_idx in
+      let av = t.avals in
+      let prev_norm = ref infinity in
+      let continue_ = ref true in
+      let pass = ref 0 in
+      while !continue_ && !pass < 3 do
+        incr pass;
+        let norm = ref 0.0 in
+        for i = 0 to n - 1 do
+          let acc = ref b.(i) in
+          for u = rp.(i) to rp.(i + 1) - 1 do
+            acc := !acc -. (av.(u) *. x.(ci.(u)))
+          done;
+          r.(i) <- !acc;
+          let a = Float.abs !acc in
+          if a > !norm then norm := a
+        done;
+        if !norm >= !prev_norm || !norm = 0.0 then continue_ := false
+        else begin
+          prev_norm := !norm;
+          for k = 0 to n - 1 do
+            y.(k) <- r.(sym.rowperm.(k))
+          done;
+          md_apply t y;
+          for k = 0 to n - 1 do
+            let c = sym.colperm.(k) in
+            x.(c) <- x.(c) +. y.(k)
+          done
+        end
+      done
+end
+
+(* ------------------------------------------------------------------ *)
+(* Complex numeric phase (split re/im planes)                          *)
+(* ------------------------------------------------------------------ *)
+
+module Cx = struct
+  type t = {
+    sym : symbolic;
+    lu_re : float array;
+    lu_im : float array;
+    piv : int array;
+    vinv : int array;
+    udiag_slot : int array;
+    udiag_re : float array;
+    udiag_im : float array;
+    a_re : float array;
+    a_im : float array;
+        (* [Min_degree]: stamped planes retained for the iterative
+           refinement residual *)
+  }
+
+  let create sym =
+    let n = sym.pat.n in
+    { sym;
+      lu_re = Array.make sym.f_nnz 0.0;
+      lu_im = Array.make sym.f_nnz 0.0;
+      piv = Array.make n 0;
+      vinv = Array.make n 0;
+      udiag_slot = Array.make n 0;
+      udiag_re = Array.make n 0.0;
+      udiag_im = Array.make n 0.0;
+      a_re = Array.make (Array.length sym.a2f) 0.0;
+      a_im = Array.make (Array.length sym.a2f) 0.0 }
+
+  (* mirror of [Dense_c.factor_core]: [Float.hypot] pivot magnitudes and
+     the stdlib [Complex.div] scaled division, branch for branch *)
+  let refactor_natural t ~re ~im =
+    let sym = t.sym in
+    let n = sym.pat.n in
+    let ws = Ws.sparse_cx n in
+    let lre = t.lu_re and lim = t.lu_im in
+    Array.fill lre 0 sym.f_nnz 0.0;
+    Array.fill lim 0 sym.f_nnz 0.0;
+    let a2f = sym.a2f in
+    for s = 0 to Array.length a2f - 1 do
+      lre.(a2f.(s)) <- re.(s);
+      lim.(a2f.(s)) <- im.(s)
+    done;
+    let piv = t.piv and vinv = t.vinv in
+    for i = 0 to n - 1 do
+      piv.(i) <- i;
+      vinv.(i) <- i
+    done;
+    let frp = sym.f_row_ptr and fci = sym.f_col_idx in
+    let pos = ws.Ws.cpos in
+    let cand = ws.Ws.ccand
+    and ckey = ws.Ws.ccand_key
+    and cslot = ws.Ws.ccand_slot in
+    for k = 0 to n - 1 do
+      let nc = ref 0 in
+      for u = sym.fc_ptr.(k) to sym.fc_ptr.(k + 1) - 1 do
+        let r = sym.fc_rows.(u) in
+        let vi = vinv.(r) in
+        if vi >= k then begin
+          cand.(!nc) <- r;
+          ckey.(!nc) <- vi;
+          cslot.(!nc) <- sym.fc_slots.(u);
+          incr nc
+        end
+      done;
+      let nc = !nc in
+      for a = 1 to nc - 1 do
+        let cr = cand.(a) and ck = ckey.(a) and cs = cslot.(a) in
+        let b = ref (a - 1) in
+        while !b >= 0 && ckey.(!b) > ck do
+          cand.(!b + 1) <- cand.(!b);
+          ckey.(!b + 1) <- ckey.(!b);
+          cslot.(!b + 1) <- cslot.(!b);
+          decr b
+        done;
+        cand.(!b + 1) <- cr;
+        ckey.(!b + 1) <- ck;
+        cslot.(!b + 1) <- cs
+      done;
+      let start = ref 0 in
+      let best = ref 0.0 and pvi = ref k and pslot = ref (-1) in
+      if nc > 0 && ckey.(0) = k then begin
+        best := Float.hypot lre.(cslot.(0)) lim.(cslot.(0));
+        pslot := cslot.(0);
+        start := 1
+      end;
+      for a = !start to nc - 1 do
+        let v = Float.hypot lre.(cslot.(a)) lim.(cslot.(a)) in
+        if v > !best then begin
+          best := v;
+          pvi := ckey.(a);
+          pslot := cslot.(a)
+        end
+      done;
+      if !best < 1e-300 then raise (Dense.Singular k);
+      if !pvi <> k then begin
+        let p = !pvi in
+        let tr = piv.(k) in
+        piv.(k) <- piv.(p);
+        piv.(p) <- tr;
+        vinv.(piv.(k)) <- k;
+        vinv.(piv.(p)) <- p
+      end;
+      let pr = piv.(k) in
+      t.udiag_slot.(k) <- !pslot;
+      let akk_re = lre.(!pslot) and akk_im = lim.(!pslot) in
+      let prs = ref frp.(pr) in
+      let pre = frp.(pr + 1) in
+      while !prs < pre && fci.(!prs) <= k do
+        incr prs
+      done;
+      let prs = !prs in
+      for a = 0 to nc - 1 do
+        let r = cand.(a) in
+        if vinv.(r) <> k then begin
+          let s_rk = cslot.(a) in
+          let xr = lre.(s_rk) and xi = lim.(s_rk) in
+          if Float.abs akk_re >= Float.abs akk_im then begin
+            let q = akk_im /. akk_re in
+            let d = akk_re +. (q *. akk_im) in
+            lre.(s_rk) <- (xr +. (q *. xi)) /. d;
+            lim.(s_rk) <- (xi -. (q *. xr)) /. d
+          end
+          else begin
+            let q = akk_re /. akk_im in
+            let d = akk_im +. (q *. akk_re) in
+            lre.(s_rk) <- ((q *. xr) +. xi) /. d;
+            lim.(s_rk) <- ((q *. xi) -. xr) /. d
+          end;
+          let fr = lre.(s_rk) and fi = lim.(s_rk) in
+          if Float.hypot fr fi > 0.0 then begin
+            for u = frp.(r) to frp.(r + 1) - 1 do
+              pos.(fci.(u)) <- u
+            done;
+            for u = prs to pre - 1 do
+              let sl = pos.(fci.(u)) in
+              let ar = lre.(u) and ai = lim.(u) in
+              lre.(sl) <- lre.(sl) -. ((fr *. ar) -. (fi *. ai));
+              lim.(sl) <- lim.(sl) -. ((fr *. ai) +. (fi *. ar))
+            done;
+            for u = frp.(r) to frp.(r + 1) - 1 do
+              pos.(fci.(u)) <- -1
+            done
+          end
+        end
+      done
+    done
+
+  let refactor_md t ~re ~im =
+    let sym = t.sym in
+    let n = sym.pat.n in
+    let ws = Ws.sparse_cx n in
+    let lre = t.lu_re and lim = t.lu_im in
+    Array.fill lre 0 sym.f_nnz 0.0;
+    Array.fill lim 0 sym.f_nnz 0.0;
+    let a2f = sym.a2f in
+    Array.blit re 0 t.a_re 0 (Array.length a2f);
+    Array.blit im 0 t.a_im 0 (Array.length a2f);
+    for s = 0 to Array.length a2f - 1 do
+      lre.(a2f.(s)) <- re.(s);
+      lim.(a2f.(s)) <- im.(s)
+    done;
+    let frp = sym.f_row_ptr and fci = sym.f_col_idx in
+    let fd = sym.f_diag in
+    let wre = ws.Ws.cwork_re and wim = ws.Ws.cwork_im in
+    for k = 0 to n - 1 do
+      for u = frp.(k) to frp.(k + 1) - 1 do
+        let c = fci.(u) in
+        wre.(c) <- lre.(u);
+        wim.(c) <- lim.(u)
+      done;
+      for u = frp.(k) to fd.(k) - 1 do
+        let j = fci.(u) in
+        let dr = t.udiag_re.(j) and di = t.udiag_im.(j) in
+        let xr = wre.(j) and xi = wim.(j) in
+        if Float.abs dr >= Float.abs di then begin
+          let q = di /. dr in
+          let d = dr +. (q *. di) in
+          wre.(j) <- (xr +. (q *. xi)) /. d;
+          wim.(j) <- (xi -. (q *. xr)) /. d
+        end
+        else begin
+          let q = dr /. di in
+          let d = di +. (q *. dr) in
+          wre.(j) <- ((q *. xr) +. xi) /. d;
+          wim.(j) <- ((q *. xi) -. xr) /. d
+        end;
+        let fr = wre.(j) and fi = wim.(j) in
+        if not (Float.abs fr <= growth_limit && Float.abs fi <= growth_limit)
+        then raise (Dense.Singular j);
+        if Float.hypot fr fi > 0.0 then
+          for v = fd.(j) + 1 to frp.(j + 1) - 1 do
+            let c = fci.(v) in
+            let ar = lre.(v) and ai = lim.(v) in
+            wre.(c) <- wre.(c) -. ((fr *. ar) -. (fi *. ai));
+            wim.(c) <- wim.(c) -. ((fr *. ai) +. (fi *. ar))
+          done
+      done;
+      for u = frp.(k) to frp.(k + 1) - 1 do
+        let c = fci.(u) in
+        lre.(u) <- wre.(c);
+        lim.(u) <- wim.(c)
+      done;
+      let dr = lre.(fd.(k)) and di = lim.(fd.(k)) in
+      if Float.hypot dr di < 1e-300 then raise (Dense.Singular k);
+      t.udiag_re.(k) <- dr;
+      t.udiag_im.(k) <- di
+    done
+
+  let refactor_core t ~re ~im =
+    match t.sym.ordering with
+    | Natural -> refactor_natural t ~re ~im
+    | Min_degree -> refactor_md t ~re ~im
+
+  let refactor t ~re ~im =
+    if not !Obs.Config.flag then refactor_core t ~re ~im
+    else begin
+      let t0 = Obs.Clock.now_s () in
+      Fun.protect
+        ~finally:(fun () -> count_numeric (Obs.Clock.now_s () -. t0))
+        (fun () -> refactor_core t ~re ~im)
+    end
+
+  (* [Min_degree] forward/back substitution on the permuted planes, in
+     place; the final division replays the stdlib [Complex.div]
+     branches, inlined so the hot loop stays closure- and box-free *)
+  let md_apply t y_re y_im =
+    let sym = t.sym in
+    let n = sym.pat.n in
+    let lre = t.lu_re and lim = t.lu_im in
+    let frp = sym.f_row_ptr and fci = sym.f_col_idx in
+    let fd = sym.f_diag in
+    for k = 1 to n - 1 do
+      let acc_r = ref y_re.(k) and acc_i = ref y_im.(k) in
+      for u = frp.(k) to fd.(k) - 1 do
+        let j = fci.(u) in
+        let ar = lre.(u) and ai = lim.(u) in
+        let xr = y_re.(j) and xi = y_im.(j) in
+        acc_r := !acc_r -. ((ar *. xr) -. (ai *. xi));
+        acc_i := !acc_i -. ((ar *. xi) +. (ai *. xr))
+      done;
+      y_re.(k) <- !acc_r;
+      y_im.(k) <- !acc_i
+    done;
+    for k = n - 1 downto 0 do
+      let acc_r = ref y_re.(k) and acc_i = ref y_im.(k) in
+      for u = fd.(k) + 1 to frp.(k + 1) - 1 do
+        let j = fci.(u) in
+        let ar = lre.(u) and ai = lim.(u) in
+        let xr = y_re.(j) and xi = y_im.(j) in
+        acc_r := !acc_r -. ((ar *. xr) -. (ai *. xi));
+        acc_i := !acc_i -. ((ar *. xi) +. (ai *. xr))
+      done;
+      let dr = t.udiag_re.(k) and di = t.udiag_im.(k) in
+      if Float.abs dr >= Float.abs di then begin
+        let q = di /. dr in
+        let d = dr +. (q *. di) in
+        y_re.(k) <- (!acc_r +. (q *. !acc_i)) /. d;
+        y_im.(k) <- (!acc_i -. (q *. !acc_r)) /. d
+      end
+      else begin
+        let q = dr /. di in
+        let d = di +. (q *. dr) in
+        y_re.(k) <- ((q *. !acc_r) +. !acc_i) /. d;
+        y_im.(k) <- ((q *. !acc_i) -. !acc_r) /. d
+      end
+    done
+
+  (* mirror of [Dense_c.lu_solve_into]: the final division replays the
+     stdlib [Complex.div] branches *)
+  let solve_into t ~b_re ~b_im ~x_re ~x_im =
+    let sym = t.sym in
+    let n = sym.pat.n in
+    if !Obs.Config.flag then Obs.Metrics.incr "linalg.sparse.solves";
+    let lre = t.lu_re and lim = t.lu_im in
+    let frp = sym.f_row_ptr and fci = sym.f_col_idx in
+    match sym.ordering with
+    | Natural ->
+      let piv = t.piv in
+      for i = 0 to n - 1 do
+        let p = piv.(i) in
+        x_re.(i) <- b_re.(p);
+        x_im.(i) <- b_im.(p)
+      done;
+      for i = 1 to n - 1 do
+        let acc_r = ref x_re.(i) and acc_i = ref x_im.(i) in
+        let r = piv.(i) in
+        let u = ref frp.(r) in
+        let e = frp.(r + 1) in
+        while !u < e && fci.(!u) < i do
+          let j = fci.(!u) in
+          let ar = lre.(!u) and ai = lim.(!u) in
+          let xr = x_re.(j) and xi = x_im.(j) in
+          acc_r := !acc_r -. ((ar *. xr) -. (ai *. xi));
+          acc_i := !acc_i -. ((ar *. xi) +. (ai *. xr));
+          incr u
+        done;
+        x_re.(i) <- !acc_r;
+        x_im.(i) <- !acc_i
+      done;
+      for i = n - 1 downto 0 do
+        let acc_r = ref x_re.(i) and acc_i = ref x_im.(i) in
+        let ds = t.udiag_slot.(i) in
+        let r = piv.(i) in
+        for u = ds + 1 to frp.(r + 1) - 1 do
+          let j = fci.(u) in
+          let ar = lre.(u) and ai = lim.(u) in
+          let xr = x_re.(j) and xi = x_im.(j) in
+          acc_r := !acc_r -. ((ar *. xr) -. (ai *. xi));
+          acc_i := !acc_i -. ((ar *. xi) +. (ai *. xr))
+        done;
+        let dr = lre.(ds) and di = lim.(ds) in
+        if Float.abs dr >= Float.abs di then begin
+          let q = di /. dr in
+          let d = dr +. (q *. di) in
+          x_re.(i) <- (!acc_r +. (q *. !acc_i)) /. d;
+          x_im.(i) <- (!acc_i -. (q *. !acc_r)) /. d
+        end
+        else begin
+          let q = dr /. di in
+          let d = di +. (q *. dr) in
+          x_re.(i) <- ((q *. !acc_r) +. !acc_i) /. d;
+          x_im.(i) <- ((q *. !acc_i) -. !acc_r) /. d
+        end
+      done
+    | Min_degree ->
+      let ws = Ws.sparse_cx n in
+      let y_re = ws.Ws.cy_re and y_im = ws.Ws.cy_im in
+      for k = 0 to n - 1 do
+        let r = sym.rowperm.(k) in
+        y_re.(k) <- b_re.(r);
+        y_im.(k) <- b_im.(r)
+      done;
+      md_apply t y_re y_im;
+      for k = 0 to n - 1 do
+        let c = sym.colperm.(k) in
+        x_re.(c) <- y_re.(k);
+        x_im.(c) <- y_im.(k)
+      done;
+      (* iterative refinement against the retained stamped planes — see
+         the real-valued twin for why and for the stopping rule *)
+      let r_re = ws.Ws.cwork_re and r_im = ws.Ws.cwork_im in
+      let rp = sym.pat.row_ptr and ci = sym.pat.col_idx in
+      let are = t.a_re and aim = t.a_im in
+      let prev_norm = ref infinity in
+      let continue_ = ref true in
+      let pass = ref 0 in
+      while !continue_ && !pass < 3 do
+        incr pass;
+        let norm = ref 0.0 in
+        for i = 0 to n - 1 do
+          let acc_r = ref b_re.(i) and acc_i = ref b_im.(i) in
+          for u = rp.(i) to rp.(i + 1) - 1 do
+            let j = ci.(u) in
+            let ar = are.(u) and ai = aim.(u) in
+            let xr = x_re.(j) and xi = x_im.(j) in
+            acc_r := !acc_r -. ((ar *. xr) -. (ai *. xi));
+            acc_i := !acc_i -. ((ar *. xi) +. (ai *. xr))
+          done;
+          r_re.(i) <- !acc_r;
+          r_im.(i) <- !acc_i;
+          let a = Float.max (Float.abs !acc_r) (Float.abs !acc_i) in
+          if a > !norm then norm := a
+        done;
+        if !norm >= !prev_norm || !norm = 0.0 then continue_ := false
+        else begin
+          prev_norm := !norm;
+          for k = 0 to n - 1 do
+            let r = sym.rowperm.(k) in
+            y_re.(k) <- r_re.(r);
+            y_im.(k) <- r_im.(r)
+          done;
+          md_apply t y_re y_im;
+          for k = 0 to n - 1 do
+            let c = sym.colperm.(k) in
+            x_re.(c) <- x_re.(c) +. y_re.(k);
+            x_im.(c) <- x_im.(c) +. y_im.(k)
+          done
+        end
+      done
+end

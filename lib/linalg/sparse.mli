@@ -1,0 +1,95 @@
+(** CSR sparse LU with a symbolic/numeric split.
+
+    The symbolic analysis runs once per matrix structure (ordering,
+    elimination pattern, fill slots, slot maps) and is cached per domain;
+    the numeric phase refactors any number of value sets over the frozen
+    pattern — one refactorization per Newton iterate, transient step or
+    AC frequency point — without allocating (scratch comes from {!Ws}).
+
+    [Natural] ordering replicates the dense kernels' partial-pivoting
+    rule over a pivot-independent upper-bound fill pattern and is
+    bit-identical to {!Dense_f}/{!Dense_c} (the verification mode);
+    [Min_degree] applies a maximum transversal plus minimum-degree
+    ordering with a static pivot order (the performance mode).  A
+    static order cannot repivot, so the numeric phase guards itself: a
+    tiny pivot or a multiplier beyond the element-growth bound rejects
+    the factorization with {!Dense.Singular}, and the analysis drivers
+    answer by refactoring the same values under the pivoting natural
+    order.  Growth below the bound is repaired at solve time by
+    residual-monitored iterative refinement (up to three passes against
+    the retained stamped values), so admissible growth costs extra
+    substitution passes instead of solution digits.
+
+    Telemetry (when enabled): [linalg.sparse.nnz] / [.fill_nnz] gauges,
+    [.symbolic_builds] / [.symbolic_hits] / [.symbolic_s] for the
+    analysis phase, [.refactors] / [.numeric_s] / [.solves] for the
+    numeric phase. *)
+
+type ordering = Natural | Min_degree
+
+val ordering_name : ordering -> string
+
+type pattern = private { n : int; row_ptr : int array; col_idx : int array }
+(** Sparsity structure in CSR form; columns sorted within each row.
+    Values live in caller-owned arrays indexed by slot (the position in
+    [col_idx]). *)
+
+val of_coords : n:int -> (int * int) list -> pattern
+(** Build a pattern from (row, column) coordinates; duplicates are
+    merged.  Raises [Invalid_argument] on out-of-range indices. *)
+
+val nnz : pattern -> int
+
+val slot : pattern -> int -> int -> int
+(** [slot p i j] is the value-array index of entry [(i, j)], or [-1]
+    when the entry is not in the pattern. *)
+
+val slot_exn : pattern -> int -> int -> int
+(** Like {!slot} but raises [Invalid_argument] on absent entries. *)
+
+type symbolic
+(** Result of the symbolic analysis over a pattern: the filled
+    elimination structure every numeric factor of that pattern reuses. *)
+
+val symbolic : ordering -> pattern -> symbolic
+(** Analyse a pattern (cached per domain: same-structure requests pay
+    one structural comparison, so per-solve pattern rebuilds are free). *)
+
+val fill_nnz : symbolic -> int
+(** Nonzeros of the filled pattern (stamped entries plus fill-in). *)
+
+val sym_ordering : symbolic -> ordering
+
+module Real : sig
+  type t
+
+  val create : symbolic -> t
+  (** Allocate numeric storage for one factorization of the analysed
+      structure.  The handle owns its LU values, so concurrently live
+      factors never clobber each other; scratch is per-domain. *)
+
+  val refactor : t -> vals:float array -> unit
+  (** Numeric (re)factorization of the stamped values ([vals] indexed by
+      pattern slot, left untouched).  Raises {!Dense.Singular}. *)
+
+  val solve_into : t -> b:float array -> x:float array -> unit
+  (** Solve with the current factors into [x] ([b] is not modified;
+      the two must not alias). *)
+end
+
+module Cx : sig
+  type t
+
+  val create : symbolic -> t
+
+  val refactor : t -> re:float array -> im:float array -> unit
+  (** Complex refactorization from split re/im value planes. *)
+
+  val solve_into :
+    t ->
+    b_re:float array ->
+    b_im:float array ->
+    x_re:float array ->
+    x_im:float array ->
+    unit
+end

@@ -9,14 +9,19 @@ val solve :
   ?backend:Stamps.backend ->
   ?guess:(string -> float option) ->
   ?max_iter:int ->
+  ?gmin:float ->
   proc:Technology.Process.t ->
   kind:Device.Model.kind ->
   Netlist.Circuit.t -> t
 (** Solve for the operating point.  [guess] seeds node voltages (nodes not
     covered start at 0 V); the sizing tool passes its intended bias point
-    here.  [backend] selects the linear solver (default [Kernel], the
-    unboxed in-place workspace path; [Reference] keeps the boxed functor
-    solver — both produce bit-identical results).  Raises
+    here.  [backend] selects the linear solver (default
+    {!Stamps.default_backend}: [Kernel] is the unboxed in-place workspace
+    path, [Reference] the boxed functor solver, [Sparse] the CSR
+    symbolic/numeric-split solver — [Kernel], [Reference] and
+    [Sparse Natural] produce bit-identical results).  [gmin] is the
+    conductance to ground left on every node at convergence (default
+    [1e-12]); the gmin-stepping ladder relaxes down to it.  Raises
     [Phys.Numerics.No_convergence] when every continuation strategy
     fails.  This is a thin wrapper over {!solve_result} kept for existing
     callers; new code that wants to degrade gracefully should match on
@@ -26,6 +31,7 @@ val solve_result :
   ?backend:Stamps.backend ->
   ?guess:(string -> float option) ->
   ?max_iter:int ->
+  ?gmin:float ->
   proc:Technology.Process.t ->
   kind:Device.Model.kind ->
   Netlist.Circuit.t -> (t, Sim_error.t) result

@@ -9,12 +9,40 @@
     identical sequence of accumulations, so solver results agree
     bit-for-bit between backends. *)
 
-type backend = Kernel | Reference
+type backend = Kernel | Reference | Sparse of Linalg.Sparse.ordering
 (** Solver backend selector threaded through the analyses: [Kernel] is the
     unboxed in-place workspace path, [Reference] the original boxed
-    functor path kept for verification and benchmarking baselines. *)
+    functor path kept for verification and benchmarking baselines, and
+    [Sparse] the CSR symbolic/numeric-split solver ({!Linalg.Sparse}) —
+    [Sparse Natural] is bit-identical to [Kernel], [Sparse Min_degree]
+    is the fill-reducing performance mode. *)
 
-type mat = Unboxed of Linalg.Dense_f.t | Boxed of Linalg.Real.t
+val backend_of_string : string -> (backend, string) result
+(** Parse ["kernel"], ["reference"], ["sparse"] (min-degree) or
+    ["sparse-natural"] (case-insensitive). *)
+
+val backend_name : backend -> string
+
+val default_backend : unit -> backend
+(** The process-wide default backend used when an analysis gets no
+    explicit [?backend].  Initialised from [LOSAC_BACKEND] ([Kernel]
+    when unset or unrecognized). *)
+
+val set_default_backend : backend -> unit
+
+val with_default_backend : backend -> (unit -> 'a) -> 'a
+(** Scoped override of the default backend (exception-safe). *)
+
+type smat = { spat : Linalg.Sparse.pattern; svals : float array }
+(** A stamped sparse matrix: the natural-order CSR pattern of the
+    circuit plus its slot-indexed value array. *)
+
+val smat_of_pattern : Linalg.Sparse.pattern -> smat
+
+type mat =
+  | Unboxed of Linalg.Dense_f.t
+  | Boxed of Linalg.Real.t
+  | Csr of smat
 
 type ctx = {
   idx : Indexing.t;
@@ -31,6 +59,13 @@ val make_ws : Indexing.t -> Linalg.Ws.real -> float array -> ctx
 (** Stamping context over a reusable workspace: clears the workspace
     matrix and right-hand side and aliases them as [jac]/[f], so repeated
     Newton iterates re-stamp the same buffers without allocating. *)
+
+val make_sparse : Indexing.t -> smat -> f:float array -> float array -> ctx
+(** Stamping context over a sparse matrix: clears the slot values and the
+    caller's residual buffer and aliases them, so repeated iterates
+    re-stamp the same arrays.  Name-based stamps resolve slots by binary
+    search; the compiled DC path uses {!run_sparse} with precomputed
+    slots. *)
 
 val volt : ctx -> string -> float
 val add_current : ctx -> string -> float -> unit
@@ -80,3 +115,24 @@ val run : Device.Model.kind -> prog -> ctx -> gmin:float -> alpha:float -> unit
 (** Stamp one Newton iterate: residual and Jacobian of the full circuit
     at the context's [x], with all independent sources scaled by [alpha]
     and [gmin] to ground on every node. *)
+
+val dc_pattern : Indexing.t -> prog -> Linalg.Sparse.pattern
+(** Every Jacobian position a DC Newton iterate of the program can
+    touch, including the gmin node diagonals. *)
+
+val tran_pattern : Indexing.t -> Netlist.Circuit.t -> Linalg.Sparse.pattern
+(** The DC positions plus every backward-Euler companion position
+    (capacitor quads and the five MOS cap pairs), frozen for a whole
+    transient run regardless of bias-dependent capacitance values. *)
+
+type sprog
+(** A slot-resolved stamp program: every Jacobian write of {!run} mapped
+    to its CSR slot at compile time. *)
+
+val compile_slots : Linalg.Sparse.pattern -> Indexing.t -> prog -> sprog
+
+val run_sparse :
+  Device.Model.kind -> sprog -> ctx -> gmin:float -> alpha:float -> unit
+(** The sparse twin of {!run} over a [Csr] context: identical element
+    order and floating-point sequence, with each Jacobian accumulation
+    landing on its precomputed slot (zero lookups in the hot loop). *)

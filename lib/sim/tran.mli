@@ -13,6 +13,7 @@ val run :
   ?backend:Stamps.backend ->
   ?dt:float ->
   ?guess:(string -> float option) ->
+  ?gmin:float ->
   proc:Technology.Process.t ->
   kind:Device.Model.kind ->
   tstop:float ->
@@ -20,8 +21,13 @@ val run :
 (** Simulate from a DC operating point at t = 0 (computed with sources at
     their [wave 0] / DC values) to [tstop].  [dt] defaults to
     [tstop / 2000].  [backend] selects the linear solver as in
-    {!Dcop.solve} (default [Kernel]); results are bit-identical either
-    way. *)
+    {!Dcop.solve} (default {!Stamps.default_backend}); [Kernel],
+    [Reference] and [Sparse Natural] are bit-identical.  Under [Sparse]
+    the companion-circuit pattern and its symbolic factorisation are
+    computed once and numerically refactored at every Newton iterate of
+    every step.  [gmin] (default [1e-12]) is the conductance to ground
+    stamped on every node, both at the t = 0 operating point and during
+    integration. *)
 
 val times : result -> float array
 val waveform : result -> string -> float array

@@ -348,7 +348,9 @@ let cascode_testbench () =
 
 let test_backend_dc_bit_identical () =
   let c = cascode_testbench () in
-  let k = Sim.Dcop.solve ~proc:P.c06 ~kind:M.Bsim_lite c in
+  let k =
+    Sim.Dcop.solve ~backend:Sim.Stamps.Kernel ~proc:P.c06 ~kind:M.Bsim_lite c
+  in
   let r =
     Sim.Dcop.solve ~backend:Sim.Stamps.Reference ~proc:P.c06 ~kind:M.Bsim_lite c
   in
@@ -374,7 +376,7 @@ let test_backend_ac_bit_identical () =
   let net = Sim.Acs.prepare op in
   List.iter
     (fun freq ->
-      let hk = Sim.Acs.transfer net ~freq ~out:"d" in
+      let hk = Sim.Acs.transfer ~backend:Sim.Stamps.Kernel net ~freq ~out:"d" in
       let hr =
         Sim.Acs.transfer ~backend:Sim.Stamps.Reference net ~freq ~out:"d"
       in
@@ -386,7 +388,7 @@ let test_backend_ac_bit_identical () =
     [ 1.0; 1e3; 1e6; 1e9 ];
   (* noise inner loop: the in-workspace |V(out)|^2 equals the reference
      backend's, and the phasor-vector formulation of the same quantity *)
-  let fk = Sim.Acs.factor net ~freq:1e6 in
+  let fk = Sim.Acs.factor ~backend:Sim.Stamps.Kernel net ~freq:1e6 in
   let fr = Sim.Acs.factor ~backend:Sim.Stamps.Reference net ~freq:1e6 in
   let gk = Sim.Acs.injection_gain2 fk ~p:"d" ~n:"0" ~out:"d" in
   let gr = Sim.Acs.injection_gain2 fr ~p:"d" ~n:"0" ~out:"d" in
@@ -404,8 +406,8 @@ let test_backend_ac_interleaved_factors () =
   let r = 1e3 and cap = 1e-9 in
   let op = solve (rc_lowpass r cap) in
   let net = Sim.Acs.prepare op in
-  let f1 = Sim.Acs.factor net ~freq:1e4 in
-  let f2 = Sim.Acs.factor net ~freq:1e7 in
+  let f1 = Sim.Acs.factor ~backend:Sim.Stamps.Kernel net ~freq:1e4 in
+  let f2 = Sim.Acs.factor ~backend:Sim.Stamps.Kernel net ~freq:1e7 in
   let h1 = Sim.Acs.voltage net (Sim.Acs.solve_sources f1) "out" in
   let h2 = Sim.Acs.voltage net (Sim.Acs.solve_sources f2) "out" in
   let h1r = Sim.Acs.transfer ~backend:Sim.Stamps.Reference net ~freq:1e4 ~out:"out" in
@@ -433,6 +435,133 @@ let test_backend_tran_bit_identical () =
   let wr = Sim.Tran.waveform (run Sim.Stamps.Reference) "out" in
   Alcotest.(check bool) "every time point bit-identical" true
     (Array.for_all2 bits_eq wk wr)
+
+(* --- sparse backend over random connected netlists --------------------- *)
+
+let sparse_nat = Sim.Stamps.Sparse Linalg.Sparse.Natural
+let sparse_md = Sim.Stamps.Sparse Linalg.Sparse.Min_degree
+
+let try_dc backend c =
+  match Sim.Dcop.solve ~backend ~proc:P.c06 ~kind:M.Level1 c with
+  | op -> Some op
+  | exception Phys.Numerics.No_convergence _ -> None
+
+let rel_close a b =
+  Float.abs (a -. b)
+  <= 1e-9 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let cx_close (a : Complex.t) (b : Complex.t) =
+  Complex.norm (Complex.sub a b) <= 1e-9 *. Float.max 1.0 (Complex.norm a)
+
+let prop_sparse_dc_bit_identical =
+  QCheck.Test.make ~count:60
+    ~name:"sparse-natural DC bit-identical to kernel on random netlists"
+    QCheck.(pair (int_range 2 30) (int_range 0 100000))
+    (fun (nodes, seed) ->
+      let c, _ = Gen_netlist.make ~nodes ~seed in
+      match (try_dc Sim.Stamps.Kernel c, try_dc sparse_nat c) with
+      | None, None -> true
+      | Some k, Some s ->
+        Sim.Dcop.iterations k = Sim.Dcop.iterations s
+        && Array.for_all
+             (fun nd ->
+               bits_eq (Sim.Dcop.voltage k nd) (Sim.Dcop.voltage s nd))
+             (Sim.Indexing.node_names (Sim.Dcop.indexing k))
+      | _ -> false)
+
+let prop_sparse_dc_min_degree_close =
+  QCheck.Test.make ~count:60
+    ~name:"sparse min-degree DC within 1e-9 of kernel on random netlists"
+    QCheck.(pair (int_range 2 30) (int_range 0 100000))
+    (fun (nodes, seed) ->
+      let c, _ = Gen_netlist.make ~nodes ~seed in
+      match try_dc Sim.Stamps.Kernel c with
+      | None -> true
+      | Some k -> (
+        match try_dc sparse_md c with
+        | None -> false
+        | Some s ->
+          Array.for_all
+            (fun nd ->
+              rel_close (Sim.Dcop.voltage k nd) (Sim.Dcop.voltage s nd))
+            (Sim.Indexing.node_names (Sim.Dcop.indexing k))))
+
+let ac_freqs = [ 1.0; 1e4; 1e7; 1e9 ]
+
+let prop_sparse_ac_bit_identical =
+  QCheck.Test.make ~count:40
+    ~name:"sparse-natural AC bit-identical to kernel on random netlists"
+    QCheck.(pair (int_range 2 25) (int_range 0 100000))
+    (fun (nodes, seed) ->
+      let c, out = Gen_netlist.make ~nodes ~seed in
+      match try_dc Sim.Stamps.Kernel c with
+      | None -> true
+      | Some op ->
+        let net = Sim.Acs.prepare op in
+        List.for_all
+          (fun freq ->
+            let hk =
+              Sim.Acs.transfer ~backend:Sim.Stamps.Kernel net ~freq ~out
+            in
+            let hs = Sim.Acs.transfer ~backend:sparse_nat net ~freq ~out in
+            bits_eq hk.Complex.re hs.Complex.re
+            && bits_eq hk.Complex.im hs.Complex.im)
+          ac_freqs)
+
+let prop_sparse_ac_min_degree_close =
+  QCheck.Test.make ~count:40
+    ~name:"sparse min-degree AC within 1e-9 of kernel on random netlists"
+    QCheck.(pair (int_range 2 25) (int_range 0 100000))
+    (fun (nodes, seed) ->
+      let c, out = Gen_netlist.make ~nodes ~seed in
+      match try_dc Sim.Stamps.Kernel c with
+      | None -> true
+      | Some op ->
+        let net = Sim.Acs.prepare op in
+        List.for_all
+          (fun freq ->
+            let hk =
+              Sim.Acs.transfer ~backend:Sim.Stamps.Kernel net ~freq ~out
+            in
+            let hs = Sim.Acs.transfer ~backend:sparse_md net ~freq ~out in
+            cx_close hk hs)
+          ac_freqs)
+
+let try_tran backend c =
+  match
+    Sim.Tran.run ~backend ~proc:P.c06 ~kind:M.Level1 ~tstop:2e-7 ~dt:1e-8 c
+  with
+  | r -> Some r
+  | exception Phys.Numerics.No_convergence _ -> None
+
+let prop_sparse_tran_bit_identical =
+  QCheck.Test.make ~count:20
+    ~name:"sparse-natural transient bit-identical to kernel on random netlists"
+    QCheck.(pair (int_range 2 15) (int_range 0 100000))
+    (fun (nodes, seed) ->
+      let c, out = Gen_netlist.make ~nodes ~seed in
+      match (try_tran Sim.Stamps.Kernel c, try_tran sparse_nat c) with
+      | None, None -> true
+      | Some k, Some s ->
+        Array.for_all2 bits_eq (Sim.Tran.waveform k out)
+          (Sim.Tran.waveform s out)
+      | _ -> false)
+
+let prop_sparse_tran_min_degree_close =
+  QCheck.Test.make ~count:20
+    ~name:"sparse min-degree transient within 1e-9 of kernel on random netlists"
+    QCheck.(pair (int_range 2 15) (int_range 0 100000))
+    (fun (nodes, seed) ->
+      let c, out = Gen_netlist.make ~nodes ~seed in
+      match (try_tran Sim.Stamps.Kernel c, try_tran sparse_md c) with
+      (* unlike the bit-identical natural mode, min-degree Newton iterates
+         legitimately differ in the last bits, so a borderline transient
+         may converge under one backend and not the other — only compare
+         runs that both completed *)
+      | Some k, Some s ->
+        Array.for_all2 rel_close (Sim.Tran.waveform k out)
+          (Sim.Tran.waveform s out)
+      | _ -> true)
 
 let edge_cases =
   [
@@ -466,4 +595,13 @@ let suite =
       case "settling time" test_settling_time;
     ]
     @ edge_cases
-    @ qcheck_cases [ prop_divider_matches_analytic ] )
+    @ qcheck_cases
+        [
+          prop_divider_matches_analytic;
+          prop_sparse_dc_bit_identical;
+          prop_sparse_dc_min_degree_close;
+          prop_sparse_ac_bit_identical;
+          prop_sparse_ac_min_degree_close;
+          prop_sparse_tran_bit_identical;
+          prop_sparse_tran_min_degree_close;
+        ] )
