@@ -1,0 +1,216 @@
+(* Perf-regression gate: compare a freshly measured BENCH_*.json document
+   against a committed baseline.
+
+   The comparison is a recursive walk over both documents.  Leaf numbers
+   are judged by what their key *means*, not by exact equality:
+
+   - time-like keys ([*_s], [*_us], [*_ms], [*_ns], [*_s_per_*],
+     [*_ns_per_*]) are lower-is-better within a generous relative band —
+     CI machines are noisy and the gate must only catch real cliffs;
+   - [speedup*] and [*hit_rate] are higher-is-better;
+   - allocation counts ([*words_per*]) get a relative band plus a small
+     absolute slack so a constant few-word change never trips the gate;
+   - [identical*] booleans are the bit-identity acceptance flags: a
+     [true] baseline must stay [true], full stop;
+   - [cores]/[jobs] are compatibility stamps: a mismatch makes the whole
+     comparison meaningless (different machine shape), so the gate
+     *refuses* instead of passing or failing;
+   - [crossover*] values are derived from which side of a noisy race won
+     and are reported as informational only;
+   - everything else (sizes, iteration counts, error bounds) is
+     deterministic by construction and must match exactly.
+
+   Arrays of records that carry ["name"] fields are matched by name, so
+   reordering experiments never shows up as a regression; other arrays
+   match positionally.  Metrics present only in the fresh run are fine
+   (new instrumentation); metrics missing from the fresh run are
+   regressions (lost coverage). *)
+
+type tolerances = {
+  time_rel : float;  (* allowed relative slowdown on time-like keys *)
+  better_rel : float;  (* allowed relative drop on higher-is-better keys *)
+  alloc_rel : float;
+  alloc_abs : float;  (* words of absolute slack on allocation counts *)
+}
+
+let default_tolerances =
+  { time_rel = 0.60; better_rel = 0.40; alloc_rel = 0.25; alloc_abs = 64.0 }
+
+type clazz =
+  | Time
+  | Higher
+  | Alloc
+  | Bool_flag
+  | Compat
+  | Info
+  | Exact
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let ends ~suffix s =
+  let n = String.length suffix and m = String.length s in
+  n <= m && String.sub s (m - n) n = suffix
+
+let classify key =
+  if key = "cores" || key = "jobs" then Compat
+  else if contains ~sub:"crossover" key then Info
+  else if contains ~sub:"identical" key then Bool_flag
+  else if contains ~sub:"speedup" key || contains ~sub:"hit_rate" key then
+    Higher
+  else if contains ~sub:"words_per" key then Alloc
+  else if
+    ends ~suffix:"_s" key || ends ~suffix:"_us" key || ends ~suffix:"_ms" key
+    || ends ~suffix:"_ns" key
+    || contains ~sub:"_s_per_" key
+    || contains ~sub:"_ns_per_" key
+  then Time
+  else Exact
+
+type verdict = Pass | Regression of string list | Refusal of string
+
+type state = {
+  mutable regressions : string list;  (* newest first *)
+  mutable refusal : string option;
+  mutable info : string list;
+  mutable compared : int;  (* leaf metrics judged *)
+}
+
+let regress st msg = st.regressions <- msg :: st.regressions
+
+let refuse st msg = if st.refusal = None then st.refusal <- Some msg
+
+let pct x = 100.0 *. x
+
+let judge st ~tol path key base fresh =
+  st.compared <- st.compared + 1;
+  match classify key with
+  | Info -> ()
+  | Compat ->
+    if base <> fresh then
+      refuse st
+        (Printf.sprintf
+           "%s: baseline ran with %s=%g, this machine has %g — runs are not \
+            comparable (re-baseline on matching hardware)"
+           path key base fresh)
+  | Time ->
+    if fresh > base *. (1.0 +. tol.time_rel) +. 1e-12 then
+      regress st
+        (Printf.sprintf "%s: %g -> %g (+%.0f%%, budget +%.0f%%)" path base
+           fresh
+           (pct ((fresh -. base) /. Float.max 1e-30 base))
+           (pct tol.time_rel))
+  | Higher ->
+    if fresh < base *. (1.0 -. tol.better_rel) -. 1e-12 then
+      regress st
+        (Printf.sprintf "%s: %g -> %g (-%.0f%%, budget -%.0f%%)" path base
+           fresh
+           (pct ((base -. fresh) /. Float.max 1e-30 base))
+           (pct tol.better_rel))
+  | Alloc ->
+    if fresh > (base *. (1.0 +. tol.alloc_rel)) +. tol.alloc_abs then
+      regress st
+        (Printf.sprintf "%s: %g -> %g words (budget +%.0f%% + %g)" path base
+           fresh (pct tol.alloc_rel) tol.alloc_abs)
+  | Bool_flag | Exact ->
+    if base <> fresh then
+      regress st (Printf.sprintf "%s: %g -> %g (must match exactly)" path base fresh)
+
+let name_of json =
+  match Obs.Json.member "name" json with
+  | Some (Obs.Json.Str n) -> Some n
+  | _ -> None
+
+let rec walk st ~tol path key base fresh =
+  match (base, fresh) with
+  | Obs.Json.Obj bs, Obs.Json.Obj fs ->
+    List.iter
+      (fun (k, bv) ->
+        let path' = if path = "" then k else path ^ "." ^ k in
+        match List.assoc_opt k fs with
+        | Some fv -> walk st ~tol path' k bv fv
+        | None -> regress st (path' ^ ": missing from the fresh run"))
+      bs
+  | Obs.Json.Arr bs, Obs.Json.Arr fs ->
+    let by_name = List.for_all (fun j -> name_of j <> None) bs && bs <> [] in
+    if by_name then
+      List.iter
+        (fun bv ->
+          let n = Option.get (name_of bv) in
+          let path' = Printf.sprintf "%s[%s]" path n in
+          match List.find_opt (fun fv -> name_of fv = Some n) fs with
+          | Some fv -> walk st ~tol path' key bv fv
+          | None -> regress st (path' ^ ": missing from the fresh run"))
+        bs
+    else begin
+      if List.length fs < List.length bs then
+        regress st
+          (Printf.sprintf "%s: %d entries, baseline has %d" path
+             (List.length fs) (List.length bs));
+      List.iteri
+        (fun i bv ->
+          match List.nth_opt fs i with
+          | Some fv ->
+            walk st ~tol (Printf.sprintf "%s[%d]" path i) key bv fv
+          | None -> ())
+        bs
+    end
+  | Obs.Json.Num b, Obs.Json.Num f -> judge st ~tol path key b f
+  | Obs.Json.Bool b, Obs.Json.Bool f ->
+    st.compared <- st.compared + 1;
+    (match classify key with
+     | Info -> ()
+     | _ ->
+       (* only a good->bad flip is a regression; a flag turning true is
+          an improvement *)
+       if b && not f then
+         regress st (path ^ ": true -> false (acceptance flag lost)"))
+  | Obs.Json.Str b, Obs.Json.Str f ->
+    if key = "schema" && b <> f then
+      refuse st
+        (Printf.sprintf "%s: schema %S vs %S — re-baseline after format \
+                         changes" path b f)
+    else if b <> f then
+      regress st (Printf.sprintf "%s: %S -> %S" path b f)
+  | Obs.Json.Null, _ | _, Obs.Json.Null ->
+    if base <> fresh then
+      st.info <- (path ^ ": null/value change (informational)") :: st.info
+  | _ ->
+    regress st (path ^ ": type changed between baseline and fresh run")
+
+let compare_docs ?(tol = default_tolerances) ~baseline ~fresh () =
+  let st = { regressions = []; refusal = None; info = []; compared = 0 } in
+  walk st ~tol "" "" baseline fresh;
+  match st.refusal with
+  | Some msg -> Refusal msg
+  | None ->
+    if st.regressions = [] then Pass else Regression (List.rev st.regressions)
+
+let compared_count ~baseline ~fresh =
+  let st = { regressions = []; refusal = None; info = []; compared = 0 } in
+  walk st ~tol:default_tolerances "" "" baseline fresh;
+  st.compared
+
+(* --- file-level driver ------------------------------------------------ *)
+
+let load path =
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "%s: no such baseline" path)
+  else
+    let s = In_channel.with_open_text path In_channel.input_all in
+    Result.map_error (fun e -> Printf.sprintf "%s: %s" path e)
+      (Obs.Json.parse s)
+
+let check_file ?tol ~baseline_path fresh =
+  match load baseline_path with
+  | Error msg -> Refusal msg
+  | Ok baseline -> compare_docs ?tol ~baseline ~fresh ()
+
+let pp_verdict fmt = function
+  | Pass -> Format.fprintf fmt "pass"
+  | Refusal msg -> Format.fprintf fmt "not comparable: %s" msg
+  | Regression msgs ->
+    Format.fprintf fmt "%d regression(s):" (List.length msgs);
+    List.iter (fun m -> Format.fprintf fmt "@.  - %s" m) msgs

@@ -1,0 +1,43 @@
+(** Perf-regression gate over the machine-readable bench dumps.
+
+    [bench --check] regenerates the BENCH_*.json documents and compares
+    them against the committed copies under [bench/baselines/].  Leaf
+    metrics are judged by key class: time-like keys get a generous
+    lower-is-better band, [speedup]/[hit_rate] a higher-is-better band,
+    allocation counts a relative band plus absolute slack, [identical*]
+    flags must never flip to [false], and structural values must match
+    exactly.  Runs from machines with a different [cores]/[jobs] stamp
+    are {e refused} rather than compared — the numbers mean nothing
+    across machine shapes. *)
+
+type tolerances = {
+  time_rel : float;  (** allowed relative slowdown on time-like keys *)
+  better_rel : float;  (** allowed relative drop on [speedup]/[hit_rate] *)
+  alloc_rel : float;
+  alloc_abs : float;  (** absolute words of slack on allocation counts *)
+}
+
+val default_tolerances : tolerances
+(** [{time_rel = 0.60; better_rel = 0.40; alloc_rel = 0.25; alloc_abs = 64.0}]
+    — wide on purpose: shared CI runners jitter; the gate exists to catch
+    cliffs, not noise. *)
+
+type verdict =
+  | Pass
+  | Regression of string list  (** one message per regressed metric *)
+  | Refusal of string
+      (** the runs are not comparable (different machine shape, schema or
+          missing baseline) — neither pass nor fail *)
+
+val compare_docs :
+  ?tol:tolerances -> baseline:Obs.Json.t -> fresh:Obs.Json.t -> unit -> verdict
+
+val compared_count : baseline:Obs.Json.t -> fresh:Obs.Json.t -> int
+(** Leaf metrics the walk actually judged — lets callers assert a
+    comparison had teeth (a pass over zero metrics is meaningless). *)
+
+val check_file : ?tol:tolerances -> baseline_path:string -> Obs.Json.t -> verdict
+(** Load and parse the baseline file, then {!compare_docs}.  A missing or
+    unparsable baseline is a {!Refusal}. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -339,9 +339,9 @@ let compare_seq_par ~name ~jobs run =
        the second (parallel) run answer from the first run's results and
        inflate the apparent speedup *)
     Cache.Memo.clear_all ();
-    let t0 = Obs.Clock.now_s () in
+    let t0 = Obs.Clock.monotonic_s () in
     ignore (f ());
-    Obs.Clock.now_s () -. t0
+    Obs.Clock.monotonic_s () -. t0
   in
   let seq_s = wall (fun () -> run 1) in
   let par_s = wall (fun () -> run jobs) in
@@ -352,6 +352,10 @@ let compare_seq_par ~name ~jobs run =
     Obs.Json.Obj
       [
         ("name", Obs.Json.Str name);
+        (* machine-shape stamp: [--check] refuses to compare records made
+           with a different core count or pool width *)
+        ("cores",
+         Obs.Json.Num (float_of_int (Domain.recommended_domain_count ())));
         ("jobs", Obs.Json.Num (float_of_int jobs));
         ("seq_s", Obs.Json.Num seq_s);
         ("par_s", Obs.Json.Num par_s);
@@ -522,9 +526,9 @@ let registry_delta_hit_rate before after =
 
 let cache_workload ~name ~strip run =
   let wall f =
-    let t0 = Obs.Clock.now_s () in
+    let t0 = Obs.Clock.monotonic_s () in
     let v = f () in
-    (v, Obs.Clock.now_s () -. t0)
+    (v, Obs.Clock.monotonic_s () -. t0)
   in
   Cache.Memo.clear_all ();
   let cold, cold_s = wall run in
@@ -569,9 +573,9 @@ let lut_bench () =
           [ 0.8; 1.2; 1.65; 2.4 ])
       [ 0.9; 1.0; 1.1; 1.3; 1.6; 2.0 ]
   in
-  let t0 = Obs.Clock.now_s () in
+  let t0 = Obs.Clock.monotonic_s () in
   let table = Device.Lut.table proc kind Technology.Electrical.Nmos in
-  let build_s = Obs.Clock.now_s () -. t0 in
+  let build_s = Obs.Clock.monotonic_s () -. t0 in
   let nx, ny = Cache.Lut.grid_size table in
   let p = Device.Mos.params proc dev in
   let rel a b = Float.abs (a -. b) /. Float.max 1e-30 (Float.abs b) in
@@ -590,11 +594,11 @@ let lut_bench () =
   let err_gm = max_err (fun e -> e.Device.Model.gm) in
   let reps = 20_000 in
   let time_per_eval f =
-    let t0 = Obs.Clock.now_s () in
+    let t0 = Obs.Clock.monotonic_s () in
     for _ = 1 to reps do
       List.iter (fun b -> ignore (f b)) biases
     done;
-    (Obs.Clock.now_s () -. t0)
+    (Obs.Clock.monotonic_s () -. t0)
     /. float_of_int (reps * List.length biases) *. 1e9
   in
   let exact_ns =
@@ -660,7 +664,7 @@ let cache_bench () =
         s.Cache.Memo.entries s.Cache.Memo.capacity)
     (Cache.Memo.registry ())
 
-let write_cache_json path =
+let cache_doc () =
   let registry =
     List.map
       (fun (s : Cache.Memo.stats) ->
@@ -676,19 +680,21 @@ let write_cache_json path =
           ])
       (Cache.Memo.registry ())
   in
-  let doc =
-    Obs.Json.Obj
-      ([
-         ("schema", Obs.Json.Str "losac.bench.cache/1");
-         ("workloads", Obs.Json.Arr (List.rev !cache_records));
-         ("caches", Obs.Json.Arr registry);
-       ]
-       @ match !lut_record with None -> [] | Some l -> [ ("lut", l) ])
-  in
+  Obs.Json.Obj
+    ([
+       ("schema", Obs.Json.Str "losac.bench.cache/1");
+       ("workloads", Obs.Json.Arr (List.rev !cache_records));
+       ("caches", Obs.Json.Arr registry);
+     ]
+     @ match !lut_record with None -> [] | Some l -> [ ("lut", l) ])
+
+let write_doc ~what doc path =
   Out_channel.with_open_text path (fun oc ->
     output_string oc (Obs.Json.to_string doc);
     output_char oc '\n');
-  Format.printf "wrote cache records to %s@." path
+  Format.printf "wrote %s records to %s@." what path
+
+let write_cache_json path = write_doc ~what:"cache" (cache_doc ()) path
 
 (* ------------------------------------------------------------------ *)
 (* Kernels - unboxed in-place LU vs the boxed functor reference        *)
@@ -707,11 +713,11 @@ let time_per ?(batches = 5) ~reps f =
   ignore (f ());
   let means =
     Array.init batches (fun _ ->
-      let t0 = Obs.Clock.now_s () in
+      let t0 = Obs.Clock.monotonic_s () in
       for _ = 1 to reps do
         ignore (f ())
       done;
-      (Obs.Clock.now_s () -. t0) /. float_of_int reps)
+      (Obs.Clock.monotonic_s () -. t0) /. float_of_int reps)
   in
   Array.sort compare means;
   means.(batches / 2)
@@ -878,16 +884,12 @@ let kernels () =
     "@.bit-identity here is exact (Int64.bits_of_float); the kernel path is \
      the default backend everywhere, the functor remains as reference.@."
 
-let write_kernels_json path =
-  let doc =
-    Obs.Json.Obj
-      (("schema", Obs.Json.Str "losac.bench.kernels/1")
-       :: List.rev !kernel_records)
-  in
-  Out_channel.with_open_text path (fun oc ->
-    output_string oc (Obs.Json.to_string doc);
-    output_char oc '\n');
-  Format.printf "wrote kernel records to %s@." path
+let kernels_doc () =
+  Obs.Json.Obj
+    (("schema", Obs.Json.Str "losac.bench.kernels/1")
+     :: List.rev !kernel_records)
+
+let write_kernels_json path = write_doc ~what:"kernel" (kernels_doc ()) path
 
 (* ------------------------------------------------------------------ *)
 (* Sparse - CSR symbolic/numeric split vs the dense kernel             *)
@@ -963,9 +965,9 @@ let ota_array (base, base_guess) copies =
   (!c, guess)
 
 let time_once f =
-  let t0 = Obs.Clock.now_s () in
+  let t0 = Obs.Clock.monotonic_s () in
   let v = f () in
-  (v, Obs.Clock.now_s () -. t0)
+  (v, Obs.Clock.monotonic_s () -. t0)
 
 (* One workload size: stamp the DC Jacobian at the intended bias once
    into the dense workspace and the CSR slot array, then compare a dense
@@ -1152,16 +1154,12 @@ let sparse_bench () =
      separately: every Newton iterate, transient step and AC point pays \
      only the numeric refactor.@."
 
-let write_sparse_json path =
-  let doc =
-    Obs.Json.Obj
-      (("schema", Obs.Json.Str "losac.bench.sparse/1")
-       :: List.rev !sparse_records)
-  in
-  Out_channel.with_open_text path (fun oc ->
-    output_string oc (Obs.Json.to_string doc);
-    output_char oc '\n');
-  Format.printf "wrote sparse records to %s@." path
+let sparse_doc () =
+  Obs.Json.Obj
+    (("schema", Obs.Json.Str "losac.bench.sparse/1")
+     :: List.rev !sparse_records)
+
+let write_sparse_json path = write_doc ~what:"sparse" (sparse_doc ()) path
 
 let experiments =
   [
@@ -1179,53 +1177,99 @@ let experiments =
     ("sparse", sparse_bench);
   ]
 
-let write_timing_json path =
-  let doc =
-    Obs.Json.Obj
-      [
-        ("schema", Obs.Json.Str "losac.bench.timing/1");
-        ("cores",
-         Obs.Json.Num (float_of_int (Domain.recommended_domain_count ())));
-        ("jobs", Obs.Json.Num (float_of_int (Par.Pool.default_jobs ())));
-        ("experiments", Obs.Json.Arr (List.rev !timing_records));
-      ]
+let timing_doc () =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.Str "losac.bench.timing/1");
+      ("cores",
+       Obs.Json.Num (float_of_int (Domain.recommended_domain_count ())));
+      ("jobs", Obs.Json.Num (float_of_int (Par.Pool.default_jobs ())));
+      ("experiments", Obs.Json.Arr (List.rev !timing_records));
+    ]
+
+let write_timing_json path = write_doc ~what:"timing" (timing_doc ()) path
+
+(* --- perf-regression gate --------------------------------------------- *)
+
+(* Every experiment that produced records is checked against its committed
+   baseline; experiments that did not run this invocation are skipped, so
+   [bench kernels --check] gates kernels only.  Exit status: 0 pass,
+   1 regression, 2 not comparable — unless [--check-report] turns every
+   outcome into a report (1-core CI runners can never match a committed
+   multi-core baseline). *)
+let run_check ~baselines ~report_only =
+  let candidates =
+    [
+      ("timing", (!timing_records <> []), timing_doc);
+      ("cache", (!cache_records <> []), cache_doc);
+      ("kernels", (!kernel_records <> []), kernels_doc);
+      ("sparse", (!sparse_records <> []), sparse_doc);
+    ]
   in
-  Out_channel.with_open_text path (fun oc ->
-    output_string oc (Obs.Json.to_string doc);
-    output_char oc '\n');
-  Format.printf "wrote timing records to %s@." path
+  section "Perf-regression gate";
+  let worst = ref 0 in
+  List.iter
+    (fun (name, ran, doc) ->
+      if ran then begin
+        let baseline_path =
+          Filename.concat baselines ("BENCH_" ^ name ^ ".json")
+        in
+        let fresh = doc () in
+        let verdict = Bench_gate.Gate.check_file ~baseline_path fresh in
+        Format.printf "  %-8s vs %s: %a@." name baseline_path
+          Bench_gate.Gate.pp_verdict verdict;
+        let rank =
+          match verdict with
+          | Bench_gate.Gate.Pass -> 0
+          | Bench_gate.Gate.Regression _ -> 1
+          | Bench_gate.Gate.Refusal _ -> 2
+        in
+        (* a regression outranks a refusal: 1 beats 2 as "worst" *)
+        if rank = 1 then worst := 1
+        else if rank = 2 && !worst <> 1 then worst := 2
+      end)
+    candidates;
+  if report_only && !worst <> 0 then begin
+    Format.printf
+      "  (report-only mode: outcome above is informational, exiting 0)@.";
+    0
+  end
+  else !worst
 
 let () =
-  let rec split names json cache_json kernels_json sparse_json = function
-    | [] -> (List.rev names, json, cache_json, kernels_json, sparse_json)
-    | "--json" :: path :: rest ->
-      split names (Some path) cache_json kernels_json sparse_json rest
-    | "--cache-json" :: path :: rest ->
-      split names json (Some path) kernels_json sparse_json rest
-    | "--kernels-json" :: path :: rest ->
-      split names json cache_json (Some path) sparse_json rest
-    | "--sparse-json" :: path :: rest ->
-      split names json cache_json kernels_json (Some path) rest
+  let names = ref [] in
+  let json = ref None and cache_json = ref None in
+  let kernels_json = ref None and sparse_json = ref None in
+  let check = ref false and check_report = ref false in
+  let baselines = ref "bench/baselines" in
+  let rec split = function
+    | [] -> ()
+    | "--json" :: path :: rest -> json := Some path; split rest
+    | "--cache-json" :: path :: rest -> cache_json := Some path; split rest
+    | "--kernels-json" :: path :: rest -> kernels_json := Some path; split rest
+    | "--sparse-json" :: path :: rest -> sparse_json := Some path; split rest
+    | "--baselines" :: dir :: rest -> baselines := dir; split rest
+    | "--check" :: rest -> check := true; split rest
+    | "--check-report" :: rest -> check := true; check_report := true; split rest
     | "--backend" :: name :: rest ->
       (match Sim.Stamps.backend_of_string name with
        | Ok b -> Sim.Stamps.set_default_backend b
        | Error msg ->
          prerr_endline ("bench: " ^ msg);
          exit 2);
-      split names json cache_json kernels_json sparse_json rest
+      split rest
     | [ ("--json" | "--cache-json" | "--kernels-json" | "--sparse-json"
-        | "--backend") ] ->
+        | "--backend" | "--baselines") ] ->
       prerr_endline
-        "bench: --json/--cache-json/--kernels-json/--sparse-json/--backend \
-         need an argument";
+        "bench: --json/--cache-json/--kernels-json/--sparse-json/--backend/\
+         --baselines need an argument";
       exit 2
-    | name :: rest ->
-      split (name :: names) json cache_json kernels_json sparse_json rest
+    | name :: rest -> names := name :: !names; split rest
   in
-  let names, json, cache_json, kernels_json, sparse_json =
-    split [] None None None None (List.tl (Array.to_list Sys.argv))
+  split (List.tl (Array.to_list Sys.argv));
+  let requested =
+    if !names = [] then List.map fst experiments else List.rev !names
   in
-  let requested = if names = [] then List.map fst experiments else names in
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
@@ -1234,7 +1278,9 @@ let () =
         Format.printf "unknown experiment %s (have: %s)@." name
           (String.concat " " (List.map fst experiments)))
     requested;
-  Option.iter write_timing_json json;
-  Option.iter write_cache_json cache_json;
-  Option.iter write_kernels_json kernels_json;
-  Option.iter write_sparse_json sparse_json
+  Option.iter write_timing_json !json;
+  Option.iter write_cache_json !cache_json;
+  Option.iter write_kernels_json !kernels_json;
+  Option.iter write_sparse_json !sparse_json;
+  if !check then
+    exit (run_check ~baselines:!baselines ~report_only:!check_report)

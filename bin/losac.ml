@@ -92,7 +92,8 @@ let cache_term =
            [ (Some true, info [ "cache" ] ~doc:doc_on);
              (Some false, info [ "no-cache" ] ~doc:doc_off) ])
 
-(* The cache hit/miss/eviction table plus domain-pool counters — the
+(* The cache hit/miss/eviction table plus domain-pool utilization, the
+   simulator latency quantiles and the profiler hot spots — the
    [losac stats] view, also available as --stats after any command. *)
 let stats_view () =
   let caches = Cache.Memo.registry () in
@@ -112,7 +113,40 @@ let stats_view () =
     Format.printf "  %d operating-point LUT grid(s) built@."
       (Device.Lut.tables_built ());
   Format.printf "pool: %d worker domain(s), queue depth %d@."
-    (Par.Pool.num_workers ()) (Par.Pool.queue_depth ())
+    (Par.Pool.num_workers ()) (Par.Pool.queue_depth ());
+  (match Par.Pool.worker_stats () with
+   | [] -> ()
+   | workers ->
+     Format.printf "  %-8s %-7s %8s %12s %12s %6s@." "domain" "role" "tasks"
+       "busy ms" "wait ms" "busy%";
+     List.iter
+       (fun (w : Par.Pool.worker_stat) ->
+         Format.printf "  %-8d %-7s %8d %12.3f %12.3f %5.1f%%@."
+           w.Par.Pool.ws_domain w.Par.Pool.ws_role w.Par.Pool.ws_tasks
+           (w.Par.Pool.ws_busy_us /. 1e3)
+           (w.Par.Pool.ws_wait_us /. 1e3)
+           (100.0 *. w.Par.Pool.ws_busy_frac))
+       workers);
+  let sim_hists =
+    List.filter
+      (fun n -> String.length n > 4 && String.sub n 0 4 = "sim.")
+      (Obs.Metrics.hist_names ())
+  in
+  if sim_hists <> [] then begin
+    Format.printf "@.simulator latency quantiles:@.";
+    List.iter
+      (fun n ->
+        match Obs.Metrics.hist_stats n with
+        | None -> ()
+        | Some s ->
+          Format.printf
+            "  %-24s n=%-7d p50 %10.1f  p90 %10.1f  p99 %10.1f  max %10.1f@."
+            n s.Obs.Metrics.count s.Obs.Metrics.p50 s.Obs.Metrics.p90
+            s.Obs.Metrics.p99 s.Obs.Metrics.max)
+      sim_hists
+  end;
+  if Obs.Prof.sites () <> [] then
+    Format.printf "@.profile hot spots:@.%s" (Obs.Reporter.prof_table ())
 
 (* --- telemetry and logging ------------------------------------------- *)
 
@@ -120,6 +154,8 @@ type telemetry = {
   trace : string option;
   metrics : bool;
   stats : bool;
+  openmetrics : bool;
+  prof_folded : string option;
   jobs : int option;
   cache : bool option;
   backend : Sim.Stamps.backend option;
@@ -154,7 +190,23 @@ let telemetry_term =
                    pool counters after the run (the $(b,losac stats) \
                    view).")
   in
-  let setup trace metrics verbose jobs cache backend stats =
+  let openmetrics =
+    Arg.(value & flag
+         & info [ "openmetrics" ]
+             ~doc:"Print the collected metrics in Prometheus/OpenMetrics \
+                   text exposition after the run (implies telemetry \
+                   collection).")
+  in
+  let prof_folded =
+    Arg.(value & opt (some string) None
+         & info [ "prof-folded" ] ~docv:"FILE"
+             ~doc:"Write the profiler's folded call stacks (one \
+                   semicolon-joined path and its self time in µs per \
+                   line) to $(docv); feed it to flamegraph.pl or \
+                   speedscope.  Implies telemetry collection.")
+  in
+  let setup trace metrics verbose jobs cache backend stats openmetrics
+      prof_folded =
     Fmt_tty.setup_std_outputs ();
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level
@@ -162,28 +214,47 @@ let telemetry_term =
        | 0 -> Some Logs.Warning
        | 1 -> Some Logs.Info
        | _ -> Some Logs.Debug);
-    if trace <> None || metrics then Obs.Config.set_enabled true;
+    if trace <> None || metrics || openmetrics || prof_folded <> None then
+      Obs.Config.set_enabled true;
     Option.iter Par.Pool.set_default_jobs jobs;
     Option.iter Cache.Config.set_enabled cache;
     Option.iter Sim.Stamps.set_default_backend backend;
-    { trace; metrics; stats; jobs; cache; backend }
+    { trace; metrics; stats; openmetrics; prof_folded; jobs; cache; backend }
   in
   Term.(const setup $ trace $ metrics $ verbose $ jobs_term $ cache_term
-        $ backend_term $ stats)
+        $ backend_term $ stats $ openmetrics $ prof_folded)
 
 (* The execution context handed to the analyses: one bundle instead of
    loose ?jobs/?cache/?telemetry arguments (see Core.Ctx). *)
-let ctx_of tele proc =
-  Core.Ctx.make ?jobs:tele.jobs ?cache:tele.cache ?backend:tele.backend proc
+let ctx_of ?label tele proc =
+  Core.Ctx.make ?jobs:tele.jobs ?cache:tele.cache ?backend:tele.backend ?label
+    proc
 
 (* Emit whatever telemetry the flags requested, after the command ran. *)
 let telemetry_finish tele =
   if tele.stats then stats_view ();
   if tele.metrics then begin
     Cache.Memo.export_metrics ();
+    Par.Pool.export_metrics ();
     Format.printf "@.telemetry metrics:@.%s" (Obs.Reporter.metrics_table ());
-    Format.printf "@.span roll-up:@.%s" (Obs.Reporter.spans_table ())
+    Format.printf "@.span roll-up:@.%s" (Obs.Reporter.spans_table ());
+    Format.printf "@.profile hot spots:@.%s" (Obs.Reporter.prof_table ())
   end;
+  if tele.openmetrics then begin
+    Cache.Memo.export_metrics ();
+    Par.Pool.export_metrics ();
+    print_string (Obs.Openmetrics.to_string ())
+  end;
+  (match tele.prof_folded with
+   | Some path ->
+     (try
+        Obs.Prof.write_folded path;
+        Format.printf "wrote folded profile (%d call paths) to %s@."
+          (List.length (Obs.Prof.folded ())) path
+      with Sys_error msg ->
+        Format.eprintf "losac: cannot write folded profile: %s@." msg;
+        exit 1)
+   | None -> ());
   match tele.trace with
   | Some path ->
     (try
@@ -287,7 +358,7 @@ let synth_cmd =
              ~doc:"Parasitic-awareness case (1..4 as in the paper's Table 1).")
   in
   let run tele proc kind spec case =
-    let r = Core.Flow.run ~ctx:(ctx_of tele proc) ~kind ~spec case in
+    let r = Core.Flow.run ~ctx:(ctx_of ~label:"synth" tele proc) ~kind ~spec case in
     Format.printf "%s: %s@." (Core.Flow.case_label case)
       (Core.Flow.case_description case);
     Format.printf "layout-tool calls before convergence: %d (%.1f s total)@."
@@ -321,7 +392,7 @@ let layout_cmd =
     Arg.(value & flag & info [ "ascii" ] ~doc:"Print an ASCII rendering.")
   in
   let run tele proc kind spec svg ascii =
-    let r = Core.Flow.run ~ctx:(ctx_of tele proc) ~kind ~spec Core.Flow.Case4 in
+    let r = Core.Flow.run ~ctx:(ctx_of ~label:"layout" tele proc) ~kind ~spec Core.Flow.Case4 in
     let report = r.Core.Flow.report in
     Format.printf "floorplan %d x %d lambda@."
       report.Cairo_layout.Plan.total_w report.Cairo_layout.Plan.total_h;
@@ -356,7 +427,7 @@ let verify_cmd =
          & info [ "samples" ] ~docv:"N" ~doc:"Monte Carlo sample count.")
   in
   let run tele proc kind spec samples =
-    let ctx = ctx_of tele proc in
+    let ctx = ctx_of ~label:"verify" tele proc in
     let design =
       Comdiac.Folded_cascode.size ~proc ~kind ~spec
         ~parasitics:Comdiac.Parasitics.single_fold
@@ -395,19 +466,22 @@ let stats_cmd =
                    nearly every sample and corner point.")
   in
   let run tele proc kind spec samples repeat =
-    let ctx = ctx_of tele proc in
+    (* the whole point of this subcommand is the observability view, so
+       collect telemetry even without an explicit --metrics *)
+    Obs.Config.set_enabled true;
+    let ctx = ctx_of ~label:"stats" tele proc in
     let design =
       Comdiac.Folded_cascode.size ~proc ~kind ~spec
         ~parasitics:Comdiac.Parasitics.single_fold
     in
     let amp = design.Comdiac.Folded_cascode.amp in
     for i = 1 to max 1 repeat do
-      let t0 = Obs.Clock.now_s () in
+      let t0 = Obs.Clock.monotonic_s () in
       ignore (Comdiac.Montecarlo.run ~n:samples ~ctx ~kind ~spec amp);
       ignore (Comdiac.Robustness.run ~ctx ~kind ~spec amp);
       Format.printf "run %d: monte carlo (n=%d) + corner sweep in %.2f s@."
         i samples
-        (Obs.Clock.now_s () -. t0)
+        (Obs.Clock.monotonic_s () -. t0)
     done;
     stats_view ();
     telemetry_finish tele

@@ -143,7 +143,7 @@ let run ?(options = Layout_bridge.default_options) ?ctx ?proc ~kind ~spec case
     ~args:[ ("case", Obs.Trace.Str (case_label case)) ]
     "flow.run"
   @@ fun () ->
-  let t0 = Obs.Clock.now_s () in
+  let t0 = Obs.Clock.monotonic_s () in
   let layout_calls = ref 0 in
   let sizing_passes = ref 0 in
   (* per-layout-call movement of the parasitic vector: the convergence
@@ -230,7 +230,7 @@ let run ?(options = Layout_bridge.default_options) ?ctx ?proc ~kind ~spec case
     sizing_passes = !sizing_passes;
     trajectory = List.rev !trajectory;
     report;
-    elapsed = Obs.Clock.now_s () -. t0;
+    elapsed = Obs.Clock.monotonic_s () -. t0;
   }
 
 let run_all ?options ?ctx ?jobs ?proc ~kind ~spec () =

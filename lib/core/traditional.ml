@@ -28,7 +28,7 @@ let meets spec perf =
 let run ?(options = Layout_bridge.default_options) ?(max_iterations = 8) ~proc
     ~kind ~spec () =
   Obs.Trace.with_span ~cat:"flow" "traditional.run" @@ fun () ->
-  let t0 = Obs.Clock.now_s () in
+  let t0 = Obs.Clock.monotonic_s () in
   let full_layouts = ref 0 in
   let sims = ref 0 in
   let rec loop parasitics gbw_internal iters index =
@@ -93,5 +93,5 @@ let run ?(options = Layout_bridge.default_options) ?(max_iterations = 8) ~proc
     full_layouts = !full_layouts;
     extracted_simulations = !sims;
     converged;
-    elapsed = Obs.Clock.now_s () -. t0;
+    elapsed = Obs.Clock.monotonic_s () -. t0;
   }

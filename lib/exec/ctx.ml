@@ -4,10 +4,11 @@ type t = {
   cache : bool option;
   telemetry : bool option;
   backend : Sim.Stamps.backend option;
+  label : string option;
 }
 
-let make ?jobs ?cache ?telemetry ?backend proc =
-  { proc; jobs; cache; telemetry; backend }
+let make ?jobs ?cache ?telemetry ?backend ?label proc =
+  { proc; jobs; cache; telemetry; backend; label }
 
 let jobs ?override ctx =
   match override with
@@ -31,7 +32,12 @@ let scope ctx f =
     with_opt Cache.Config.with_enabled c.cache @@ fun () ->
     with_opt Obs.Config.with_enabled c.telemetry @@ fun () ->
     with_opt Sim.Stamps.with_default_backend c.backend @@ fun () ->
-    ( try Ok (f ()) with e -> Error e)
+    let labelled () =
+      match c.label with
+      | None -> f ()
+      | Some l -> Obs.Trace.with_span ~cat:"exec" l f
+    in
+    ( try Ok (labelled ()) with e -> Error e)
 
 let run ctx f =
   match scope ctx f with Ok v -> v | Error e -> raise e

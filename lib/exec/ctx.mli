@@ -26,11 +26,16 @@ type t = {
   backend : Sim.Stamps.backend option;
       (** linear-solver backend for every analysis in scope; [None] =
           leave {!Sim.Stamps.default_backend} alone *)
+  label : string option;
+      (** when set, {!scope} wraps the work in a root [exec] span named
+          [label], so profiler paths and flamegraphs group everything
+          under one run (e.g. ["synth:miller_ota"]) *)
 }
 
 val make :
   ?jobs:int -> ?cache:bool -> ?telemetry:bool ->
   ?backend:Sim.Stamps.backend ->
+  ?label:string ->
   Technology.Process.t -> t
 (** [make proc] is a context with all switches at their defaults. *)
 

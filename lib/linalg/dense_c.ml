@@ -121,10 +121,10 @@ let lu_factor_in_place m ~piv =
   if not !Obs.Config.flag then factor_core m ~piv
   else begin
     Obs.Metrics.incr "linalg.cx.factors";
-    let t0 = Obs.Clock.now_s () in
+    let t0 = Obs.Clock.monotonic_s () in
     Fun.protect
       ~finally:(fun () ->
-        Obs.Metrics.add "linalg.cx.factor_s" (Obs.Clock.now_s () -. t0))
+        Obs.Metrics.add "linalg.cx.factor_s" (Obs.Clock.monotonic_s () -. t0))
       (fun () -> factor_core m ~piv)
   end
 

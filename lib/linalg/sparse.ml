@@ -446,11 +446,11 @@ let symbolic ordering pat =
       if not !Obs.Config.flag then build ()
       else begin
         Obs.Metrics.incr "linalg.sparse.symbolic_builds";
-        let t0 = Obs.Clock.now_s () in
+        let t0 = Obs.Clock.monotonic_s () in
         Fun.protect
           ~finally:(fun () ->
             Obs.Metrics.add "linalg.sparse.symbolic_s"
-              (Obs.Clock.now_s () -. t0))
+              (Obs.Clock.monotonic_s () -. t0))
           build
       end
     in
@@ -670,9 +670,9 @@ module Real = struct
   let refactor t ~vals =
     if not !Obs.Config.flag then refactor_core t ~vals
     else begin
-      let t0 = Obs.Clock.now_s () in
+      let t0 = Obs.Clock.monotonic_s () in
       Fun.protect
-        ~finally:(fun () -> count_numeric (Obs.Clock.now_s () -. t0))
+        ~finally:(fun () -> count_numeric (Obs.Clock.monotonic_s () -. t0))
         (fun () -> refactor_core t ~vals)
     end
 
@@ -1002,9 +1002,9 @@ module Cx = struct
   let refactor t ~re ~im =
     if not !Obs.Config.flag then refactor_core t ~re ~im
     else begin
-      let t0 = Obs.Clock.now_s () in
+      let t0 = Obs.Clock.monotonic_s () in
       Fun.protect
-        ~finally:(fun () -> count_numeric (Obs.Clock.now_s () -. t0))
+        ~finally:(fun () -> count_numeric (Obs.Clock.monotonic_s () -. t0))
         (fun () -> refactor_core t ~re ~im)
     end
 

@@ -1,13 +1,35 @@
-(* Wall-clock timing for telemetry.  [Sys.time] reports CPU seconds of the
-   whole process, which both under-reports waiting and misreports badly
-   under any future parallelism; everything here is wall time from
-   [Unix.gettimeofday].  Trace timestamps are offsets from process start so
-   they stay small and stable within a run. *)
+(* Time sources for telemetry.
 
+   Two clocks with distinct jobs:
+
+   - [monotonic_us] (CLOCK_MONOTONIC via a C stub) measures *durations*:
+     span lengths, histogram observations, elapsed-time reporting.  It
+     cannot step backwards under NTP adjustment the way the wall clock
+     can, and the native entry point returns an unboxed float so a
+     timing read allocates nothing.
+
+   - [now_s]/[now_us] (Unix.gettimeofday) give *epoch* timestamps for
+     anything that must correlate with the outside world (log lines,
+     Chrome-trace epoch annotation).
+
+   Trace timestamps are monotonic offsets from process start so they
+   stay small, strictly ordered and stable within a run. *)
+
+external monotonic_us : unit -> (float[@unboxed])
+  = "losac_clock_monotonic_us_byte" "losac_clock_monotonic_us"
+[@@noalloc]
+
+let monotonic_s () = monotonic_us () *. 1e-6
+
+(* wall clock, for epoch timestamps only *)
 let now_s () = Unix.gettimeofday ()
-
-let start = now_s ()
 
 let now_us () = now_s () *. 1e6
 
-let since_start_us () = (now_s () -. start) *. 1e6
+(* epoch instant matching the monotonic origin below, for exporters that
+   want to place the trace on the wall clock *)
+let epoch_at_start = now_s ()
+
+let start_mono = monotonic_us ()
+
+let since_start_us () = monotonic_us () -. start_mono

@@ -1,11 +1,26 @@
-(** Wall-clock time source for telemetry and elapsed-time reporting. *)
+(** Time sources for telemetry and elapsed-time reporting. *)
+
+external monotonic_us : unit -> (float[@unboxed])
+  = "losac_clock_monotonic_us_byte" "losac_clock_monotonic_us"
+[@@noalloc]
+(** Monotonic microseconds since an arbitrary origin (CLOCK_MONOTONIC).
+    Never steps backwards; allocation-free.  Use for all duration
+    measurements. *)
+
+val monotonic_s : unit -> float
+(** {!monotonic_us} in seconds. *)
 
 val now_s : unit -> float
-(** Wall-clock seconds (Unix epoch). *)
+(** Wall-clock seconds (Unix epoch).  For timestamps that must correlate
+    with the outside world, not for durations. *)
 
 val now_us : unit -> float
 (** Wall-clock microseconds (Unix epoch). *)
 
+val epoch_at_start : float
+(** Wall-clock instant captured at module initialisation — the epoch
+    equivalent of the monotonic origin used by {!since_start_us}. *)
+
 val since_start_us : unit -> float
-(** Microseconds since this module was initialised (process start);
-    used as the trace timestamp base. *)
+(** Monotonic microseconds since this module was initialised (process
+    start); the trace timestamp base. *)

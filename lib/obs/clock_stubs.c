@@ -1,0 +1,24 @@
+/* CLOCK_MONOTONIC for telemetry timing.
+
+   Unix.gettimeofday can step backwards under NTP adjustment, which makes
+   span durations and histogram observations occasionally negative; the
+   monotonic clock cannot.  The native entry point returns an unboxed
+   double (microseconds since an arbitrary origin) so the hot recording
+   path allocates nothing. */
+
+#include <time.h>
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+double losac_clock_monotonic_us(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (double)ts.tv_sec * 1e6 + (double)ts.tv_nsec * 1e-3;
+}
+
+CAMLprim value losac_clock_monotonic_us_byte(value unit)
+{
+  return caml_copy_double(losac_clock_monotonic_us(unit));
+}

@@ -1,0 +1,61 @@
+(** Log-bucketed histograms (HDR-style) with ~1% relative error.
+
+    Fixed-size integer bucket array over geometrically spaced boundaries
+    (ratio {!gamma}), plus exact count/sum/min/max.  {!record} is O(1)
+    and allocation-free; {!merge_into} is element-wise addition, hence
+    associative and commutative over the bucket counts — the property
+    that lets per-domain shards be recorded lock-free and merged only at
+    snapshot time.  Designed for positive measurements (durations,
+    counts, capacitances); values ≤ 0 fall into an underflow bucket
+    answered by the exact minimum. *)
+
+type t
+
+val gamma : float
+(** Bucket boundary ratio (1.02). *)
+
+val rel_error : float
+(** Worst-case relative error of {!quantile} for in-range positive
+    values: [sqrt gamma - 1 < 1%]. *)
+
+val create : unit -> t
+
+val clear : t -> unit
+
+val record : t -> float -> unit
+(** O(1), allocation-free. *)
+
+val count : t -> int
+
+val sum : t -> float
+
+val min_value : t -> float
+(** [infinity] when empty. *)
+
+val max_value : t -> float
+(** [neg_infinity] when empty. *)
+
+val mean : t -> float
+(** 0 when empty. *)
+
+val merge_into : src:t -> dst:t -> unit
+(** Accumulate [src] into [dst]; [src] is unchanged. *)
+
+val copy : t -> t
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [0,1]: the geometric midpoint of the
+    bucket holding the rank-[ceil (q*n)] observation, clamped into
+    [[min, max]]; exact max for [q >= 1]; [nan] when empty.  Within
+    {!rel_error} of the exact order statistic for in-range positive
+    values. *)
+
+val fold_buckets :
+  t -> init:'a -> f:('a -> upper:float -> count:int -> 'a) -> 'a
+(** Fold over non-empty buckets in increasing value order.  [upper] is
+    the bucket's inclusive upper bound ([infinity] for the overflow
+    bucket) — the [le] label of an OpenMetrics bucket. *)
+
+val approx_equal : t -> t -> bool
+(** Same observation count, bucket counts and extrema; sums equal to
+    1e-9 relative (float addition is not exactly associative). *)

@@ -2,9 +2,23 @@
 
    Writers are no-ops while telemetry is disabled.  Readers always work,
    returning zeros/empties for unknown names, so report code needs no
-   special-casing.  Histograms keep the raw observation sequence (bounded)
-   in addition to the moments: for series like the per-layout-call
-   parasitic delta the sequence *is* the convergence trajectory. *)
+   special-casing.
+
+   Counters and gauges are shared tables behind one mutex: they are
+   updated rarely (once per solve, per sizing pass, ...) so contention is
+   irrelevant.  Histograms are the hot writers — per-task queue waits,
+   per-solve durations — and go through lock-free per-domain shards: each
+   domain records into its own [Hist.t] (O(1), allocation-free, no mutex)
+   and readers merge the shards on demand.  Merging reads a shard another
+   domain may be recording into; bucket counts are plain ints so a reader
+   can observe a snapshot that is a few observations stale or momentarily
+   inconsistent between [n] and [sum] — acceptable for telemetry, and the
+   shard itself is never corrupted.
+
+   Each shard also keeps the raw observation sequence (bounded): for
+   series like the per-layout-call parasitic delta the sequence *is* the
+   convergence trajectory.  Order is preserved per recording domain and
+   shards are concatenated in domain-registration order. *)
 
 type hstats = {
   count : int;
@@ -12,36 +26,53 @@ type hstats = {
   min : float;
   max : float;
   mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
 }
 
-type hist = {
-  mutable h_count : int;
-  mutable h_sum : float;
-  mutable h_min : float;
-  mutable h_max : float;
-  mutable h_values : float list; (* reverse observation order, bounded *)
+type shard = {
+  sh_hist : Hist.t;
+  mutable sh_values : float list; (* reverse observation order, bounded *)
+  mutable sh_nvalues : int;
 }
 
 let max_hist_values = 4096
 
 let counters : (string, float ref) Hashtbl.t = Hashtbl.create 32
 let gauges : (string, float ref) Hashtbl.t = Hashtbl.create 32
-let hists : (string, hist) Hashtbl.t = Hashtbl.create 32
 
-(* instrumented code runs on pool worker domains (lib/par); one mutex
-   guards all three tables and the records they hold.  It is only taken
-   when telemetry is enabled. *)
+(* counters/gauges are updated from pool worker domains too; one mutex
+   guards both tables, taken only when telemetry is enabled *)
 let lock = Mutex.create ()
 
 let locked f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
+(* every domain's shard table, in registration order; the list is only
+   touched under [reg_lock] (first observation on a new domain, reset,
+   snapshot) — never on the record path of an already-known domain *)
+let shard_tables : (string, shard) Hashtbl.t list ref = ref []
+let reg_lock = Mutex.create ()
+
+let locked_reg f =
+  Mutex.lock reg_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock reg_lock) f
+
+let shard_key : (string, shard) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+    let tbl = Hashtbl.create 16 in
+    locked_reg (fun () -> shard_tables := !shard_tables @ [ tbl ]);
+    tbl)
+
 let reset () =
-  locked @@ fun () ->
-  Hashtbl.reset counters;
-  Hashtbl.reset gauges;
-  Hashtbl.reset hists
+  locked (fun () ->
+    Hashtbl.reset counters;
+    Hashtbl.reset gauges);
+  (* shard tables stay registered (their owning domain holds them in
+     DLS); clearing them empties every histogram *)
+  locked_reg (fun () -> List.iter Hashtbl.reset !shard_tables)
 
 let find_ref tbl name =
   match Hashtbl.find_opt tbl name with
@@ -66,24 +97,22 @@ let set name v =
     r := v
 
 let observe name v =
-  if !Config.flag then
-    locked @@ fun () ->
-    let h =
-      match Hashtbl.find_opt hists name with
-      | Some h -> h
+  if !Config.flag then begin
+    let tbl = Domain.DLS.get shard_key in
+    let sh =
+      match Hashtbl.find_opt tbl name with
+      | Some sh -> sh
       | None ->
-        let h =
-          { h_count = 0; h_sum = 0.0; h_min = infinity; h_max = neg_infinity;
-            h_values = [] }
-        in
-        Hashtbl.replace hists name h;
-        h
+        let sh = { sh_hist = Hist.create (); sh_values = []; sh_nvalues = 0 } in
+        Hashtbl.replace tbl name sh;
+        sh
     in
-    h.h_count <- h.h_count + 1;
-    h.h_sum <- h.h_sum +. v;
-    if v < h.h_min then h.h_min <- v;
-    if v > h.h_max then h.h_max <- v;
-    if h.h_count <= max_hist_values then h.h_values <- v :: h.h_values
+    Hist.record sh.sh_hist v;
+    if sh.sh_nvalues < max_hist_values then begin
+      sh.sh_values <- v :: sh.sh_values;
+      sh.sh_nvalues <- sh.sh_nvalues + 1
+    end
+  end
 
 let counter name =
   locked @@ fun () ->
@@ -93,26 +122,58 @@ let gauge name =
   locked @@ fun () ->
   match Hashtbl.find_opt gauges name with Some r -> Some !r | None -> None
 
+(* --- merged histogram readers ----------------------------------------- *)
+
+let merged_hist name =
+  locked_reg @@ fun () ->
+  List.fold_left
+    (fun acc tbl ->
+      match Hashtbl.find_opt tbl name with
+      | None -> acc
+      | Some sh ->
+        let dst = match acc with Some d -> d | None -> Hist.create () in
+        Hist.merge_into ~src:sh.sh_hist ~dst;
+        Some dst)
+    None !shard_tables
+
+let merged_values name =
+  locked_reg @@ fun () ->
+  List.concat_map
+    (fun tbl ->
+      match Hashtbl.find_opt tbl name with
+      | None -> []
+      | Some sh -> List.rev sh.sh_values)
+    !shard_tables
+
+let values = merged_values
+
 let stats_of h =
   {
-    count = h.h_count;
-    sum = h.h_sum;
-    min = h.h_min;
-    max = h.h_max;
-    mean = (if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count);
+    count = Hist.count h;
+    sum = Hist.sum h;
+    min = Hist.min_value h;
+    max = Hist.max_value h;
+    mean = Hist.mean h;
+    p50 = Hist.quantile h 0.5;
+    p90 = Hist.quantile h 0.9;
+    p99 = Hist.quantile h 0.99;
   }
 
-let hist_stats name =
-  locked @@ fun () ->
-  match Hashtbl.find_opt hists name with
-  | Some h -> Some (stats_of h)
-  | None -> None
+let hist_stats name = Option.map stats_of (merged_hist name)
 
-let values name =
-  locked @@ fun () ->
-  match Hashtbl.find_opt hists name with
-  | Some h -> List.rev h.h_values
-  | None -> []
+let quantile name q = Option.map (fun h -> Hist.quantile h q) (merged_hist name)
+
+let hist_names () =
+  locked_reg @@ fun () ->
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun tbl ->
+      Hashtbl.iter
+        (fun name _ ->
+          if not (Hashtbl.mem seen name) then Hashtbl.replace seen name ())
+        tbl)
+    !shard_tables;
+  List.sort compare (Hashtbl.fold (fun name () acc -> name :: acc) seen [])
 
 type item =
   | Counter of string * float
@@ -120,13 +181,16 @@ type item =
   | Hist of string * hstats * float list
 
 let snapshot () =
-  locked @@ fun () ->
   let items = ref [] in
-  Hashtbl.iter (fun name r -> items := Counter (name, !r) :: !items) counters;
-  Hashtbl.iter (fun name r -> items := Gauge (name, !r) :: !items) gauges;
-  Hashtbl.iter
-    (fun name h -> items := Hist (name, stats_of h, List.rev h.h_values) :: !items)
-    hists;
+  locked (fun () ->
+    Hashtbl.iter (fun name r -> items := Counter (name, !r) :: !items) counters;
+    Hashtbl.iter (fun name r -> items := Gauge (name, !r) :: !items) gauges);
+  List.iter
+    (fun name ->
+      match merged_hist name with
+      | Some h -> items := Hist (name, stats_of h, merged_values name) :: !items
+      | None -> ())
+    (hist_names ());
   let key = function
     | Counter (n, _) | Gauge (n, _) | Hist (n, _, _) -> n
   in

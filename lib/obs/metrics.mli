@@ -2,7 +2,14 @@
 
     Writers ({!incr}, {!add}, {!set}, {!observe}) are no-ops while
     telemetry is disabled; readers always work and return zeros/empties
-    for unknown names. *)
+    for unknown names.
+
+    Histograms are log-bucketed ({!Hist}: ~1% relative error, O(1)
+    allocation-free record) and sharded per domain: each domain records
+    lock-free into its own shard and readers merge the shards on demand,
+    so instrumenting pool-worker hot paths costs no mutex.  Readers may
+    observe a merge that is a few in-flight observations stale — the
+    usual telemetry trade. *)
 
 type hstats = {
   count : int;
@@ -10,6 +17,9 @@ type hstats = {
   min : float;
   max : float;
   mean : float;
+  p50 : float;  (** median estimate, within ~1% of exact *)
+  p90 : float;
+  p99 : float;
 }
 
 val incr : ?by:float -> string -> unit
@@ -22,16 +32,29 @@ val set : string -> float -> unit
 (** Gauge: last-write-wins. *)
 
 val observe : string -> float -> unit
-(** Histogram observation.  The raw sequence is retained (bounded at 4096
-    values) so ordered series — e.g. per-iteration convergence deltas —
+(** Histogram observation, recorded into the calling domain's shard.
+    The raw sequence is also retained (bounded at 4096 values per
+    domain) so ordered series — e.g. per-iteration convergence deltas —
     can be read back with {!values}. *)
 
 val counter : string -> float
 val gauge : string -> float option
 val hist_stats : string -> hstats option
 
+val quantile : string -> float -> float option
+(** [quantile name q] over the merged shards; [None] for unknown
+    histograms. *)
+
+val merged_hist : string -> Hist.t option
+(** Fresh merge of every domain's shard for [name]; the caller owns the
+    result.  Used by exporters that need bucket-level access. *)
+
+val hist_names : unit -> string list
+(** Sorted names of all recorded histograms. *)
+
 val values : string -> float list
-(** Histogram observations in observation order. *)
+(** Histogram observations in observation order (per recording domain;
+    domains concatenated in registration order). *)
 
 type item =
   | Counter of string * float

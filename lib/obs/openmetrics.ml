@@ -1,0 +1,86 @@
+(* Prometheus / OpenMetrics text exposition of the metrics registry.
+
+   Counters become [<name>_total], gauges plain samples, histograms the
+   standard cumulative-bucket family ([_bucket{le="..."}], [_sum],
+   [_count]).  Bucket boundaries come straight from [Hist]'s log-bucket
+   upper bounds, emitting only the non-empty buckets plus the mandatory
+   [+Inf] — legal exposition (le values strictly increase) and compact
+   even though the histogram internally holds thousands of buckets.
+
+   This is the payload a future synthesis-server [/metrics] endpoint
+   serves; today [losac stats --openmetrics] prints it for ad-hoc
+   scraping. *)
+
+let prefix = "losac_"
+
+let sanitize name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> ()
+      | _ -> Bytes.set b i '_')
+    b;
+  let s = Bytes.to_string b in
+  if s = "" then prefix ^ "unnamed"
+  else
+    match s.[0] with
+    | '0' .. '9' -> prefix ^ "_" ^ s
+    | _ -> prefix ^ s
+
+let num v =
+  if Float.is_nan v then "NaN"
+  else if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let add_family b ~name ~kind ~emit =
+  Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind);
+  emit b
+
+let counter_family b name v =
+  let m = sanitize name in
+  add_family b ~name:m ~kind:"counter" ~emit:(fun b ->
+    Buffer.add_string b (Printf.sprintf "%s_total %s\n" m (num v)))
+
+let gauge_family b name v =
+  let m = sanitize name in
+  add_family b ~name:m ~kind:"gauge" ~emit:(fun b ->
+    Buffer.add_string b (Printf.sprintf "%s %s\n" m (num v)))
+
+let hist_family b name (h : Hist.t) =
+  let m = sanitize name in
+  add_family b ~name:m ~kind:"histogram" ~emit:(fun b ->
+    let cum =
+      Hist.fold_buckets h ~init:0 ~f:(fun cum ~upper ~count ->
+        let cum = cum + count in
+        if upper < infinity then
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" m (num upper) cum);
+        cum)
+    in
+    ignore cum;
+    Buffer.add_string b
+      (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" m (Hist.count h));
+    Buffer.add_string b (Printf.sprintf "%s_sum %s\n" m (num (Hist.sum h)));
+    Buffer.add_string b (Printf.sprintf "%s_count %d\n" m (Hist.count h)))
+
+let to_string () =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun item ->
+      match item with
+      | Metrics.Counter (name, v) -> counter_family b name v
+      | Metrics.Gauge (name, v) -> gauge_family b name v
+      | Metrics.Hist (name, _, _) ->
+        (match Metrics.merged_hist name with
+         | Some h -> hist_family b name h
+         | None -> ()))
+    (Metrics.snapshot ());
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
+
+let write path =
+  Out_channel.with_open_text path (fun oc -> output_string oc (to_string ()))

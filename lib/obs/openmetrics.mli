@@ -1,0 +1,16 @@
+(** Prometheus / OpenMetrics text exposition of all collected metrics.
+
+    Counters are exposed as [<name>_total], gauges as plain samples,
+    histograms as the cumulative [_bucket{le="..."}]/[_sum]/[_count]
+    family over {!Hist}'s log-bucket boundaries (non-empty buckets only,
+    plus [+Inf]).  Metric names are prefixed with [losac_] and
+    non-alphanumeric characters are mapped to ['_']. *)
+
+val sanitize : string -> string
+(** [sanitize "sim.dcop.solves"] is ["losac_sim_dcop_solves"]. *)
+
+val to_string : unit -> string
+(** The full exposition, terminated by [# EOF]. *)
+
+val write : string -> unit
+(** Write {!to_string} to a file. *)

@@ -1,0 +1,137 @@
+(* Hierarchical profiler built on Trace spans.
+
+   Trace feeds every closed span to [record] with its full call path
+   (root-first, ';'-separated — the folded-stack convention), its
+   duration, and its *self* time (duration minus the time spent in
+   directly nested spans).  Aggregation is per-domain: each domain
+   accumulates into its own DLS table keyed by path, lock-free on the
+   record path, and report time merges the tables — the same shard/merge
+   model as Metrics histograms.
+
+   Two views come out:
+
+   - [sites]: per-span-name roll-up (calls, cumulative, self), the
+     hot-spot table.  Cumulative time for a name that nests inside
+     itself counts each level, as in every folded-stack profiler.
+   - [folded]: per-path self time in flamegraph.pl's folded format
+     ("a;b;c <self microseconds>"), written by [write_folded]. *)
+
+type node = {
+  nd_path : string;
+  nd_name : string;
+  mutable nd_calls : int;
+  nd_times : floatarray; (* 0 = cumulative us, 1 = self us *)
+}
+
+let tables : (string, node) Hashtbl.t list ref = ref []
+let reg_lock = Mutex.create ()
+
+let locked_reg f =
+  Mutex.lock reg_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock reg_lock) f
+
+let table_key : (string, node) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+    let tbl = Hashtbl.create 32 in
+    locked_reg (fun () -> tables := !tables @ [ tbl ]);
+    tbl)
+
+let reset () = locked_reg (fun () -> List.iter Hashtbl.reset !tables)
+
+let record ~path ~name ~dur_us ~self_us =
+  let tbl = Domain.DLS.get table_key in
+  let nd =
+    match Hashtbl.find_opt tbl path with
+    | Some nd -> nd
+    | None ->
+      let nd =
+        { nd_path = path; nd_name = name; nd_calls = 0;
+          nd_times = Float.Array.make 2 0.0 }
+      in
+      Hashtbl.replace tbl path nd;
+      nd
+  in
+  nd.nd_calls <- nd.nd_calls + 1;
+  Float.Array.set nd.nd_times 0 (Float.Array.get nd.nd_times 0 +. dur_us);
+  Float.Array.set nd.nd_times 1 (Float.Array.get nd.nd_times 1 +. self_us)
+
+(* merged per-path nodes: path -> (name, calls, cum_us, self_us) *)
+let merged () =
+  locked_reg @@ fun () ->
+  let acc : (string, string * int ref * float ref * float ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun tbl ->
+      Hashtbl.iter
+        (fun path nd ->
+          let _, calls, cum, self =
+            match Hashtbl.find_opt acc path with
+            | Some e -> e
+            | None ->
+              let e = (nd.nd_name, ref 0, ref 0.0, ref 0.0) in
+              Hashtbl.replace acc path e;
+              e
+          in
+          calls := !calls + nd.nd_calls;
+          cum := !cum +. Float.Array.get nd.nd_times 0;
+          self := !self +. Float.Array.get nd.nd_times 1)
+        tbl)
+    !tables;
+  Hashtbl.fold
+    (fun path (name, calls, cum, self) l ->
+      (path, name, !calls, !cum, !self) :: l)
+    acc []
+
+type site = {
+  name : string;
+  calls : int;
+  cum_us : float;
+  self_us : float;
+}
+
+let sites () =
+  let by_name : (string, int ref * float ref * float ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  List.iter
+    (fun (_path, name, calls, cum, self) ->
+      let c, cu, se =
+        match Hashtbl.find_opt by_name name with
+        | Some e -> e
+        | None ->
+          let e = (ref 0, ref 0.0, ref 0.0) in
+          Hashtbl.replace by_name name e;
+          e
+      in
+      c := !c + calls;
+      cu := !cu +. cum;
+      se := !se +. self)
+    (merged ());
+  let l =
+    Hashtbl.fold
+      (fun name (c, cu, se) acc ->
+        { name; calls = !c; cum_us = !cu; self_us = !se } :: acc)
+      by_name []
+  in
+  List.sort (fun a b -> compare b.self_us a.self_us) l
+
+let folded () =
+  let l =
+    List.map (fun (path, _name, _calls, _cum, self) -> (path, self)) (merged ())
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) l
+
+let folded_string () =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (path, self_us) ->
+      (* flamegraph.pl wants an integer sample count; one sample = 1 µs *)
+      Buffer.add_string b
+        (Printf.sprintf "%s %.0f\n" path (Float.max 0.0 self_us)))
+    (folded ());
+  Buffer.contents b
+
+let write_folded path =
+  Out_channel.with_open_text path (fun oc ->
+    output_string oc (folded_string ()))

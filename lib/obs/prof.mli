@@ -1,0 +1,36 @@
+(** Hierarchical profiler fed by {!Trace} spans.
+
+    Every closed span contributes (call path, duration, self time) to a
+    per-domain aggregation table, lock-free on the record path; report
+    time merges the per-domain tables.  Self time is the span's duration
+    minus the time spent in directly nested spans, so summing self over
+    all sites reproduces total instrumented wall time without double
+    counting. *)
+
+val record :
+  path:string -> name:string -> dur_us:float -> self_us:float -> unit
+(** Called by {!Trace.end_span}; [path] is the root-first ';'-separated
+    span-name stack. *)
+
+type site = {
+  name : string;
+  calls : int;
+  cum_us : float;  (** total time with this span open (children included) *)
+  self_us : float; (** time in this span excluding nested spans *)
+}
+
+val sites : unit -> site list
+(** Per-span-name roll-up across all call paths and domains, sorted by
+    self time descending — the hot-spot table. *)
+
+val folded : unit -> (string * float) list
+(** Per-call-path self time, sorted by path: folded-stack data. *)
+
+val folded_string : unit -> string
+(** flamegraph.pl-compatible folded stacks: one ["a;b;c N"] line per
+    path, where N is the self time in integer microseconds. *)
+
+val write_folded : string -> unit
+(** Write {!folded_string} to a file. *)
+
+val reset : unit -> unit

@@ -49,9 +49,12 @@ let metrics_table () =
           Buffer.add_string b (Printf.sprintf "%-*s %-9s %s\n" width n "gauge" (si v))
         | Metrics.Hist (n, s, vs) ->
           Buffer.add_string b
-            (Printf.sprintf "%-*s %-9s n=%d sum=%s min=%s mean=%s max=%s%s\n"
+            (Printf.sprintf
+               "%-*s %-9s n=%d sum=%s min=%s mean=%s p50=%s p90=%s p99=%s \
+                max=%s%s\n"
                width n "hist" s.Metrics.count (si s.Metrics.sum)
-               (si s.Metrics.min) (si s.Metrics.mean) (si s.Metrics.max)
+               (si s.Metrics.min) (si s.Metrics.mean) (si s.Metrics.p50)
+               (si s.Metrics.p90) (si s.Metrics.p99) (si s.Metrics.max)
                (values_preview vs)))
       items;
     Buffer.contents b
@@ -73,6 +76,9 @@ let metrics_json () =
             ("sum", Json.Num s.Metrics.sum);
             ("min", Json.Num s.Metrics.min);
             ("mean", Json.Num s.Metrics.mean);
+            ("p50", Json.Num s.Metrics.p50);
+            ("p90", Json.Num s.Metrics.p90);
+            ("p99", Json.Num s.Metrics.p99);
             ("max", Json.Num s.Metrics.max);
             ("values", Json.Arr (List.map (fun v -> Json.Num v) vs));
           ] )
@@ -144,5 +150,33 @@ let spans_table () =
         Buffer.add_string b
           (Printf.sprintf "%-*s %8d %14.3f\n" width name calls (total_us /. 1e3)))
       rows;
+    Buffer.contents b
+  end
+
+(* --- profiler hot spots ----------------------------------------------- *)
+
+let prof_table () =
+  let sites = Prof.sites () in
+  if sites = [] then "no profile recorded (telemetry disabled?)\n"
+  else begin
+    let total_self =
+      List.fold_left (fun acc (s : Prof.site) -> acc +. s.Prof.self_us) 0.0 sites
+    in
+    let b = Buffer.create 512 in
+    let width =
+      List.fold_left
+        (fun acc (s : Prof.site) -> max acc (String.length s.Prof.name))
+        10 sites
+    in
+    Buffer.add_string b
+      (Printf.sprintf "%-*s %8s %12s %12s %7s\n" width "site" "calls"
+         "self ms" "cum ms" "self%");
+    List.iter
+      (fun (s : Prof.site) ->
+        Buffer.add_string b
+          (Printf.sprintf "%-*s %8d %12.3f %12.3f %6.1f%%\n" width s.Prof.name
+             s.Prof.calls (s.Prof.self_us /. 1e3) (s.Prof.cum_us /. 1e3)
+             (100.0 *. s.Prof.self_us /. Float.max 1e-9 total_self)))
+      sites;
     Buffer.contents b
   end

@@ -25,3 +25,8 @@ val span_summary : unit -> (string * int * float) list
     time descending. *)
 
 val spans_table : unit -> string
+
+val prof_table : unit -> string
+(** Profiler hot-spot table: per-site calls, self and cumulative
+    milliseconds, and share of total self time, sorted by self time
+    descending (see {!Prof}). *)

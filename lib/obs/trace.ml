@@ -1,4 +1,4 @@
-(* Hierarchical spans with wall-clock timing.
+(* Hierarchical spans with monotonic timing.
 
    A span is opened, optionally annotated with arguments while open, and
    recorded on close with its start timestamp, duration and nesting depth.
@@ -12,7 +12,17 @@
    (lib/par runs instrumented simulator code on them).  The open-span
    stack is domain-local state — nesting is a property of one domain's
    call tree — while the completed-span store is shared and guarded by a
-   mutex taken only on span close, never while user code runs. *)
+   mutex taken only on span close, never while user code runs.
+
+   The completed-span store is a ring buffer of [cap ()] spans
+   (LOSAC_TRACE_CAP, default 65536): when full, the *oldest* span is
+   overwritten so a long daemon-style run keeps the recent history and
+   bounded memory.  Overwrites are counted in [dropped_count] and the
+   [obs.trace.dropped] metric.
+
+   Every closed span also feeds [Prof] with its call path and self time
+   (duration minus directly nested spans), which is what the profiler's
+   hot-spot table and folded-stack export aggregate. *)
 
 type arg =
   | Str of string
@@ -23,7 +33,7 @@ type arg =
 type span = {
   name : string;
   cat : string;
-  ts_us : float;   (* start, microseconds since process start *)
+  ts_us : float;   (* start, microseconds since process start (monotonic) *)
   dur_us : float;
   depth : int;     (* 0 = root *)
   args : (string * arg) list;
@@ -33,16 +43,66 @@ type open_span = {
   o_name : string;
   o_cat : string;
   o_ts : float;
+  o_path : string; (* root-first ';'-joined span names, for Prof *)
+  mutable o_child_us : float; (* time spent in directly nested spans *)
   mutable o_args : (string * arg) list;
 }
 
-(* completed spans in reverse completion order; bounded so a runaway loop
-   cannot exhaust memory.  Shared across domains, guarded by [lock]. *)
-let completed : span list ref = ref []
+(* --- completed-span ring buffer --------------------------------------- *)
+
+let default_cap = 65536
+
+let cap_from_env () =
+  match Sys.getenv_opt "LOSAC_TRACE_CAP" with
+  | None -> default_cap
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> n
+     | Some _ | None -> default_cap)
+
+let cap = ref (cap_from_env ())
+
+let dummy_span =
+  { name = ""; cat = ""; ts_us = 0.0; dur_us = 0.0; depth = 0; args = [] }
+
+(* ring of the most recent [!cap] spans: [!head] is the oldest entry,
+   [!count] how many are live.  Allocated on first use so a telemetry-off
+   process never pays for it. *)
+let ring : span array ref = ref [||]
+let head = ref 0
 let count = ref 0
 let dropped = ref 0
-let max_spans = 200_000
 let lock = Mutex.create ()
+
+(* call with [lock] held *)
+let push_span span =
+  if Array.length !ring <> !cap then begin
+    ring := Array.make !cap dummy_span;
+    head := 0;
+    count := 0
+  end;
+  let r = !ring in
+  let n = Array.length r in
+  if !count < n then begin
+    r.((!head + !count) mod n) <- span;
+    incr count
+  end
+  else begin
+    r.(!head) <- span;
+    head := (!head + 1) mod n;
+    incr dropped
+  end
+
+let set_cap n =
+  Mutex.lock lock;
+  cap := max 1 n;
+  ring := [||];
+  head := 0;
+  count := 0;
+  dropped := 0;
+  Mutex.unlock lock
+
+let capacity () = !cap
 
 (* the open-span stack is per-domain: nesting depth describes one
    domain's call tree *)
@@ -53,7 +113,8 @@ let stack () = Domain.DLS.get stack_key
 
 let reset () =
   Mutex.lock lock;
-  completed := [];
+  ring := [||];
+  head := 0;
   count := 0;
   dropped := 0;
   Mutex.unlock lock;
@@ -62,8 +123,14 @@ let reset () =
 let begin_span ?(cat = "losac") name =
   if !Config.flag then begin
     let stack = stack () in
+    let path =
+      match !stack with
+      | [] -> name
+      | parent :: _ -> parent.o_path ^ ";" ^ name
+    in
     stack :=
-      { o_name = name; o_cat = cat; o_ts = Clock.since_start_us (); o_args = [] }
+      { o_name = name; o_cat = cat; o_ts = Clock.since_start_us ();
+        o_path = path; o_child_us = 0.0; o_args = [] }
       :: !stack
   end
 
@@ -80,23 +147,29 @@ let end_span () =
     | [] -> ()
     | s :: rest ->
       stack := rest;
+      let dur_us = Clock.since_start_us () -. s.o_ts in
+      (* the parent's self time excludes this whole span *)
+      (match rest with
+       | parent :: _ -> parent.o_child_us <- parent.o_child_us +. dur_us
+       | [] -> ());
+      Prof.record ~path:s.o_path ~name:s.o_name ~dur_us
+        ~self_us:(dur_us -. s.o_child_us);
       let span =
         {
           name = s.o_name;
           cat = s.o_cat;
           ts_us = s.o_ts;
-          dur_us = Clock.since_start_us () -. s.o_ts;
+          dur_us;
           depth = List.length rest;
           args = List.rev s.o_args;
         }
       in
       Mutex.lock lock;
-      if !count >= max_spans then incr dropped
-      else begin
-        incr count;
-        completed := span :: !completed
-      end;
-      Mutex.unlock lock
+      let before = !dropped in
+      push_span span;
+      let overwrote = !dropped > before in
+      Mutex.unlock lock;
+      if overwrote then Metrics.incr "obs.trace.dropped"
   end
 
 let with_span ?cat ?(args = []) name f =
@@ -116,9 +189,10 @@ let with_span ?cat ?(args = []) name f =
 
 let spans () =
   Mutex.lock lock;
-  let l = !completed in
+  let r = !ring and h = !head and n = !count in
+  let l = List.init n (fun i -> r.((h + i) mod Array.length r)) in
   Mutex.unlock lock;
-  List.rev l
+  l
 
 let span_count () = !count
 

@@ -1,9 +1,13 @@
-(** Hierarchical tracing: named spans with wall-clock timestamps, nesting
+(** Hierarchical tracing: named spans with monotonic timestamps, nesting
     depth and key/value arguments.
 
     All recording is a no-op unless {!Config} is enabled; the disabled
-    cost at a call site is one ref read.  Spans are kept in memory
-    (bounded) and exported by {!Reporter}. *)
+    cost at a call site is one ref read.  Completed spans live in a ring
+    buffer of {!capacity} entries (LOSAC_TRACE_CAP, default 65536) that
+    overwrites the oldest span when full, so long daemon-style runs keep
+    bounded memory; overwrites are counted by {!dropped_count} and the
+    [obs.trace.dropped] metric.  Every closed span also feeds {!Prof}
+    with its call path and self time. *)
 
 type arg =
   | Str of string
@@ -14,7 +18,7 @@ type arg =
 type span = {
   name : string;
   cat : string;
-  ts_us : float;  (** start time, µs since process start *)
+  ts_us : float;  (** start time, µs since process start (monotonic) *)
   dur_us : float;
   depth : int;    (** nesting depth at open time; 0 = root *)
   args : (string * arg) list;
@@ -36,11 +40,21 @@ val end_span : unit -> unit
     balance; [end_span] without a matching open span is ignored. *)
 
 val spans : unit -> span list
-(** Completed spans in completion order (children before their parent). *)
+(** Retained spans in completion order (children before their parent).
+    When the ring buffer has wrapped, the oldest spans are gone. *)
 
 val span_count : unit -> int
+(** Number of spans currently retained. *)
+
 val dropped_count : unit -> int
-(** Spans discarded after the in-memory bound was hit. *)
+(** Spans overwritten after the ring filled. *)
+
+val set_cap : int -> unit
+(** Resize the ring buffer (clamped to >= 1).  Discards retained spans
+    and resets {!dropped_count}; primarily for tests and long-running
+    servers re-configuring at runtime. *)
+
+val capacity : unit -> int
 
 val open_depth : unit -> int
 val reset : unit -> unit

@@ -24,9 +24,103 @@
    - Telemetry: each chunk runs inside a [par.task] span (chunk bounds and
      executing domain as arguments), counted by the [par.tasks] metric;
      the queue depth observed at every batch submission is the
-     [par.queue_depth] histogram. *)
+     [par.queue_depth] histogram.  With telemetry enabled, every task
+     additionally records its enqueue->start latency ([par.queue_wait_us])
+     and start->finish run time ([par.task_run_us]), chunks record their
+     size ([par.chunk_items]) and batches their task count
+     ([par.batch_tasks]).
+
+   - Utilization accounting is always on (two monotonic clock reads per
+     task): each domain that ever executes a task keeps a local record of
+     tasks run, busy time and attributed queue wait, merged on demand by
+     [worker_stats].  The records are mutated without a lock by their
+     owning domain and read racily by {!worker_stats} — the usual
+     telemetry trade. *)
 
 type task = unit -> unit
+
+(* --- per-domain utilization accounting -------------------------------- *)
+
+type account = {
+  ac_domain : int;
+  mutable ac_role : string; (* "worker" for pool domains, else "caller" *)
+  mutable ac_tasks : int;
+  (* 0: busy µs (task start -> finish); 1: queue-wait µs (enqueue -> start),
+     in a floatarray so per-task accounting never allocates *)
+  ac_times : floatarray;
+  ac_started_us : float; (* monotonic µs at this domain's first task *)
+}
+
+type worker_stat = {
+  ws_domain : int;
+  ws_role : string;
+  ws_tasks : int;
+  ws_busy_us : float;
+  ws_wait_us : float;
+  ws_alive_us : float;
+  ws_busy_frac : float;
+}
+
+let accounts : account list ref = ref []
+let accounts_lock = Mutex.create ()
+
+let account_key =
+  Domain.DLS.new_key (fun () ->
+    let ac =
+      {
+        ac_domain = (Domain.self () :> int);
+        ac_role = "caller";
+        ac_tasks = 0;
+        ac_times = Float.Array.make 2 0.0;
+        ac_started_us = Obs.Clock.monotonic_us ();
+      }
+    in
+    Mutex.lock accounts_lock;
+    accounts := ac :: !accounts;
+    Mutex.unlock accounts_lock;
+    ac)
+
+let my_account () = Domain.DLS.get account_key
+
+let worker_stats () =
+  let now = Obs.Clock.monotonic_us () in
+  Mutex.lock accounts_lock;
+  let acs = !accounts in
+  Mutex.unlock accounts_lock;
+  List.map
+    (fun ac ->
+      let busy = Float.Array.get ac.ac_times 0 in
+      let wait = Float.Array.get ac.ac_times 1 in
+      let alive = Float.max 1e-9 (now -. ac.ac_started_us) in
+      {
+        ws_domain = ac.ac_domain;
+        ws_role = ac.ac_role;
+        ws_tasks = ac.ac_tasks;
+        ws_busy_us = busy;
+        ws_wait_us = wait;
+        ws_alive_us = alive;
+        ws_busy_frac = Float.min 1.0 (busy /. alive);
+      })
+    acs
+  |> List.sort (fun a b -> compare a.ws_domain b.ws_domain)
+
+let export_metrics () =
+  List.iter
+    (fun ws ->
+      let base = Printf.sprintf "par.%s.%d" ws.ws_role ws.ws_domain in
+      Obs.Metrics.set (base ^ ".busy_frac") ws.ws_busy_frac;
+      Obs.Metrics.set (base ^ ".tasks") (float_of_int ws.ws_tasks))
+    (worker_stats ())
+
+let reset_stats () =
+  Mutex.lock accounts_lock;
+  List.iter
+    (fun ac ->
+      ac.ac_tasks <- 0;
+      Float.Array.set ac.ac_times 0 0.0;
+      Float.Array.set ac.ac_times 1 0.0)
+    !accounts;
+  Mutex.unlock accounts_lock
 
 type pool = {
   mutex : Mutex.t;
@@ -129,7 +223,13 @@ let ensure_workers target =
   let target = min target max_workers in
   (try
      while List.length p.workers < target do
-       p.workers <- Domain.spawn (fun () -> worker_loop p) :: p.workers
+       p.workers <-
+         Domain.spawn (fun () ->
+           (* registering the account at spawn time both tags the domain's
+              role and starts its alive clock for busy-fraction purposes *)
+           (my_account ()).ac_role <- "worker";
+           worker_loop p)
+         :: p.workers
      done
    with _ -> ());
   Mutex.unlock pool_lock;
@@ -173,25 +273,41 @@ let run_batch p thunks =
       failed = None;
     }
   in
-  let wrap thunk () =
-    (try thunk ()
-     with e ->
-       let bt = Printexc.get_raw_backtrace () in
-       Mutex.lock b.b_mutex;
-       if b.failed = None then b.failed <- Some (e, bt);
-       Mutex.unlock b.b_mutex);
-    Mutex.lock b.b_mutex;
-    b.remaining <- b.remaining - 1;
-    if b.remaining = 0 then Condition.broadcast b.b_done;
-    Mutex.unlock b.b_mutex
+  let wrap thunk =
+    let enq_us = Obs.Clock.monotonic_us () in
+    fun () ->
+      let t0 = Obs.Clock.monotonic_us () in
+      (try thunk ()
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Mutex.lock b.b_mutex;
+         if b.failed = None then b.failed <- Some (e, bt);
+         Mutex.unlock b.b_mutex);
+      let t1 = Obs.Clock.monotonic_us () in
+      let ac = my_account () in
+      ac.ac_tasks <- ac.ac_tasks + 1;
+      Float.Array.set ac.ac_times 0
+        (Float.Array.get ac.ac_times 0 +. (t1 -. t0));
+      Float.Array.set ac.ac_times 1
+        (Float.Array.get ac.ac_times 1 +. (t0 -. enq_us));
+      if !Obs.Config.flag then begin
+        Obs.Metrics.observe "par.queue_wait_us" (t0 -. enq_us);
+        Obs.Metrics.observe "par.task_run_us" (t1 -. t0)
+      end;
+      Mutex.lock b.b_mutex;
+      b.remaining <- b.remaining - 1;
+      if b.remaining = 0 then Condition.broadcast b.b_done;
+      Mutex.unlock b.b_mutex
   in
   Mutex.lock p.mutex;
   let depth = Queue.length p.queue + Array.length thunks in
   Array.iter (fun t -> Queue.push (wrap t) p.queue) thunks;
   Condition.broadcast p.has_work;
   Mutex.unlock p.mutex;
-  if !Obs.Config.flag then
+  if !Obs.Config.flag then begin
     Obs.Metrics.observe "par.queue_depth" (float_of_int depth);
+    Obs.Metrics.observe "par.batch_tasks" (float_of_int (Array.length thunks))
+  end;
   let rec help () =
     match try_pop p with
     | Some task ->
@@ -224,6 +340,7 @@ let instrumented ~chunk ~lo ~hi body =
   if not !Obs.Config.flag then body ()
   else begin
     Obs.Metrics.incr "par.tasks";
+    Obs.Metrics.observe "par.chunk_items" (float_of_int (hi - lo));
     Obs.Trace.with_span ~cat:"par"
       ~args:
         [

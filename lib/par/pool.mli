@@ -19,7 +19,16 @@
     {b Telemetry.}  When {!Obs.Config} is enabled, every chunk runs in a
     [par.task] span carrying its bounds and executing domain, the
     [par.tasks] counter counts chunks and [par.queue_depth] records the
-    queue depth seen at each batch submission. *)
+    queue depth seen at each batch submission.  Tasks also feed the
+    [par.queue_wait_us] (enqueue to start) and [par.task_run_us] (start
+    to finish) histograms, chunks the [par.chunk_items] histogram and
+    batches [par.batch_tasks].
+
+    {b Utilization.}  Independently of telemetry, every domain that runs
+    tasks keeps a running account of tasks executed, busy time and
+    attributed queue wait; {!worker_stats} merges them into per-domain
+    busy fractions (the measurement behind ROADMAP item 6, pool
+    efficiency on many-core hosts). *)
 
 val default_jobs : unit -> int
 (** Resolution order: {!set_default_jobs}, then the [LOSAC_JOBS]
@@ -54,6 +63,30 @@ val num_workers : unit -> int
 
 val queue_depth : unit -> int
 (** Tasks currently queued (diagnostic; racy by nature). *)
+
+type worker_stat = {
+  ws_domain : int;  (** OCaml domain id *)
+  ws_role : string;  (** ["worker"] for pool domains, ["caller"] otherwise *)
+  ws_tasks : int;
+  ws_busy_us : float;  (** total task start->finish time on this domain *)
+  ws_wait_us : float;  (** total enqueue->start wait of tasks it ran *)
+  ws_alive_us : float;  (** time since the domain first touched the pool *)
+  ws_busy_frac : float;  (** busy / alive, clamped to [0, 1] *)
+}
+
+val worker_stats : unit -> worker_stat list
+(** Per-domain utilization accounts, sorted by domain id.  Always
+    available (accounting is not gated on telemetry); reads are racy but
+    each field is a consistent last-written value. *)
+
+val export_metrics : unit -> unit
+(** Publish {!worker_stats} as [par.<role>.<domain>.busy_frac] and
+    [.tasks] gauges (no-op while telemetry is disabled, like all metric
+    writers). *)
+
+val reset_stats : unit -> unit
+(** Zero every domain's task/busy/wait account (workers stay
+    registered).  For tests and benchmark reruns. *)
 
 val shutdown : unit -> unit
 (** Stop and join all workers.  Called automatically [at_exit]; a later

@@ -544,13 +544,24 @@ let injection_gain2 f ~p ~n ~out =
        let re = sws.Linalg.Ws.sx_re.(o) and im = sws.Linalg.Ws.sx_im.(o) in
        (re *. re) +. (im *. im))
 
+let observe_transfer t0 =
+  if !Obs.Config.flag then
+    Obs.Metrics.observe "sim.acs.solve_us" (Obs.Clock.monotonic_us () -. t0)
+
 let transfer ?backend net ~freq ~out =
+  let t0 = Obs.Clock.monotonic_us () in
   let f = factor ?backend net ~freq in
-  voltage net (solve_sources f) out
+  let v = voltage net (solve_sources f) out in
+  observe_transfer t0;
+  v
 
 let transfer_result ?backend net ~freq ~out =
+  let t0 = Obs.Clock.monotonic_us () in
   Result.map
-    (fun f -> voltage net (solve_sources f) out)
+    (fun f ->
+      let v = voltage net (solve_sources f) out in
+      observe_transfer t0;
+      v)
     (factor_result ?backend net ~freq)
 
 let output_impedance ?backend net ~freq ~out =

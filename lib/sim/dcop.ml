@@ -171,6 +171,7 @@ let device_ops_at proc kind circuit volt =
 let solve ?backend ?(guess = fun _ -> None) ?(max_iter = 100) ?(gmin = 1e-12)
     ~proc ~kind circuit =
   Obs.Trace.with_span ~cat:"sim" "dcop.solve" @@ fun () ->
+  let t0 = Obs.Clock.monotonic_us () in
   let backend =
     match backend with Some b -> b | None -> Stamps.default_backend ()
   in
@@ -221,6 +222,7 @@ let solve ?backend ?(guess = fun _ -> None) ?(max_iter = 100) ?(gmin = 1e-12)
   in
   if !Obs.Config.flag then begin
     Obs.Metrics.incr "sim.dcop.solves";
+    Obs.Metrics.observe "sim.dcop.solve_us" (Obs.Clock.monotonic_us () -. t0);
     Obs.Trace.add_arg "total_iters" (Obs.Trace.Int !total_iters);
     Obs.Trace.add_arg "unknowns" (Obs.Trace.Int (Indexing.size idx))
   end;

@@ -12,7 +12,9 @@ let () =
       Suite_sizing.suite;
       Suite_core.suite;
       Suite_obs.suite;
+      Suite_hist.suite;
       Suite_par.suite;
+      Suite_gate.suite;
       Suite_cache.suite;
       Suite_statistics.suite;
     ]

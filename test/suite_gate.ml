@@ -1,0 +1,197 @@
+(* Perf-regression gate: the comparison semantics [bench --check] rides
+   on.  Documents are built in-memory in the exact shape of the
+   BENCH_*.json dumps, then perturbed one metric at a time. *)
+
+open Helpers
+module Gate = Bench_gate.Gate
+module J = Obs.Json
+
+let timing_doc ?(cores = 8.0) ?(seq_s = 10.0) ?(par_s = 2.0)
+    ?(identical = true) () =
+  J.Obj
+    [
+      ("schema", J.Str "losac.bench.timing/1");
+      ("cores", J.Num cores);
+      ("jobs", J.Num cores);
+      ( "experiments",
+        J.Arr
+          [
+            J.Obj
+              [
+                ("name", J.Str "monte carlo (n=200)");
+                ("cores", J.Num cores);
+                ("jobs", J.Num cores);
+                ("seq_s", J.Num seq_s);
+                ("par_s", J.Num par_s);
+                ("speedup", J.Num (seq_s /. par_s));
+                ("identical_bits", J.Bool identical);
+              ];
+          ] );
+    ]
+
+let check ~baseline ~fresh = Gate.compare_docs ~baseline ~fresh ()
+
+let test_identical_passes () =
+  (match check ~baseline:(timing_doc ()) ~fresh:(timing_doc ()) with
+   | Gate.Pass -> ()
+   | v -> Alcotest.failf "expected pass, got %a" Gate.pp_verdict v);
+  let judged =
+    Gate.compared_count ~baseline:(timing_doc ()) ~fresh:(timing_doc ())
+  in
+  Alcotest.(check bool) "comparison had teeth" true (judged >= 5)
+
+let test_noise_within_band_passes () =
+  (* 30% slower and a weaker speedup: inside the default bands *)
+  let fresh = timing_doc ~seq_s:13.0 ~par_s:2.8 () in
+  match check ~baseline:(timing_doc ()) ~fresh with
+  | Gate.Pass -> ()
+  | v -> Alcotest.failf "expected pass under noise, got %a" Gate.pp_verdict v
+
+let test_time_cliff_fails () =
+  let fresh = timing_doc ~par_s:4.0 () in
+  (* par_s doubled (+100% > +60% budget) and speedup halved *)
+  match check ~baseline:(timing_doc ()) ~fresh with
+  | Gate.Regression msgs ->
+    Alcotest.(check bool) "names the regressed metric" true
+      (List.exists
+         (fun m ->
+           String.length m > 0
+           && List.exists
+                (fun sub ->
+                  (* any of the affected keys must be spelled out *)
+                  let n = String.length sub and l = String.length m in
+                  let rec go i =
+                    i + n <= l && (String.sub m i n = sub || go (i + 1))
+                  in
+                  go 0)
+                [ "par_s"; "speedup" ])
+         msgs)
+  | v -> Alcotest.failf "expected regression, got %a" Gate.pp_verdict v
+
+let test_identity_flag_flip_fails () =
+  let fresh = timing_doc ~identical:false () in
+  match check ~baseline:(timing_doc ()) ~fresh with
+  | Gate.Regression _ -> ()
+  | v -> Alcotest.failf "expected regression on flag flip, got %a"
+           Gate.pp_verdict v
+
+let test_core_mismatch_refused () =
+  let fresh = timing_doc ~cores:1.0 () in
+  (match check ~baseline:(timing_doc ~cores:8.0 ()) ~fresh with
+   | Gate.Refusal _ -> ()
+   | v -> Alcotest.failf "expected refusal, got %a" Gate.pp_verdict v);
+  (* refusal even when every number inside would have regressed: the
+     comparison is meaningless, not failed *)
+  match
+    check
+      ~baseline:(timing_doc ~cores:8.0 ())
+      ~fresh:(timing_doc ~cores:1.0 ~par_s:40.0 ~identical:false ())
+  with
+  | Gate.Refusal _ -> ()
+  | v -> Alcotest.failf "expected refusal to outrank, got %a" Gate.pp_verdict v
+
+let test_missing_metric_fails () =
+  let fresh =
+    J.Obj
+      [
+        ("schema", J.Str "losac.bench.timing/1");
+        ("cores", J.Num 8.0);
+        ("jobs", J.Num 8.0);
+        ("experiments", J.Arr []);
+      ]
+  in
+  match check ~baseline:(timing_doc ()) ~fresh with
+  | Gate.Regression msgs ->
+    Alcotest.(check bool) "missing experiment reported" true
+      (List.exists
+         (fun m ->
+           let sub = "missing" and l = String.length m in
+           let n = String.length sub in
+           let rec go i = i + n <= l && (String.sub m i n = sub || go (i + 1)) in
+           go 0)
+         msgs)
+  | v -> Alcotest.failf "expected regression, got %a" Gate.pp_verdict v
+
+let test_extra_metric_and_reorder_ok () =
+  (* fresh runs may add instrumentation and reorder named records *)
+  let fresh =
+    J.Obj
+      [
+        ("schema", J.Str "losac.bench.timing/1");
+        ("cores", J.Num 8.0);
+        ("jobs", J.Num 8.0);
+        ("brand_new_section", J.Num 42.0);
+        ( "experiments",
+          J.Arr
+            [
+              J.Obj [ ("name", J.Str "added later"); ("seq_s", J.Num 1.0) ];
+              J.Obj
+                [
+                  ("name", J.Str "monte carlo (n=200)");
+                  ("cores", J.Num 8.0);
+                  ("jobs", J.Num 8.0);
+                  ("seq_s", J.Num 10.0);
+                  ("par_s", J.Num 2.0);
+                  ("speedup", J.Num 5.0);
+                  ("identical_bits", J.Bool true);
+                ];
+            ] );
+      ]
+  in
+  match check ~baseline:(timing_doc ()) ~fresh with
+  | Gate.Pass -> ()
+  | v -> Alcotest.failf "expected pass, got %a" Gate.pp_verdict v
+
+let test_schema_change_refused () =
+  let fresh =
+    match timing_doc () with
+    | J.Obj fields ->
+      J.Obj
+        (List.map
+           (function
+             | "schema", _ -> ("schema", J.Str "losac.bench.timing/2")
+             | kv -> kv)
+           fields)
+    | _ -> assert false
+  in
+  match check ~baseline:(timing_doc ()) ~fresh with
+  | Gate.Refusal _ -> ()
+  | v -> Alcotest.failf "expected schema refusal, got %a" Gate.pp_verdict v
+
+let test_missing_baseline_file_refused () =
+  match
+    Gate.check_file ~baseline_path:"/nonexistent/BENCH_timing.json"
+      (timing_doc ())
+  with
+  | Gate.Refusal _ -> ()
+  | v -> Alcotest.failf "expected refusal, got %a" Gate.pp_verdict v
+
+let test_alloc_slack () =
+  let doc words =
+    J.Obj
+      [
+        ("schema", J.Str "losac.bench.kernels/1");
+        ("kernel_words_per_solve", J.Num words);
+      ]
+  in
+  (match check ~baseline:(doc 10.0) ~fresh:(doc 70.0) with
+   | Gate.Pass -> ()  (* +60 words inside the 25% + 64 absolute slack *)
+   | v -> Alcotest.failf "expected pass within slack, got %a" Gate.pp_verdict v);
+  match check ~baseline:(doc 1000.0) ~fresh:(doc 2000.0) with
+  | Gate.Regression _ -> ()
+  | v -> Alcotest.failf "expected alloc regression, got %a" Gate.pp_verdict v
+
+let suite =
+  ( "gate",
+    [
+      case "identical docs pass" test_identical_passes;
+      case "noise inside the band passes" test_noise_within_band_passes;
+      case "time cliff fails" test_time_cliff_fails;
+      case "identity flag flip fails" test_identity_flag_flip_fails;
+      case "core-count mismatch is refused" test_core_mismatch_refused;
+      case "missing metric fails" test_missing_metric_fails;
+      case "extra metrics and reordering pass" test_extra_metric_and_reorder_ok;
+      case "schema change is refused" test_schema_change_refused;
+      case "missing baseline file is refused" test_missing_baseline_file_refused;
+      case "allocation slack" test_alloc_slack;
+    ] )

@@ -1,0 +1,142 @@
+(* Log-bucketed histograms: the algebraic properties the per-domain
+   sharding design rests on.
+
+   Shards merged at snapshot time see observations in an arbitrary
+   domain interleaving, so merge must be commutative and associative;
+   quantile answers must stay within the advertised relative error of
+   the exact order statistic whatever the data; and [record] must not
+   allocate, or instrumenting pool-worker hot paths would create GC
+   pressure proportional to the observation rate. *)
+
+open Helpers
+
+let of_values vs =
+  let h = Obs.Hist.create () in
+  List.iter (Obs.Hist.record h) vs;
+  h
+
+(* positive in-range magnitudes: µs-scale durations up to hour-scale *)
+let pos_values =
+  QCheck.(list_of_size Gen.(1 -- 200) (map Float.abs (float_range 1e-3 1e9)))
+
+(* exact order statistic with the same rank rule as Hist.quantile *)
+let exact_quantile vs q =
+  let a = Array.of_list vs in
+  Array.sort compare a;
+  let n = Array.length a in
+  let rank = max 1 (min n (int_of_float (Float.ceil (q *. float_of_int n)))) in
+  a.(rank - 1)
+
+let prop_quantile_rel_error =
+  QCheck.Test.make ~count:200 ~name:"quantile within advertised rel error"
+    pos_values (fun vs ->
+      let h = of_values vs in
+      List.for_all
+        (fun q ->
+          let est = Obs.Hist.quantile h q in
+          let exact = exact_quantile vs q in
+          (* the geometric-midpoint estimate is within rel_error of some
+             value in the same bucket as the exact order statistic *)
+          Float.abs (est -. exact)
+          <= (Obs.Hist.rel_error *. 1.01 *. exact) +. 1e-12)
+        [ 0.0; 0.25; 0.5; 0.9; 0.99; 1.0 ])
+
+let prop_merge_commutative =
+  QCheck.Test.make ~count:200 ~name:"merge commutes"
+    QCheck.(pair pos_values pos_values)
+    (fun (xs, ys) ->
+      let ab = of_values xs in
+      Obs.Hist.merge_into ~src:(of_values ys) ~dst:ab;
+      let ba = of_values ys in
+      Obs.Hist.merge_into ~src:(of_values xs) ~dst:ba;
+      Obs.Hist.approx_equal ab ba)
+
+let prop_merge_associative =
+  QCheck.Test.make ~count:200 ~name:"merge associates"
+    QCheck.(triple pos_values pos_values pos_values)
+    (fun (xs, ys, zs) ->
+      (* (a + b) + c *)
+      let l = of_values xs in
+      Obs.Hist.merge_into ~src:(of_values ys) ~dst:l;
+      Obs.Hist.merge_into ~src:(of_values zs) ~dst:l;
+      (* a + (b + c) *)
+      let bc = of_values ys in
+      Obs.Hist.merge_into ~src:(of_values zs) ~dst:bc;
+      let r = of_values xs in
+      Obs.Hist.merge_into ~src:bc ~dst:r;
+      Obs.Hist.approx_equal l r)
+
+let prop_merge_totals =
+  QCheck.Test.make ~count:200 ~name:"merge preserves count/extrema"
+    QCheck.(pair pos_values pos_values)
+    (fun (xs, ys) ->
+      let m = of_values xs in
+      Obs.Hist.merge_into ~src:(of_values ys) ~dst:m;
+      let whole = of_values (xs @ ys) in
+      Obs.Hist.count m = List.length xs + List.length ys
+      && Obs.Hist.approx_equal m whole)
+
+let test_record_no_alloc () =
+  let h = Obs.Hist.create () in
+  (* Feed [record] from a float list: list cells hold already-boxed
+     floats, so passing one across the call boundary allocates nothing
+     and the measurement isolates [record]'s own allocation.  (A [for]
+     loop over [float_of_int i] — or any flat [float array] — would box
+     a fresh argument at every call site and charge the caller's 2
+     words/call to the histogram.) *)
+  let vs = List.init 1_000 (fun i -> float_of_int (i + 1)) in
+  let record_one = Obs.Hist.record h in
+  let record_all () = List.iter record_one vs in
+  record_all ();
+  (* warm up *)
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 10 do
+    record_all ()
+  done;
+  let per_record = (Gc.minor_words () -. w0) /. 10_000.0 in
+  if per_record > 0.01 then
+    Alcotest.failf "record allocates %.3f words/call" per_record
+
+let test_empty_and_clear () =
+  let h = Obs.Hist.create () in
+  Alcotest.(check bool) "empty quantile is nan" true
+    (Float.is_nan (Obs.Hist.quantile h 0.5));
+  Alcotest.(check int) "empty count" 0 (Obs.Hist.count h);
+  Obs.Hist.record h 3.0;
+  Obs.Hist.record h (-1.0);
+  (* <= 0 goes to the underflow bucket, answered by the exact minimum *)
+  check_close "negative kept in min" (-1.0) (Obs.Hist.min_value h);
+  Alcotest.(check int) "count includes underflow" 2 (Obs.Hist.count h);
+  Obs.Hist.clear h;
+  Alcotest.(check int) "cleared" 0 (Obs.Hist.count h)
+
+let test_fold_buckets_cumulative () =
+  let h = of_values [ 0.5; 1.0; 2.0; 1e6; 1e300 ] in
+  let total =
+    Obs.Hist.fold_buckets h ~init:0 ~f:(fun acc ~upper ~count ->
+      if count <= 0 then Alcotest.fail "empty bucket visited";
+      ignore upper;
+      acc + count)
+  in
+  Alcotest.(check int) "bucket counts sum to n" (Obs.Hist.count h) total;
+  (* upper bounds must strictly increase (legal OpenMetrics le series) *)
+  let last = ref neg_infinity in
+  Obs.Hist.fold_buckets h ~init:() ~f:(fun () ~upper ~count ->
+    ignore count;
+    if upper <= !last then Alcotest.fail "upper bounds not increasing";
+    last := upper)
+
+let suite =
+  ( "hist",
+    [
+      case "record does not allocate" test_record_no_alloc;
+      case "empty, underflow and clear" test_empty_and_clear;
+      case "fold_buckets covers every observation" test_fold_buckets_cumulative;
+    ]
+    @ qcheck_cases
+        [
+          prop_quantile_rel_error;
+          prop_merge_commutative;
+          prop_merge_associative;
+          prop_merge_totals;
+        ] )

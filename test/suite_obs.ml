@@ -179,6 +179,106 @@ let test_chrome_trace_round_trip () =
     | Some (Obs.Json.Num n) -> check_close "metrics in otherData" 1.0 n
     | _ -> Alcotest.fail "metrics snapshot missing from otherData")
 
+(* --- span ring buffer ------------------------------------------------- *)
+
+let test_trace_ring_cap () =
+  with_telemetry (fun () ->
+    let old_cap = Obs.Trace.capacity () in
+    Fun.protect ~finally:(fun () -> Obs.Trace.set_cap old_cap) @@ fun () ->
+    Obs.Trace.set_cap 4;
+    for i = 1 to 10 do
+      Obs.Trace.with_span (Printf.sprintf "s%d" i) (fun () -> ())
+    done;
+    Alcotest.(check int) "retains cap spans" 4 (Obs.Trace.span_count ());
+    Alcotest.(check int) "overwrites counted" 6 (Obs.Trace.dropped_count ());
+    check_close "dropped metric" 6.0 (Obs.Metrics.counter "obs.trace.dropped");
+    (* oldest -> newest, oldest spans gone *)
+    Alcotest.(check (list string)) "keeps the newest spans"
+      [ "s7"; "s8"; "s9"; "s10" ]
+      (List.map (fun s -> s.Obs.Trace.name) (Obs.Trace.spans ()));
+    Obs.Trace.set_cap 8;
+    Alcotest.(check int) "set_cap resets retained" 0 (Obs.Trace.span_count ());
+    Alcotest.(check int) "set_cap resets dropped" 0 (Obs.Trace.dropped_count ()))
+
+(* --- profiler --------------------------------------------------------- *)
+
+let spin_ms ms =
+  let t0 = Obs.Clock.monotonic_us () in
+  while Obs.Clock.monotonic_us () -. t0 < ms *. 1e3 do
+    ()
+  done
+
+let test_prof_self_vs_cumulative () =
+  with_telemetry (fun () ->
+    Obs.Prof.reset ();
+    Fun.protect ~finally:Obs.Prof.reset @@ fun () ->
+    for _ = 1 to 3 do
+      Obs.Trace.with_span "outer" (fun () ->
+        spin_ms 2.0;
+        Obs.Trace.with_span "inner" (fun () -> spin_ms 4.0))
+    done;
+    let site name =
+      match
+        List.find_opt (fun s -> s.Obs.Prof.name = name) (Obs.Prof.sites ())
+      with
+      | Some s -> s
+      | None -> Alcotest.failf "site %s missing" name
+    in
+    let outer = site "outer" and inner = site "inner" in
+    Alcotest.(check int) "outer calls" 3 outer.Obs.Prof.calls;
+    Alcotest.(check int) "inner calls" 3 inner.Obs.Prof.calls;
+    (* outer cumulative covers the inner work, outer self excludes it *)
+    Alcotest.(check bool) "outer cum >= self + inner" true
+      (outer.Obs.Prof.cum_us
+       >= outer.Obs.Prof.self_us +. inner.Obs.Prof.cum_us -. 1.0);
+    check_in_range "outer self ~6ms" 4.5e3 60e3 outer.Obs.Prof.self_us;
+    check_in_range "inner self ~12ms" 9e3 120e3 inner.Obs.Prof.self_us;
+    (* folded stacks: root-first semicolon-joined paths with self in µs *)
+    let folded = Obs.Prof.folded_string () in
+    Alcotest.(check bool) "folded has nested path" true
+      (List.exists
+         (fun line ->
+           String.length line > 11 && String.sub line 0 11 = "outer;inner")
+         (String.split_on_char '\n' folded)))
+
+(* --- OpenMetrics exposition ------------------------------------------- *)
+
+let test_openmetrics_exposition () =
+  with_telemetry (fun () ->
+    Obs.Metrics.incr ~by:3.0 "sim.dcop.solves";
+    Obs.Metrics.set "pool.size" 4.0;
+    List.iter (Obs.Metrics.observe "sim.dcop.solve_us") [ 10.0; 20.0; 400.0 ];
+    let text = Obs.Openmetrics.to_string () in
+    let has sub =
+      let n = String.length sub and l = String.length text in
+      let rec go i = i + n <= l && (String.sub text i n = sub || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check string) "sanitize" "losac_sim_dcop_solves"
+      (Obs.Openmetrics.sanitize "sim.dcop.solves");
+    Alcotest.(check bool) "counter family" true
+      (has "# TYPE losac_sim_dcop_solves counter"
+       && has "losac_sim_dcop_solves_total 3");
+    Alcotest.(check bool) "gauge sample" true (has "\nlosac_pool_size 4");
+    Alcotest.(check bool) "histogram family" true
+      (has "# TYPE losac_sim_dcop_solve_us histogram"
+       && has "losac_sim_dcop_solve_us_bucket{le=\"+Inf\"} 3"
+       && has "losac_sim_dcop_solve_us_count 3"
+       && has "losac_sim_dcop_solve_us_sum 430");
+    Alcotest.(check bool) "terminated" true
+      (String.length text >= 6
+       && String.sub text (String.length text - 6) 6 = "# EOF\n");
+    (* cumulative le counts must be monotone and end at the total *)
+    match Obs.Metrics.merged_hist "sim.dcop.solve_us" with
+    | None -> Alcotest.fail "merged hist missing"
+    | Some h ->
+      let last =
+        Obs.Hist.fold_buckets h ~init:0 ~f:(fun prev ~upper:_ ~count ->
+          if count < 0 then Alcotest.fail "negative bucket";
+          prev + count)
+      in
+      Alcotest.(check int) "buckets cover all observations" 3 last)
+
 (* --- flow integration ------------------------------------------------ *)
 
 let test_flow_emits_telemetry () =
@@ -216,6 +316,9 @@ let suite =
       case "span arguments" test_span_args;
       case "counter/gauge/histogram accumulation" test_counter_accumulation;
       case "disabled telemetry records nothing" test_disabled_noop;
+      case "trace ring buffer caps retained spans" test_trace_ring_cap;
+      case "profiler self vs cumulative time" test_prof_self_vs_cumulative;
+      case "openmetrics exposition" test_openmetrics_exposition;
       case "json parser" test_json_parser;
       case "chrome trace round-trip" test_chrome_trace_round_trip;
       case "flow emits spans and trajectory" test_flow_emits_telemetry;

@@ -102,8 +102,53 @@ let test_pool_telemetry () =
       List.filter (fun s -> s.Obs.Trace.name = "par.task") (Obs.Trace.spans ())
     in
     Alcotest.(check bool) "par.task spans recorded" true (tasks <> []);
+    (* per-task latency accounting: queue-wait and run-time histograms *)
+    (match Obs.Metrics.hist_stats "par.task_run_us" with
+     | None -> Alcotest.fail "par.task_run_us missing"
+     | Some s -> Alcotest.(check bool) "one run sample per chunk" true
+                   (s.Obs.Metrics.count >= 4));
+    (match Obs.Metrics.hist_stats "par.queue_wait_us" with
+     | None -> Alcotest.fail "par.queue_wait_us missing"
+     | Some s ->
+       Alcotest.(check bool) "queue wait is non-negative" true
+         (s.Obs.Metrics.min >= 0.0));
+    Alcotest.(check bool) "chunk sizes observed" true
+      (Obs.Metrics.hist_stats "par.chunk_items" <> None);
+    Alcotest.(check bool) "batch task counts observed" true
+      (Obs.Metrics.hist_stats "par.batch_tasks" <> None);
     Obs.Trace.reset ();
     Obs.Metrics.reset ())
+
+let test_pool_accounting () =
+  (* utilization accounts work with telemetry off — they are always on *)
+  Par.Pool.reset_stats ();
+  let _ = Par.Pool.map ~jobs:4 (fun x -> x * x) (List.init 64 Fun.id) in
+  let stats = Par.Pool.worker_stats () in
+  Alcotest.(check bool) "at least the calling domain accounted" true
+    (stats <> []);
+  let total_tasks =
+    List.fold_left (fun acc w -> acc + w.Par.Pool.ws_tasks) 0 stats
+  in
+  Alcotest.(check int) "every chunk accounted exactly once" 4 total_tasks;
+  List.iter
+    (fun (w : Par.Pool.worker_stat) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "domain %d role" w.Par.Pool.ws_domain)
+        true
+        (w.Par.Pool.ws_role = "worker" || w.Par.Pool.ws_role = "caller");
+      check_in_range "busy fraction" 0.0 1.0 w.Par.Pool.ws_busy_frac;
+      Alcotest.(check bool) "busy time consistent with tasks" true
+        (w.Par.Pool.ws_tasks = 0 || w.Par.Pool.ws_busy_us > 0.0))
+    stats;
+  (* sequential fast path never touches the pool or the accounts *)
+  let _ = Par.Pool.map ~jobs:1 (fun x -> x + 1) (List.init 8 Fun.id) in
+  Alcotest.(check int) "jobs=1 bypasses accounting" 4
+    (List.fold_left (fun acc w -> acc + w.Par.Pool.ws_tasks) 0
+       (Par.Pool.worker_stats ()));
+  Par.Pool.reset_stats ();
+  Alcotest.(check int) "reset zeroes tasks" 0
+    (List.fold_left (fun acc w -> acc + w.Par.Pool.ws_tasks) 0
+       (Par.Pool.worker_stats ()))
 
 (* --- qcheck: chunked parallel_for covers every index exactly once --------- *)
 
@@ -127,5 +172,6 @@ let suite =
         test_montecarlo_schedule_independent;
       case "splitmix streams are independent" test_splitmix_streams;
       case "pool telemetry" test_pool_telemetry;
+      case "pool utilization accounting" test_pool_accounting;
     ]
     @ qcheck_cases [ prop_parallel_for_exact_cover ] )
