@@ -31,10 +31,17 @@ type tolerances = {
   better_rel : float;  (* allowed relative drop on higher-is-better keys *)
   alloc_rel : float;
   alloc_abs : float;  (* words of absolute slack on allocation counts *)
+  overhead_abs : float;  (* absolute slack on overhead fractions *)
 }
 
 let default_tolerances =
-  { time_rel = 0.60; better_rel = 0.40; alloc_rel = 0.25; alloc_abs = 64.0 }
+  {
+    time_rel = 0.60;
+    better_rel = 0.40;
+    alloc_rel = 0.25;
+    alloc_abs = 64.0;
+    overhead_abs = 0.05;
+  }
 
 type clazz =
   | Time
@@ -44,6 +51,7 @@ type clazz =
   | Compat
   | Info
   | Exact
+  | Overhead
 
 let contains ~sub s =
   let n = String.length sub and m = String.length s in
@@ -57,6 +65,7 @@ let ends ~suffix s =
 let classify key =
   if key = "cores" || key = "jobs" then Compat
   else if contains ~sub:"crossover" key then Info
+  else if contains ~sub:"overhead" key then Overhead
   else if contains ~sub:"identical" key then Bool_flag
   else if contains ~sub:"speedup" key || contains ~sub:"hit_rate" key then
     Higher
@@ -114,6 +123,15 @@ let judge st ~tol path key base fresh =
       regress st
         (Printf.sprintf "%s: %g -> %g words (budget +%.0f%% + %g)" path base
            fresh (pct tol.alloc_rel) tol.alloc_abs)
+  | Overhead ->
+    (* overhead fractions hover near zero, so a relative band is
+       meaningless; allow an absolute drift instead.  A negative
+       baseline (the pool path got lucky and beat sequential) is floored
+       at zero so noise in the lucky direction never tightens the gate. *)
+    if fresh > Float.max base 0.0 +. tol.overhead_abs then
+      regress st
+        (Printf.sprintf "%s: %.1f%% -> %.1f%% (budget +%.1f points)" path
+           (pct base) (pct fresh) (pct tol.overhead_abs))
   | Bool_flag | Exact ->
     if base <> fresh then
       regress st (Printf.sprintf "%s: %g -> %g (must match exactly)" path base fresh)

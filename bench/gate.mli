@@ -15,10 +15,17 @@ type tolerances = {
   better_rel : float;  (** allowed relative drop on [speedup]/[hit_rate] *)
   alloc_rel : float;
   alloc_abs : float;  (** absolute words of slack on allocation counts *)
+  overhead_abs : float;
+      (** absolute slack on [*overhead*] fractions (they hover near
+          zero, so relative bands are meaningless): the jobs=1 pool
+          overhead may drift at most this many fractional points above
+          its baseline, with negative baselines floored at zero so a
+          lucky run never tightens the gate *)
 }
 
 val default_tolerances : tolerances
-(** [{time_rel = 0.60; better_rel = 0.40; alloc_rel = 0.25; alloc_abs = 64.0}]
+(** [{time_rel = 0.60; better_rel = 0.40; alloc_rel = 0.25; alloc_abs = 64.0;
+     overhead_abs = 0.05}]
     — wide on purpose: shared CI runners jitter; the gate exists to catch
     cliffs, not noise. *)
 

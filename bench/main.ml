@@ -4,7 +4,7 @@
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe table1     -- one experiment
      experiments: table1 fig1 fig2 fig3 fig4 fig5 ablation statistics timing
-                  cache kernels sparse
+                  cache kernels sparse scaling
    [--backend NAME] selects the default linear-solver backend for every
    analysis (kernel | reference | sparse | sparse-natural); [sparse]
    compares dense vs CSR refactorization and dumps [--sparse-json FILE]
@@ -14,6 +14,12 @@
    for the embarrassingly parallel workloads (Monte Carlo, corner sweep,
    flow cases); pass [--json FILE] to dump those measurements as a
    machine-readable file (used by CI as BENCH_timing.json).
+
+   [scaling] sweeps jobs = 1..cores over the same workloads and measures
+   the jobs=1 forced-pool overhead against the inline sequential path;
+   [--scaling-json FILE] dumps the sweep (CI keeps BENCH_scaling.json)
+   and the overhead fraction is gated against bench/baselines with an
+   absolute band.
 
    Absolute numbers come from this repository's synthetic 0.6 um process
    and in-house simulator, so only the *shape* of each result is expected
@@ -394,6 +400,107 @@ let timing_parallel () =
     "determinism: the parallel runs above return bit-identical results \
      to the sequential ones (per-sample SplitMix64 streams; ordered \
      chunk reassembly).@."
+
+(* ------------------------------------------------------------------ *)
+(* Scaling - per-core efficiency sweep                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* per-workload scaling records accumulated by [scaling], dumped by
+   [--scaling-json FILE] *)
+let scaling_records : Obs.Json.t list ref = ref []
+let scaling_jobs_swept = ref 1
+
+(* Sweep jobs = 1 .. max(2, cores) over the three timing workloads.  The
+   sequential reference is the jobs=1 inline fast path; the jobs=1
+   *point* is measured with the fast path disabled ([with_pool_forced])
+   so the record captures the honest single-job pool overhead — the
+   number the gate watches so the old 0.37x regression cannot silently
+   return. *)
+let scaling () =
+  section "Scaling - per-core speedup sweep (jobs = 1 .. cores)";
+  let cores = Domain.recommended_domain_count () in
+  let max_jobs = max 2 cores in
+  scaling_jobs_swept := max_jobs;
+  Format.printf "sweeping jobs 1..%d on %d recommended core(s)@." max_jobs
+    cores;
+  let design =
+    Comdiac.Folded_cascode.size ~proc ~kind ~spec
+      ~parasitics:Comdiac.Parasitics.single_fold
+  in
+  let amp = design.Comdiac.Folded_cascode.amp in
+  let temperatures =
+    List.map Technology.Corner.celsius [ -40.0; 0.0; 27.0; 55.0; 85.0 ]
+  in
+  let workloads =
+    [
+      ( "monte carlo (n=200)",
+        fun j ->
+          ignore
+            (Comdiac.Montecarlo.run ~n:200 ~ctx:(Core.Ctx.make ~jobs:j proc)
+               ~kind ~spec amp) );
+      ( "corner sweep (25 points)",
+        fun j ->
+          ignore
+            (Comdiac.Robustness.run ~corners:Technology.Corner.all
+               ~temperatures ~ctx:(Core.Ctx.make ~jobs:j proc) ~kind ~spec amp)
+      );
+      ( "flow cases (table 1)",
+        fun j ->
+          ignore (Core.Flow.run_all ~ctx:(Core.Ctx.make ~jobs:j proc) ~kind
+                    ~spec ()) );
+    ]
+  in
+  List.iter
+    (fun (name, run) ->
+      let wall f =
+        (* cold caches for every measurement, as in [timing] *)
+        Cache.Memo.clear_all ();
+        let t0 = Obs.Clock.monotonic_s () in
+        f ();
+        Obs.Clock.monotonic_s () -. t0
+      in
+      let seq_s = wall (fun () -> run 1) in
+      let forced_s =
+        wall (fun () -> Par.Pool.with_pool_forced (fun () -> run 1))
+      in
+      let overhead = (forced_s -. seq_s) /. Float.max 1e-9 seq_s in
+      Format.printf "  %-28s seq %7.2f s   jobs=1 pool overhead %+5.1f%%@."
+        name seq_s (100.0 *. overhead);
+      let points =
+        List.init max_jobs (fun i ->
+          let j = i + 1 in
+          let w = if j = 1 then forced_s else wall (fun () -> run j) in
+          let speedup = seq_s /. Float.max 1e-9 w in
+          Format.printf "  %-28s jobs %2d  %7.2f s   speedup %.2fx@." name j w
+            speedup;
+          Obs.Json.Obj
+            [
+              ("jobs", Obs.Json.Num (float_of_int j));
+              ("wall_s", Obs.Json.Num w);
+              ("speedup", Obs.Json.Num speedup);
+            ])
+      in
+      scaling_records :=
+        Obs.Json.Obj
+          [
+            ("name", Obs.Json.Str name);
+            ("seq_s", Obs.Json.Num seq_s);
+            ("jobs1_pool_overhead_frac", Obs.Json.Num overhead);
+            ("points", Obs.Json.Arr points);
+          ]
+        :: !scaling_records)
+    workloads
+
+let scaling_doc () =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.Str "losac.bench.scaling/1");
+      (* machine-shape stamp: [--check] refuses cross-machine comparison *)
+      ("cores",
+       Obs.Json.Num (float_of_int (Domain.recommended_domain_count ())));
+      ("jobs", Obs.Json.Num (float_of_int !scaling_jobs_swept));
+      ("experiments", Obs.Json.Arr (List.rev !scaling_records));
+    ]
 
 (* folded-cascode OTA testbench shared by [timing] and [kernels]: the
    sized amplifier under its intended bias, with supply and differential
@@ -1172,6 +1279,7 @@ let experiments =
     ("ablation", ablation);
     ("statistics", statistics);
     ("timing", timing);
+    ("scaling", scaling);
     ("cache", cache_bench);
     ("kernels", kernels);
     ("sparse", sparse_bench);
@@ -1188,6 +1296,7 @@ let timing_doc () =
     ]
 
 let write_timing_json path = write_doc ~what:"timing" (timing_doc ()) path
+let write_scaling_json path = write_doc ~what:"scaling" (scaling_doc ()) path
 
 (* --- perf-regression gate --------------------------------------------- *)
 
@@ -1201,6 +1310,7 @@ let run_check ~baselines ~report_only =
   let candidates =
     [
       ("timing", (!timing_records <> []), timing_doc);
+      ("scaling", (!scaling_records <> []), scaling_doc);
       ("cache", (!cache_records <> []), cache_doc);
       ("kernels", (!kernel_records <> []), kernels_doc);
       ("sparse", (!sparse_records <> []), sparse_doc);
@@ -1240,6 +1350,7 @@ let () =
   let names = ref [] in
   let json = ref None and cache_json = ref None in
   let kernels_json = ref None and sparse_json = ref None in
+  let scaling_json = ref None in
   let check = ref false and check_report = ref false in
   let baselines = ref "bench/baselines" in
   let rec split = function
@@ -1248,6 +1359,7 @@ let () =
     | "--cache-json" :: path :: rest -> cache_json := Some path; split rest
     | "--kernels-json" :: path :: rest -> kernels_json := Some path; split rest
     | "--sparse-json" :: path :: rest -> sparse_json := Some path; split rest
+    | "--scaling-json" :: path :: rest -> scaling_json := Some path; split rest
     | "--baselines" :: dir :: rest -> baselines := dir; split rest
     | "--check" :: rest -> check := true; split rest
     | "--check-report" :: rest -> check := true; check_report := true; split rest
@@ -1259,10 +1371,10 @@ let () =
          exit 2);
       split rest
     | [ ("--json" | "--cache-json" | "--kernels-json" | "--sparse-json"
-        | "--backend" | "--baselines") ] ->
+        | "--scaling-json" | "--backend" | "--baselines") ] ->
       prerr_endline
-        "bench: --json/--cache-json/--kernels-json/--sparse-json/--backend/\
-         --baselines need an argument";
+        "bench: --json/--cache-json/--kernels-json/--sparse-json/\
+         --scaling-json/--backend/--baselines need an argument";
       exit 2
     | name :: rest -> names := name :: !names; split rest
   in
@@ -1279,6 +1391,7 @@ let () =
           (String.concat " " (List.map fst experiments)))
     requested;
   Option.iter write_timing_json !json;
+  Option.iter write_scaling_json !scaling_json;
   Option.iter write_cache_json !cache_json;
   Option.iter write_kernels_json !kernels_json;
   Option.iter write_sparse_json !sparse_json;

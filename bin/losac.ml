@@ -50,6 +50,15 @@ let jobs_term =
        & opt (some int) None
        & info [ "j"; "jobs" ] ~docv:"N" ~env:(Cmd.Env.info "LOSAC_JOBS") ~doc)
 
+let chunk_term =
+  let doc =
+    "Items per pool chunk for parallel sections.  Defaults to a \
+     cost-aware adaptive size; pinning it makes chunk boundaries (and \
+     hence per-chunk telemetry) reproducible across runs.  Results are \
+     bit-identical whatever the value."
+  in
+  Arg.(value & opt (some int) None & info [ "chunk" ] ~docv:"N" ~doc)
+
 (* --- solver backend --------------------------------------------------- *)
 
 let backend_conv =
@@ -117,15 +126,20 @@ let stats_view () =
   (match Par.Pool.worker_stats () with
    | [] -> ()
    | workers ->
-     Format.printf "  %-8s %-7s %8s %12s %12s %6s@." "domain" "role" "tasks"
-       "busy ms" "wait ms" "busy%";
+     Format.printf "  %-8s %-7s %8s %12s %12s %6s %7s %8s %6s %9s@." "domain"
+       "role" "tasks" "busy ms" "wait ms" "busy%" "steals" "attempts" "spins"
+       "warmup ms";
      List.iter
        (fun (w : Par.Pool.worker_stat) ->
-         Format.printf "  %-8d %-7s %8d %12.3f %12.3f %5.1f%%@."
+         Format.printf
+           "  %-8d %-7s %8d %12.3f %12.3f %5.1f%% %7d %8d %6d %9.3f@."
            w.Par.Pool.ws_domain w.Par.Pool.ws_role w.Par.Pool.ws_tasks
            (w.Par.Pool.ws_busy_us /. 1e3)
            (w.Par.Pool.ws_wait_us /. 1e3)
-           (100.0 *. w.Par.Pool.ws_busy_frac))
+           (100.0 *. w.Par.Pool.ws_busy_frac)
+           w.Par.Pool.ws_steals w.Par.Pool.ws_steal_attempts
+           w.Par.Pool.ws_steal_spins
+           (w.Par.Pool.ws_warmup_us /. 1e3))
        workers);
   let sim_hists =
     List.filter
@@ -157,6 +171,7 @@ type telemetry = {
   openmetrics : bool;
   prof_folded : string option;
   jobs : int option;
+  chunk : int option;
   cache : bool option;
   backend : Sim.Stamps.backend option;
 }
@@ -205,7 +220,7 @@ let telemetry_term =
                    line) to $(docv); feed it to flamegraph.pl or \
                    speedscope.  Implies telemetry collection.")
   in
-  let setup trace metrics verbose jobs cache backend stats openmetrics
+  let setup trace metrics verbose jobs chunk cache backend stats openmetrics
       prof_folded =
     Fmt_tty.setup_std_outputs ();
     Logs.set_reporter (Logs_fmt.reporter ());
@@ -219,16 +234,17 @@ let telemetry_term =
     Option.iter Par.Pool.set_default_jobs jobs;
     Option.iter Cache.Config.set_enabled cache;
     Option.iter Sim.Stamps.set_default_backend backend;
-    { trace; metrics; stats; openmetrics; prof_folded; jobs; cache; backend }
+    { trace; metrics; stats; openmetrics; prof_folded; jobs; chunk; cache;
+      backend }
   in
-  Term.(const setup $ trace $ metrics $ verbose $ jobs_term $ cache_term
-        $ backend_term $ stats $ openmetrics $ prof_folded)
+  Term.(const setup $ trace $ metrics $ verbose $ jobs_term $ chunk_term
+        $ cache_term $ backend_term $ stats $ openmetrics $ prof_folded)
 
 (* The execution context handed to the analyses: one bundle instead of
    loose ?jobs/?cache/?telemetry arguments (see Core.Ctx). *)
 let ctx_of ?label tele proc =
-  Core.Ctx.make ?jobs:tele.jobs ?cache:tele.cache ?backend:tele.backend ?label
-    proc
+  Core.Ctx.make ?jobs:tele.jobs ?chunk:tele.chunk ?cache:tele.cache
+    ?backend:tele.backend ?label proc
 
 (* Emit whatever telemetry the flags requested, after the command ran. *)
 let telemetry_finish tele =

@@ -237,5 +237,9 @@ let run_all ?options ?ctx ?jobs ?proc ~kind ~spec () =
   (* the four Table-1 cases are independent end-to-end syntheses *)
   let proc = Ctx.proc ?override:proc ctx in
   let jobs = Ctx.jobs ?override:jobs ctx in
+  let chunk = Ctx.chunk ctx in
   Ctx.run ctx @@ fun () ->
-  Pool.map ?jobs (fun case -> run ?options ~proc ~kind ~spec case) all_cases
+  (* each case is an entire synthesis flow: expensive — one per chunk *)
+  Pool.map ?jobs ?chunk ~cost:Pool.Expensive
+    (fun case -> run ?options ~proc ~kind ~spec case)
+    all_cases

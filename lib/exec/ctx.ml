@@ -1,19 +1,25 @@
 type t = {
   proc : Technology.Process.t;
   jobs : int option;
+  chunk : int option;
   cache : bool option;
   telemetry : bool option;
   backend : Sim.Stamps.backend option;
   label : string option;
 }
 
-let make ?jobs ?cache ?telemetry ?backend ?label proc =
-  { proc; jobs; cache; telemetry; backend; label }
+let make ?jobs ?chunk ?cache ?telemetry ?backend ?label proc =
+  { proc; jobs; chunk; cache; telemetry; backend; label }
 
 let jobs ?override ctx =
   match override with
   | Some _ -> override
   | None -> ( match ctx with Some c -> c.jobs | None -> None)
+
+let chunk ?override ctx =
+  match override with
+  | Some _ -> override
+  | None -> ( match ctx with Some c -> c.chunk | None -> None)
 
 let proc ?override ctx =
   match (override, ctx) with

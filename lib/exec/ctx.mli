@@ -19,6 +19,10 @@ type t = {
   proc : Technology.Process.t;  (** technology the analysis runs on *)
   jobs : int option;
       (** domain-pool width; [None] = {!Par.Pool.default_jobs} *)
+  chunk : int option;
+      (** pool chunk size; [None] = the pool's cost-aware adaptive
+          choice.  Pinning it makes chunk boundaries (and hence
+          telemetry) reproducible across runs. *)
   cache : bool option;
       (** force memo caches on/off; [None] = leave {!Cache.Config} alone *)
   telemetry : bool option;
@@ -33,7 +37,7 @@ type t = {
 }
 
 val make :
-  ?jobs:int -> ?cache:bool -> ?telemetry:bool ->
+  ?jobs:int -> ?chunk:int -> ?cache:bool -> ?telemetry:bool ->
   ?backend:Sim.Stamps.backend ->
   ?label:string ->
   Technology.Process.t -> t
@@ -43,6 +47,10 @@ val jobs : ?override:int -> t option -> int option
 (** Resolve the pool width to pass to {!Par.Pool} combinators: an
     explicit [?jobs] argument wins over [ctx.jobs]; [None] defers to the
     pool's own default. *)
+
+val chunk : ?override:int -> t option -> int option
+(** Resolve the pool chunk size the same way; [None] defers to the
+    pool's adaptive planner. *)
 
 val proc : ?override:Technology.Process.t -> t option -> Technology.Process.t
 (** Resolve the process: an explicit [~proc] argument wins over

@@ -1,0 +1,93 @@
+(* Chase–Lev work-stealing deque over OCaml [Atomic.t] cells.
+
+   Indices grow monotonically: [top] is the steal end, [bottom] the
+   owner end; the live window is [top, bottom).  Elements live in a
+   circular buffer indexed by [i land (capacity - 1)].  Every shared
+   location — [top], [bottom], the buffer pointer and each slot — is an
+   [Atomic.t], which on OCaml's memory model makes all accesses
+   sequentially consistent: strictly stronger than the C11
+   acquire/release protocol of the original algorithm, hence safe.
+
+   Why a stale buffer read is still correct: [grow] (owner-only) copies
+   the live window into a larger array at the same logical indices and
+   publishes it with one atomic store.  A thief that read the old buffer
+   for logical index [t] sees the element that was at [t] when the
+   window contained it — old slots are only ever overwritten by a push
+   whose index wrapped around, and the capacity check prevents a wrap
+   while [t] is still inside the window.  The subsequent CAS on [top]
+   validates that the element was still unclaimed. *)
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  buf : 'a option Atomic.t array Atomic.t;
+}
+
+let initial_capacity = 64 (* power of two *)
+
+let make_buf n = Array.init n (fun _ -> Atomic.make None)
+
+let create () =
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make (make_buf initial_capacity);
+  }
+
+(* Owner-only: double the buffer, copying the live window [t, b) to the
+   same logical indices. *)
+let grow d ~t ~b old =
+  let n = Array.length old in
+  let fresh = make_buf (2 * n) in
+  for i = t to b - 1 do
+    Atomic.set fresh.(i land ((2 * n) - 1)) (Atomic.get old.(i land (n - 1)))
+  done;
+  Atomic.set d.buf fresh;
+  fresh
+
+let push d x =
+  let b = Atomic.get d.bottom in
+  let t = Atomic.get d.top in
+  let buf = Atomic.get d.buf in
+  let buf =
+    if b - t >= Array.length buf then grow d ~t ~b buf else buf
+  in
+  Atomic.set buf.(b land (Array.length buf - 1)) (Some x);
+  Atomic.set d.bottom (b + 1)
+
+let pop d =
+  let b = Atomic.get d.bottom - 1 in
+  Atomic.set d.bottom b;
+  let t = Atomic.get d.top in
+  if b < t then begin
+    (* empty: restore the canonical empty state *)
+    Atomic.set d.bottom t;
+    None
+  end
+  else begin
+    let buf = Atomic.get d.buf in
+    let x = Atomic.get buf.(b land (Array.length buf - 1)) in
+    if b > t then x
+    else begin
+      (* last element: race against thieves for it *)
+      let won = Atomic.compare_and_set d.top t (t + 1) in
+      Atomic.set d.bottom (t + 1);
+      if won then x else None
+    end
+  end
+
+let steal d =
+  let t = Atomic.get d.top in
+  let b = Atomic.get d.bottom in
+  if t >= b then `Empty
+  else begin
+    let buf = Atomic.get d.buf in
+    let x = Atomic.get buf.(t land (Array.length buf - 1)) in
+    if Atomic.compare_and_set d.top t (t + 1) then
+      match x with Some v -> `Stolen v | None -> `Empty
+    else `Lost
+  end
+
+let size d =
+  let b = Atomic.get d.bottom and t = Atomic.get d.top in
+  if b > t then b - t else 0

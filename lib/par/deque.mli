@@ -1,0 +1,32 @@
+(** Chase–Lev-style work-stealing deque.
+
+    Single-owner double-ended queue: the owning domain pushes and pops
+    at the bottom without contention in the common case; any other
+    domain steals from the top with one compare-and-set.  All shared
+    cells are [Atomic.t], so the implementation is data-race free under
+    the OCaml memory model (no relaxed orderings are used — correctness
+    over the last few nanoseconds).
+
+    The buffer grows geometrically (owner-only) and never shrinks; a
+    thief holding a stale buffer still reads the right element because
+    growth copies the live window to the same logical indices and old
+    slots are never overwritten before the window moves past them. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Owner only. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: LIFO end.  [None] when empty (or when the last element
+    was lost to a concurrent thief). *)
+
+val steal : 'a t -> [ `Stolen of 'a | `Empty | `Lost ]
+(** Any domain: FIFO end.  [`Lost] means the compare-and-set failed
+    against a concurrent pop/steal — the caller may retry or move to the
+    next victim (and should count the failed attempt). *)
+
+val size : 'a t -> int
+(** Racy snapshot, never negative.  Diagnostic only. *)

@@ -98,6 +98,7 @@ let run ?(seed = 42) ?(n = 50) ?ctx ?jobs ?proc ~kind ~spec amp =
   assert (n > 0);
   let proc = Exec.Ctx.proc ?override:proc ctx in
   let jobs = Exec.Ctx.jobs ?override:jobs ctx in
+  let chunk = Exec.Ctx.chunk ctx in
   Exec.Ctx.run ctx @@ fun () ->
   (* Sample [i] draws from SplitMix64 stream [(seed, i)], so its value
      depends only on the run seed and its own index — never on which
@@ -125,7 +126,11 @@ let run ?(seed = 42) ?(n = 50) ?ctx ?jobs ?proc ~kind ~spec amp =
       ~args:[ ("n", Obs.Trace.Int n) ]
       "montecarlo.samples"
       (fun () ->
-        List.filter_map Fun.id (Par.Pool.map ?jobs one (List.init n Fun.id)))
+        List.filter_map Fun.id
+          (* a sample is one small-signal solve: cheap — let the pool
+             batch many per chunk *)
+          (Par.Pool.map ?jobs ?chunk ~cost:Par.Pool.Cheap one
+             (List.init n Fun.id)))
   in
   if samples = [] then failwith "Montecarlo.run: no sample converged";
   let finite = List.filter (fun v -> not (Float.is_nan v)) in

@@ -58,6 +58,7 @@ let point_memo :
 let run ?corners ?temperatures ?ctx ?jobs ?rebias ?proc ~kind ~spec amp =
   let proc = Exec.Ctx.proc ?override:proc ctx in
   let jobs = Exec.Ctx.jobs ?override:jobs ctx in
+  let chunk = Exec.Ctx.chunk ctx in
   Exec.Ctx.run ctx @@ fun () ->
   let grid = C.sweep_grid ?corners ?temperatures () in
   let measure (corner, temperature) =
@@ -76,7 +77,10 @@ let run ?corners ?temperatures ?ctx ?jobs ?rebias ?proc ~kind ~spec amp =
     Obs.Trace.with_span ~cat:"comdiac"
       ~args:[ ("points", Obs.Trace.Int (List.length grid)) ]
       "robustness.sweep"
-      (fun () -> Par.Pool.map ?jobs measure grid)
+      (fun () ->
+        (* a corner point re-corners and re-simulates a whole design:
+           moderate cost, a few points per chunk at most *)
+        Par.Pool.map ?jobs ?chunk ~cost:Par.Pool.Moderate measure grid)
   in
   let biased = List.filter (fun p -> p.biased) points in
   let fold f init xs = List.fold_left f init xs in

@@ -181,6 +181,36 @@ let test_alloc_slack () =
   | Gate.Regression _ -> ()
   | v -> Alcotest.failf "expected alloc regression, got %a" Gate.pp_verdict v
 
+let test_overhead_band () =
+  (* jobs=1 pool overhead is a near-zero fraction: judged by an absolute
+     band (default ±5 points), never a relative one *)
+  let doc frac =
+    J.Obj
+      [
+        ("schema", J.Str "losac.bench.scaling/1");
+        ("jobs1_pool_overhead_frac", J.Num frac);
+      ]
+  in
+  (* 1% -> 4%: a 4x relative jump but inside the absolute band *)
+  (match check ~baseline:(doc 0.01) ~fresh:(doc 0.04) with
+   | Gate.Pass -> ()
+   | v -> Alcotest.failf "expected pass within band, got %a" Gate.pp_verdict v);
+  (* getting faster is never a regression *)
+  (match check ~baseline:(doc 0.03) ~fresh:(doc (-0.02)) with
+   | Gate.Pass -> ()
+   | v -> Alcotest.failf "expected pass on improvement, got %a"
+            Gate.pp_verdict v);
+  (* a lucky negative baseline is floored at zero: +4% must still pass *)
+  (match check ~baseline:(doc (-0.08)) ~fresh:(doc 0.04) with
+   | Gate.Pass -> ()
+   | v -> Alcotest.failf "expected pass over floored baseline, got %a"
+            Gate.pp_verdict v);
+  match check ~baseline:(doc 0.01) ~fresh:(doc 0.10) with
+  | Gate.Regression msgs ->
+    Alcotest.(check bool) "names the overhead metric" true (msgs <> [])
+  | v -> Alcotest.failf "expected overhead regression, got %a"
+           Gate.pp_verdict v
+
 let suite =
   ( "gate",
     [
@@ -194,4 +224,5 @@ let suite =
       case "schema change is refused" test_schema_change_refused;
       case "missing baseline file is refused" test_missing_baseline_file_refused;
       case "allocation slack" test_alloc_slack;
+      case "overhead absolute band" test_overhead_band;
     ] )

@@ -120,9 +120,11 @@ let test_pool_telemetry () =
     Obs.Metrics.reset ())
 
 let test_pool_accounting () =
-  (* utilization accounts work with telemetry off — they are always on *)
+  (* utilization accounts work with telemetry off — they are always on;
+     pin the chunk size so the chunk count is exact despite the
+     adaptive planner *)
   Par.Pool.reset_stats ();
-  let _ = Par.Pool.map ~jobs:4 (fun x -> x * x) (List.init 64 Fun.id) in
+  let _ = Par.Pool.map ~jobs:4 ~chunk:16 (fun x -> x * x) (List.init 64 Fun.id) in
   let stats = Par.Pool.worker_stats () in
   Alcotest.(check bool) "at least the calling domain accounted" true
     (stats <> []);
@@ -145,10 +147,67 @@ let test_pool_accounting () =
   Alcotest.(check int) "jobs=1 bypasses accounting" 4
     (List.fold_left (fun acc w -> acc + w.Par.Pool.ws_tasks) 0
        (Par.Pool.worker_stats ()));
+  (* ...unless the pool is forced, which is how benches measure the
+     honest jobs=1 pool overhead *)
+  Par.Pool.reset_stats ();
+  Par.Pool.with_pool_forced (fun () ->
+    ignore (Par.Pool.map ~jobs:1 ~chunk:4 (fun x -> x) (List.init 8 Fun.id)));
+  Alcotest.(check int) "forced pool accounts at jobs=1" 2
+    (List.fold_left (fun acc w -> acc + w.Par.Pool.ws_tasks) 0
+       (Par.Pool.worker_stats ()));
   Par.Pool.reset_stats ();
   Alcotest.(check int) "reset zeroes tasks" 0
     (List.fold_left (fun acc w -> acc + w.Par.Pool.ws_tasks) 0
        (Par.Pool.worker_stats ()))
+
+(* --- queue-wait accounting ------------------------------------------------ *)
+
+(* Regression: queue wait must be stamped at the actual deque push, not
+   at batch-build time.  Six 25 ms chunks drained one after another by a
+   single forced-pool domain would charge the last chunk ~125 ms under
+   batch-time stamping; push-time stamping charges each chunk at most
+   ~one predecessor's run time. *)
+let test_queue_wait_stamped_at_push () =
+  Obs.Config.with_enabled true (fun () ->
+    Obs.Metrics.reset ();
+    Par.Pool.with_pool_forced (fun () ->
+      Par.Pool.parallel_for ~jobs:1 ~chunk:1 6 (fun _ -> Unix.sleepf 0.025));
+    (match Obs.Metrics.hist_stats "par.queue_wait_us" with
+     | None -> Alcotest.fail "par.queue_wait_us missing"
+     | Some s ->
+       Alcotest.(check bool) "wait non-negative" true (s.Obs.Metrics.min >= 0.0);
+       Alcotest.(check bool) "wait reflects deque time, not batch age" true
+         (s.Obs.Metrics.max < 70_000.0));
+    Obs.Metrics.reset ())
+
+(* --- stealing ------------------------------------------------------------- *)
+
+let test_steal_stats_and_warmup () =
+  Par.Pool.reset_stats ();
+  let xs = List.init 8 Fun.id in
+  Par.Pool.set_stall_hook (Some (fun _ -> Unix.sleepf 0.01));
+  Fun.protect ~finally:(fun () -> Par.Pool.set_stall_hook None) (fun () ->
+    Alcotest.(check (list int))
+      "result correct under stalls"
+      (List.map (fun x -> x * 3) xs)
+      (Par.Pool.map ~jobs:4 ~chunk:1 (fun x -> x * 3) xs));
+  let stats = Par.Pool.worker_stats () in
+  let sum f = List.fold_left (fun acc w -> acc + f w) 0 stats in
+  let steals = sum (fun w -> w.Par.Pool.ws_steals) in
+  let attempts = sum (fun w -> w.Par.Pool.ws_steal_attempts) in
+  Alcotest.(check bool) "stalled chunks got stolen" true (steals >= 1);
+  Alcotest.(check bool) "attempts >= steals" true (attempts >= steals);
+  Alcotest.(check bool) "a worker domain exists" true
+    (List.exists (fun w -> w.Par.Pool.ws_role = "worker") stats);
+  List.iter
+    (fun (w : Par.Pool.worker_stat) ->
+      if w.Par.Pool.ws_role = "worker" then
+        Alcotest.(check bool)
+          (Printf.sprintf "domain %d warm-up recorded" w.Par.Pool.ws_domain)
+          true
+          (w.Par.Pool.ws_warmup_us >= 0.0))
+    stats;
+  Par.Pool.reset_stats ()
 
 (* --- qcheck: chunked parallel_for covers every index exactly once --------- *)
 
@@ -162,6 +221,45 @@ let prop_parallel_for_exact_cover =
       Par.Pool.parallel_for ~jobs ~chunk n (fun i -> hits.(i) <- hits.(i) + 1);
       Array.for_all (fun c -> c = 1) (Array.sub hits 0 n))
 
+(* --- qcheck: results are schedule independent ----------------------------- *)
+
+(* map / map_reduce / parallel_for must be bit-identical across jobs ∈
+   {1, 2, 8}, with and without stealing, and with random worker stalls
+   injected to force steals mid-batch.  map produces floats (bit
+   compared); map_reduce uses ints so associativity holds exactly. *)
+let prop_schedule_independent =
+  QCheck.Test.make ~count:12
+    ~name:"map/map_reduce/parallel_for bit-identical across jobs and stealing"
+    QCheck.(triple (int_range 1 120) bool (int_range 0 999))
+    (fun (n, steal, seed) ->
+      let xs = List.init n Fun.id in
+      let f x = Par.Splitmix.float (Par.Splitmix.create ~stream:x seed) in
+      let map_exp = List.map f xs in
+      let mr_exp = List.fold_left (fun acc x -> acc + (x * x) - x) 0 xs in
+      let for_exp = Array.init n (fun i -> f (i + n)) in
+      let stall_on = seed land 7 in
+      Par.Pool.set_stealing steal;
+      Par.Pool.set_stall_hook
+        (Some (fun ci -> if ci land 7 = stall_on then Unix.sleepf 0.002));
+      Fun.protect
+        ~finally:(fun () ->
+          Par.Pool.set_stall_hook None;
+          Par.Pool.set_stealing true)
+        (fun () ->
+          List.for_all
+            (fun jobs ->
+              let got = Par.Pool.map ~jobs f xs in
+              let mr =
+                Par.Pool.map_reduce ~jobs
+                  ~map:(fun x -> (x * x) - x)
+                  ~reduce:( + ) 0 xs
+              in
+              let arr = Array.make n 0.0 in
+              Par.Pool.parallel_for ~jobs n (fun i -> arr.(i) <- f (i + n));
+              compare got map_exp = 0 && mr = mr_exp
+              && compare arr for_exp = 0)
+            [ 1; 2; 8 ]))
+
 let suite =
   ( "par",
     [
@@ -173,5 +271,8 @@ let suite =
       case "splitmix streams are independent" test_splitmix_streams;
       case "pool telemetry" test_pool_telemetry;
       case "pool utilization accounting" test_pool_accounting;
+      case "queue wait stamped at deque push" test_queue_wait_stamped_at_push;
+      case "stealing statistics and warm-up" test_steal_stats_and_warmup;
     ]
-    @ qcheck_cases [ prop_parallel_for_exact_cover ] )
+    @ qcheck_cases
+        [ prop_parallel_for_exact_cover; prop_schedule_independent ] )
