@@ -4,7 +4,7 @@
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe table1     -- one experiment
      experiments: table1 fig1 fig2 fig3 fig4 fig5 ablation statistics timing
-                  cache kernels sparse scaling
+                  cache kernels sparse scaling serve
    [--backend NAME] selects the default linear-solver backend for every
    analysis (kernel | reference | sparse | sparse-natural); [sparse]
    compares dense vs CSR refactorization and dumps [--sparse-json FILE]
@@ -1268,6 +1268,161 @@ let sparse_doc () =
 
 let write_sparse_json path = write_doc ~what:"sparse" (sparse_doc ()) path
 
+(* ------------------------------------------------------------------ *)
+(* Serve - job-daemon load test                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* top-level records dumped by [--serve-json FILE] (CI keeps it as
+   BENCH_server.json) *)
+let serve_records : Obs.Json.t list ref = ref []
+let serve_clients = ref 8
+let serve_requests = ref 1000
+let serve_socket : string option ref = ref None
+
+(* A realistic request mix: mostly cheap probes, a sizing-heavy Monte
+   Carlo or corner job every 16th request.  Seven distinct MC seeds so
+   the shared comdiac.mc_sample memo warms up across *different*
+   clients — the whole point of a long-running daemon. *)
+let serve_mixed_workload i =
+  match i mod 32 with
+  | 0 -> Serve.Protocol.Mc { n = 2; seed = i mod 7 }
+  | 16 -> Serve.Protocol.Corners
+  | 8 | 24 -> Serve.Protocol.Sleep { seconds = 0.001 }
+  | k when k mod 3 = 0 -> Serve.Protocol.Ping
+  | k when k mod 3 = 1 -> Serve.Protocol.Tech
+  | _ -> Serve.Protocol.Stats
+
+let serve_quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+
+let serve_bench () =
+  section "Serve - daemon load test (losac.job/1 over a Unix socket)";
+  let in_process = !serve_socket = None in
+  let path =
+    match !serve_socket with
+    | Some p -> p
+    | None ->
+      let p = Filename.temp_file "losac-bench" ".sock" in
+      (try Unix.unlink p with Unix.Unix_error _ -> ());
+      p
+  in
+  let server =
+    if in_process then
+      Some
+        (Serve.Server.start
+           { Serve.Server.default_config with
+             socket_path = Some path;
+             queue_limit = 4096 })
+    else None
+  in
+  (* Cold vs warm flow job: the memo caches are process-wide in the
+     daemon, so the first client pays the synthesis and every later
+     request is answered from the warm flow.sizing / parasitic_plan /
+     mc_sample entries — with byte-identical canonical responses. *)
+  if in_process then begin
+    Cache.Memo.clear_all ();
+    let c = Serve.Client.connect path in
+    let time req =
+      let t0 = Obs.Clock.monotonic_s () in
+      let r = Serve.Client.call c req in
+      (r, Obs.Clock.monotonic_s () -. t0)
+    in
+    (* same id both times: the id echoes into the response, and the
+       point is that cold and warm canonical bytes are equal *)
+    let req =
+      Serve.Protocol.request ~id:1
+        (Serve.Protocol.Synth { case = Core.Flow.Case4 })
+    in
+    let r1, cold_s = time req in
+    let r2, warm_s = time req in
+    Serve.Client.close c;
+    let identical =
+      String.equal (Serve.Protocol.canonical r1) (Serve.Protocol.canonical r2)
+    in
+    let speedup = cold_s /. warm_s in
+    Format.printf
+      "flow case-4 job: cold %.2f s, warm %.4f s (%.0fx; responses \
+       byte-identical: %b)@."
+      cold_s warm_s speedup identical;
+    serve_records :=
+      Obs.Json.Obj
+        [
+          ("experiment", Obs.Json.Str "flow_warm");
+          ("cold_s", Obs.Json.Num cold_s);
+          ("warm_s", Obs.Json.Num warm_s);
+          ("speedup", Obs.Json.Num speedup);
+          ("identical", Obs.Json.Bool identical);
+        ]
+      :: !serve_records
+  end;
+  let clients = max 1 !serve_clients in
+  let per_client = max 1 (!serve_requests / clients) in
+  let latencies = Array.make clients [||] in
+  let failures = Atomic.make 0 in
+  let t0 = Obs.Clock.monotonic_s () in
+  let threads =
+    List.init clients (fun k ->
+      Thread.create
+        (fun () ->
+          let c = Serve.Client.connect path in
+          let lats = Array.make per_client nan in
+          for j = 0 to per_client - 1 do
+            let i = (k * per_client) + j in
+            let req = Serve.Protocol.request ~id:i (serve_mixed_workload i) in
+            let s0 = Obs.Clock.monotonic_s () in
+            (match (Serve.Client.call c req).Serve.Protocol.status with
+             | Serve.Protocol.Done -> ()
+             | _ -> Atomic.incr failures);
+            lats.(j) <- Obs.Clock.monotonic_s () -. s0
+          done;
+          Serve.Client.close c;
+          latencies.(k) <- lats)
+        ())
+  in
+  List.iter Thread.join threads;
+  let wall_s = Obs.Clock.monotonic_s () -. t0 in
+  (match server with
+   | Some s ->
+     Serve.Server.stop s;
+     (try Unix.unlink path with Unix.Unix_error _ -> ())
+   | None -> ());
+  let all = Array.concat (Array.to_list latencies) in
+  Array.sort compare all;
+  let total = Array.length all in
+  let rps = float_of_int total /. wall_s in
+  let ms q = 1e3 *. serve_quantile all q in
+  Format.printf
+    "%d client(s) x %d request(s): %.1f req/s over %.2f s; latency p50 \
+     %.2f ms  p90 %.2f ms  p99 %.2f ms  max %.2f ms; %d failure(s)@."
+    clients per_client rps wall_s (ms 0.5) (ms 0.9) (ms 0.99) (ms 1.0)
+    (Atomic.get failures);
+  serve_records :=
+    Obs.Json.Obj
+      [
+        ("experiment", Obs.Json.Str "mixed_load");
+        ("clients", Obs.Json.Num (float_of_int clients));
+        ("requests", Obs.Json.Num (float_of_int total));
+        ("wall_s", Obs.Json.Num wall_s);
+        ("throughput_rps", Obs.Json.Num rps);
+        ("p50_ms", Obs.Json.Num (ms 0.5));
+        ("p90_ms", Obs.Json.Num (ms 0.9));
+        ("p99_ms", Obs.Json.Num (ms 0.99));
+        ("max_ms", Obs.Json.Num (ms 1.0));
+        ("failures", Obs.Json.Num (float_of_int (Atomic.get failures)));
+      ]
+    :: !serve_records
+
+let serve_doc () =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.Str "losac.bench.serve/1");
+      ("experiments", Obs.Json.Arr (List.rev !serve_records));
+    ]
+
+let write_serve_json path = write_doc ~what:"serve" (serve_doc ()) path
+
 let experiments =
   [
     ("table1", table1);
@@ -1283,6 +1438,7 @@ let experiments =
     ("cache", cache_bench);
     ("kernels", kernels);
     ("sparse", sparse_bench);
+    ("serve", serve_bench);
   ]
 
 let timing_doc () =
@@ -1350,7 +1506,7 @@ let () =
   let names = ref [] in
   let json = ref None and cache_json = ref None in
   let kernels_json = ref None and sparse_json = ref None in
-  let scaling_json = ref None in
+  let scaling_json = ref None and serve_json = ref None in
   let check = ref false and check_report = ref false in
   let baselines = ref "bench/baselines" in
   let rec split = function
@@ -1360,6 +1516,12 @@ let () =
     | "--kernels-json" :: path :: rest -> kernels_json := Some path; split rest
     | "--sparse-json" :: path :: rest -> sparse_json := Some path; split rest
     | "--scaling-json" :: path :: rest -> scaling_json := Some path; split rest
+    | "--serve-json" :: path :: rest -> serve_json := Some path; split rest
+    | "--serve-socket" :: path :: rest -> serve_socket := Some path; split rest
+    | "--serve-clients" :: n :: rest ->
+      serve_clients := max 1 (int_of_string n); split rest
+    | "--serve-requests" :: n :: rest ->
+      serve_requests := max 1 (int_of_string n); split rest
     | "--baselines" :: dir :: rest -> baselines := dir; split rest
     | "--check" :: rest -> check := true; split rest
     | "--check-report" :: rest -> check := true; check_report := true; split rest
@@ -1371,10 +1533,13 @@ let () =
          exit 2);
       split rest
     | [ ("--json" | "--cache-json" | "--kernels-json" | "--sparse-json"
-        | "--scaling-json" | "--backend" | "--baselines") ] ->
+        | "--scaling-json" | "--serve-json" | "--serve-socket"
+        | "--serve-clients" | "--serve-requests" | "--backend"
+        | "--baselines") ] ->
       prerr_endline
         "bench: --json/--cache-json/--kernels-json/--sparse-json/\
-         --scaling-json/--backend/--baselines need an argument";
+         --scaling-json/--serve-json/--serve-socket/--serve-clients/\
+         --serve-requests/--backend/--baselines need an argument";
       exit 2
     | name :: rest -> names := name :: !names; split rest
   in
@@ -1395,5 +1560,6 @@ let () =
   Option.iter write_cache_json !cache_json;
   Option.iter write_kernels_json !kernels_json;
   Option.iter write_sparse_json !sparse_json;
+  Option.iter write_serve_json !serve_json;
   if !check then
     exit (run_check ~baselines:!baselines ~report_only:!check_report)

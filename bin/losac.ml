@@ -124,7 +124,7 @@ let stats_view () =
   Format.printf "pool: %d worker domain(s), queue depth %d@."
     (Par.Pool.num_workers ()) (Par.Pool.queue_depth ());
   (match Par.Pool.worker_stats () with
-   | [] -> ()
+   | [] -> Format.printf "  (pool never started -- no parallel section ran)@."
    | workers ->
      Format.printf "  %-8s %-7s %8s %12s %12s %6s %7s %8s %6s %9s@." "domain"
        "role" "tasks" "busy ms" "wait ms" "busy%" "steals" "attempts" "spins"
@@ -286,6 +286,39 @@ let kind_arg =
   Arg.(value & opt kind_conv Device.Model.Bsim_lite
        & info [ "model" ] ~docv:"KIND" ~doc:"Transistor model (level1 or bsim-lite).")
 
+(* --- output format ---------------------------------------------------- *)
+
+type format = Text | Json
+
+let format_term =
+  let doc =
+    "Output format: $(b,text) (human-readable, the default) or $(b,json) \
+     (the canonical losac.job/1 response document — byte-identical to \
+     the same job answered by $(b,losac serve), which is asserted by the \
+     test suite)."
+  in
+  Arg.(value
+       & opt (enum [ ("text", Text); ("json", Json) ]) Text
+       & info [ "format" ] ~docv:"FMT" ~doc)
+
+(* The one-shot commands and the daemon share the losac.job/1
+   request/response structs: in json mode a subcommand builds the same
+   Protocol.request a client would send and answers it with the same
+   Api.execute the server's executor thread calls. *)
+let request_of ?timeout_s ?telemetry tele proc kind spec workload =
+  Serve.Protocol.request ?jobs:tele.jobs ?chunk:tele.chunk ?cache:tele.cache
+    ?backend:tele.backend ?timeout_s ?telemetry
+    ~proc:proc.Technology.Process.name ~kind ~spec workload
+
+let emit_json tele req =
+  let r = Serve.Api.execute req in
+  print_string (Serve.Protocol.canonical r);
+  print_newline ();
+  telemetry_finish tele;
+  match r.Serve.Protocol.status with
+  | Serve.Protocol.Done -> ()
+  | _ -> exit 1
+
 let spec_term =
   let gbw =
     Arg.(value & opt float 65.0
@@ -344,15 +377,21 @@ let size_cmd =
         Format.printf "%a@." Comdiac.Simple_ota.pp_design d)
     | other -> Format.printf "unknown topology %s@." other
   in
-  let run tele proc kind spec topology =
-    run proc kind spec topology;
-    telemetry_finish tele
+  let run tele format proc kind spec topology =
+    match format with
+    | Json ->
+      emit_json tele
+        (request_of tele proc kind spec (Serve.Protocol.Size { topology }))
+    | Text ->
+      run proc kind spec topology;
+      telemetry_finish tele
   in
   let info =
     Cmd.info "size" ~doc:"Size an op-amp and verify it by simulation."
   in
   Cmd.v info
-    Term.(const run $ telemetry_term $ proc_arg $ kind_arg $ spec_term $ topology)
+    Term.(const run $ telemetry_term $ format_term $ proc_arg $ kind_arg
+          $ spec_term $ topology)
 
 (* --- synth ----------------------------------------------------------- *)
 
@@ -373,7 +412,12 @@ let synth_cmd =
          & info [ "case" ] ~docv:"N"
              ~doc:"Parasitic-awareness case (1..4 as in the paper's Table 1).")
   in
-  let run tele proc kind spec case =
+  let run tele format proc kind spec case =
+    match format with
+    | Json ->
+      emit_json tele
+        (request_of tele proc kind spec (Serve.Protocol.Synth { case }))
+    | Text ->
     let r = Core.Flow.run ~ctx:(ctx_of ~label:"synth" tele proc) ~kind ~spec case in
     Format.printf "%s: %s@." (Core.Flow.case_label case)
       (Core.Flow.case_description case);
@@ -395,7 +439,8 @@ let synth_cmd =
             vs extracted performance."
   in
   Cmd.v info
-    Term.(const run $ telemetry_term $ proc_arg $ kind_arg $ spec_term $ case)
+    Term.(const run $ telemetry_term $ format_term $ proc_arg $ kind_arg
+          $ spec_term $ case)
 
 (* --- layout ----------------------------------------------------------- *)
 
@@ -442,7 +487,13 @@ let verify_cmd =
     Arg.(value & opt int 30
          & info [ "samples" ] ~docv:"N" ~doc:"Monte Carlo sample count.")
   in
-  let run tele proc kind spec samples =
+  let run tele format proc kind spec samples =
+    match format with
+    | Json ->
+      emit_json tele
+        (request_of tele proc kind spec
+           (Serve.Protocol.Verify { samples; seed = 42 }))
+    | Text ->
     let ctx = ctx_of ~label:"verify" tele proc in
     let design =
       Comdiac.Folded_cascode.size ~proc ~kind ~spec
@@ -465,7 +516,8 @@ let verify_cmd =
       ~doc:"Statistical (mismatch Monte Carlo) and corner/temperature             verification of the sized amplifier."
   in
   Cmd.v info
-    Term.(const run $ telemetry_term $ proc_arg $ kind_arg $ spec_term $ samples)
+    Term.(const run $ telemetry_term $ format_term $ proc_arg $ kind_arg
+          $ spec_term $ samples)
 
 (* --- stats ----------------------------------------------------------- *)
 
@@ -479,28 +531,38 @@ let stats_cmd =
          & info [ "repeat" ] ~docv:"K"
              ~doc:"Run the workload $(docv) times; from the second \
                    iteration on, the coarse memo caches should answer \
-                   nearly every sample and corner point.")
+                   nearly every sample and corner point.  0 skips the \
+                   workload and just prints the (empty) view.")
   in
-  let run tele proc kind spec samples repeat =
+  let run tele format proc kind spec samples repeat =
     (* the whole point of this subcommand is the observability view, so
        collect telemetry even without an explicit --metrics *)
     Obs.Config.set_enabled true;
     let ctx = ctx_of ~label:"stats" tele proc in
-    let design =
-      Comdiac.Folded_cascode.size ~proc ~kind ~spec
-        ~parasitics:Comdiac.Parasitics.single_fold
-    in
-    let amp = design.Comdiac.Folded_cascode.amp in
-    for i = 1 to max 1 repeat do
-      let t0 = Obs.Clock.monotonic_s () in
-      ignore (Comdiac.Montecarlo.run ~n:samples ~ctx ~kind ~spec amp);
-      ignore (Comdiac.Robustness.run ~ctx ~kind ~spec amp);
-      Format.printf "run %d: monte carlo (n=%d) + corner sweep in %.2f s@."
-        i samples
-        (Obs.Clock.monotonic_s () -. t0)
-    done;
-    stats_view ();
-    telemetry_finish tele
+    (* --repeat 0 skips the demo workload entirely: the view (and the
+       json snapshot) then reports a never-started pool and empty
+       caches, which must render cleanly too. *)
+    if repeat > 0 then begin
+      let design =
+        Comdiac.Folded_cascode.size ~proc ~kind ~spec
+          ~parasitics:Comdiac.Parasitics.single_fold
+      in
+      let amp = design.Comdiac.Folded_cascode.amp in
+      for i = 1 to repeat do
+        let t0 = Obs.Clock.monotonic_s () in
+        ignore (Comdiac.Montecarlo.run ~n:samples ~ctx ~kind ~spec amp);
+        ignore (Comdiac.Robustness.run ~ctx ~kind ~spec amp);
+        if format = Text then
+          Format.printf "run %d: monte carlo (n=%d) + corner sweep in %.2f s@."
+            i samples
+            (Obs.Clock.monotonic_s () -. t0)
+      done
+    end;
+    match format with
+    | Json -> emit_json tele (request_of tele proc kind spec Serve.Protocol.Stats)
+    | Text ->
+      stats_view ();
+      telemetry_finish tele
   in
   let info =
     Cmd.info "stats"
@@ -510,21 +572,214 @@ let stats_cmd =
             subcommand accepts $(b,--stats) to print the same view."
   in
   Cmd.v info
-    Term.(const run $ telemetry_term $ proc_arg $ kind_arg $ spec_term
-          $ samples $ repeat)
+    Term.(const run $ telemetry_term $ format_term $ proc_arg $ kind_arg
+          $ spec_term $ samples $ repeat)
 
 (* --- tech ----------------------------------------------------------- *)
 
 let tech_cmd =
-  let run () =
-    List.iter
-      (fun p ->
-        Format.printf "%a@.@." Technology.Process.pp_evaluation
-          (Technology.Process.evaluate p))
-      Technology.Process.builtin
+  let run tele format =
+    match format with
+    | Json -> emit_json tele (Serve.Protocol.request Serve.Protocol.Tech)
+    | Text ->
+      List.iter
+        (fun p ->
+          Format.printf "%a@.@." Technology.Process.pp_evaluation
+            (Technology.Process.evaluate p))
+        Technology.Process.builtin
   in
   let info = Cmd.info "tech" ~doc:"Characterise the built-in technologies." in
-  Cmd.v info Term.(const run $ const ())
+  Cmd.v info Term.(const run $ telemetry_term $ format_term)
+
+(* --- serve ----------------------------------------------------------- *)
+
+let hostport_conv =
+  let parse s =
+    match String.rindex_opt s ':' with
+    | None -> Error (`Msg "expected HOST:PORT")
+    | Some i ->
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      (match int_of_string_opt port with
+       | Some p when p > 0 && p < 65536 -> Ok (host, p)
+       | _ -> Error (`Msg (Printf.sprintf "bad port %S" port)))
+  in
+  let print fmt (h, p) = Format.fprintf fmt "%s:%d" h p in
+  Arg.conv (parse, print)
+
+let socket_arg =
+  Arg.(value & opt string "losac.sock"
+       & info [ "socket" ] ~docv:"PATH"
+           ~env:(Cmd.Env.info "LOSAC_SOCKET")
+           ~doc:"Unix-domain socket path of the job daemon.")
+
+let tcp_arg =
+  Arg.(value & opt (some hostport_conv) None
+       & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"TCP address of the job daemon.")
+
+let serve_cmd =
+  let queue_limit =
+    Arg.(value & opt int 64
+         & info [ "queue-limit" ] ~docv:"N"
+             ~doc:"Admission bound: submissions beyond $(docv) queued \
+                   jobs are rejected with status $(b,overloaded).")
+  in
+  let max_frame =
+    Arg.(value & opt int Serve.Frame.max_frame_default
+         & info [ "max-frame" ] ~docv:"BYTES"
+             ~doc:"Per-frame payload cap; oversized frames close the \
+                   connection.")
+  in
+  let job_timeout =
+    Arg.(value & opt (some float) None
+         & info [ "job-timeout" ] ~docv:"SEC"
+             ~doc:"Default cooperative deadline applied to jobs that \
+                   carry no timeout of their own.")
+  in
+  let run tele socket tcp queue_limit max_frame job_timeout =
+    Format.printf "losac: serving on %s%s (queue limit %d)@." socket
+      (match tcp with
+       | Some (h, p) -> Printf.sprintf " and %s:%d" h p
+       | None -> "")
+      queue_limit;
+    Format.print_flush ();
+    let served =
+      Serve.Server.run
+        {
+          Serve.Server.socket_path = Some socket;
+          tcp;
+          queue_limit;
+          max_frame;
+          default_timeout_s = job_timeout;
+        }
+    in
+    Format.printf "losac: drained, served %d job(s)@." served;
+    telemetry_finish tele
+  in
+  let info =
+    Cmd.info "serve"
+      ~doc:"Run the synthesis job daemon: accept losac.job/1 requests \
+            over a Unix-domain (and optionally TCP) socket, execute them \
+            on the shared domain pool with the process-wide memo caches \
+            kept warm across requests, and drain gracefully on \
+            SIGTERM/SIGINT."
+  in
+  Cmd.v info
+    Term.(const run $ telemetry_term $ socket_arg $ tcp_arg $ queue_limit
+          $ max_frame $ job_timeout)
+
+(* --- job -------------------------------------------------------------- *)
+
+let job_cmd =
+  let workload_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"WORKLOAD"
+             ~doc:"One of ping, sleep, tech, stats, size, synth, mc, \
+                   corners, verify.")
+  in
+  let case =
+    Arg.(value & opt case_conv Core.Flow.Case4
+         & info [ "case" ] ~docv:"N" ~doc:"Flow case for $(b,synth) (1..4).")
+  in
+  let topology =
+    Arg.(value & opt string "folded-cascode"
+         & info [ "topology" ] ~docv:"NAME" ~doc:"Topology for $(b,size).")
+  in
+  let n =
+    Arg.(value & opt int 50
+         & info [ "n"; "count" ] ~docv:"N" ~doc:"Sample count for $(b,mc).")
+  in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"N" ~doc:"Seed for $(b,mc) / $(b,verify).")
+  in
+  let samples =
+    Arg.(value & opt int 30
+         & info [ "samples" ] ~docv:"N"
+             ~doc:"Monte Carlo sample count for $(b,verify).")
+  in
+  let seconds =
+    Arg.(value & opt float 0.1
+         & info [ "seconds" ] ~docv:"SEC" ~doc:"Duration of $(b,sleep).")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"SEC"
+             ~doc:"Cooperative job deadline; exceeding it fails the job \
+                   with a $(b,timeout) error.")
+  in
+  let telemetry =
+    Arg.(value & flag
+         & info [ "telemetry" ]
+             ~doc:"Ask the server to stream a telemetry event (cache and \
+                   pool snapshot) before the result.")
+  in
+  let canonical =
+    Arg.(value & flag
+         & info [ "canonical" ]
+             ~doc:"Print the canonical (meta-stripped) response form, \
+                   byte-identical to the same subcommand run with \
+                   $(b,--format json).")
+  in
+  let show_events =
+    Arg.(value & flag
+         & info [ "show-events" ]
+             ~doc:"Print interleaved ack/started/telemetry events to \
+                   stderr as they arrive.")
+  in
+  let run tele proc kind spec workload case topology n seed samples seconds
+      timeout telemetry socket tcp canonical show_events =
+    let workload =
+      match workload with
+      | "ping" -> Ok Serve.Protocol.Ping
+      | "sleep" -> Ok (Serve.Protocol.Sleep { seconds })
+      | "tech" -> Ok Serve.Protocol.Tech
+      | "stats" -> Ok Serve.Protocol.Stats
+      | "synth" -> Ok (Serve.Protocol.Synth { case })
+      | "size" -> Ok (Serve.Protocol.Size { topology })
+      | "mc" -> Ok (Serve.Protocol.Mc { n; seed })
+      | "corners" -> Ok Serve.Protocol.Corners
+      | "verify" -> Ok (Serve.Protocol.Verify { samples; seed })
+      | other -> Error other
+    in
+    match workload with
+    | Error other ->
+      Format.eprintf "losac: unknown workload %s@." other;
+      exit 2
+    | Ok workload ->
+      let req =
+        request_of ?timeout_s:timeout ~telemetry tele proc kind spec workload
+      in
+      let client =
+        match tcp with
+        | Some (host, port) -> Serve.Client.connect_tcp ~host ~port ()
+        | None -> Serve.Client.connect socket
+      in
+      let on_event e =
+        if show_events then
+          Format.eprintf "%s@."
+            (Obs.Json.to_string (Serve.Protocol.event_to_json e))
+      in
+      let r = Serve.Client.call ~on_event client req in
+      Serve.Client.close client;
+      print_string
+        (if canonical then Serve.Protocol.canonical r
+         else Obs.Json.to_string (Serve.Protocol.response_to_json r));
+      print_newline ();
+      (match r.Serve.Protocol.status with
+       | Serve.Protocol.Done -> ()
+       | _ -> exit 1)
+  in
+  let info =
+    Cmd.info "job"
+      ~doc:"Submit one job to a running $(b,losac serve) daemon and print \
+            its response."
+  in
+  Cmd.v info
+    Term.(const run $ telemetry_term $ proc_arg $ kind_arg $ spec_term
+          $ workload_arg $ case $ topology $ n $ seed $ samples $ seconds
+          $ timeout $ telemetry $ socket_arg $ tcp_arg $ canonical
+          $ show_events)
 
 let () =
   let info =
@@ -534,4 +789,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ size_cmd; synth_cmd; layout_cmd; verify_cmd; stats_cmd; tech_cmd ]))
+          [ size_cmd; synth_cmd; layout_cmd; verify_cmd; stats_cmd; tech_cmd;
+            serve_cmd; job_cmd ]))

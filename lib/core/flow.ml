@@ -151,6 +151,8 @@ let run ?(options = Layout_bridge.default_options) ?ctx ?proc ~kind ~spec case
   let trajectory = ref [] in
   let size parasitics =
     Obs.Trace.with_span ~cat:"flow" "flow.sizing" @@ fun () ->
+    (* cooperative timeout: honoured between sizing/layout iterations *)
+    Ctx.check_deadline ~analysis:"flow" ctx;
     let design, passes = size_calibrated ~proc ~kind ~spec ~parasitics in
     sizing_passes := !sizing_passes + passes;
     if !Obs.Config.flag then begin
@@ -160,6 +162,7 @@ let run ?(options = Layout_bridge.default_options) ?ctx ?proc ~kind ~spec case
     design
   in
   let parasitic_call design =
+    Ctx.check_deadline ~analysis:"flow" ctx;
     incr layout_calls;
     Obs.Trace.with_span ~cat:"flow"
       ~args:[ ("index", Obs.Trace.Int !layout_calls);
@@ -239,7 +242,33 @@ let run_all ?options ?ctx ?jobs ?proc ~kind ~spec () =
   let jobs = Ctx.jobs ?override:jobs ctx in
   let chunk = Ctx.chunk ctx in
   Ctx.run ctx @@ fun () ->
-  (* each case is an entire synthesis flow: expensive — one per chunk *)
+  (* Each case is an entire synthesis flow: expensive — one per chunk.
+     Only the deadline is threaded into the per-case contexts: the
+     switch fields were already applied by [Ctx.run] above, and
+     re-applying them inside pool workers would mutate the global flags
+     concurrently.  A switch-free context is inert under [Ctx.run]. *)
+  let case_ctx =
+    match ctx with
+    | Some { Ctx.deadline = Some d; _ } -> Some (Ctx.make ~deadline:d proc)
+    | Some _ | None -> None
+  in
   Pool.map ?jobs ?chunk ~cost:Pool.Expensive
-    (fun case -> run ?options ~proc ~kind ~spec case)
+    (fun case -> run ?options ?ctx:case_ctx ~proc ~kind ~spec case)
     all_cases
+
+(* [Error] instead of raised simulator failures: what the job server
+   calls so analysis outcomes are data, never caught exceptions. *)
+let classify ~analysis f =
+  match f () with
+  | v -> Ok v
+  | exception e ->
+    (match Sim.Sim_error.of_exn ~analysis e with
+     | Some err -> Error err
+     | None -> raise e)
+
+let run_result ?options ?ctx ?proc ~kind ~spec case =
+  classify ~analysis:"flow" (fun () -> run ?options ?ctx ?proc ~kind ~spec case)
+
+let run_all_result ?options ?ctx ?jobs ?proc ~kind ~spec () =
+  classify ~analysis:"flow" (fun () ->
+    run_all ?options ?ctx ?jobs ?proc ~kind ~spec ())

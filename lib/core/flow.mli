@@ -77,3 +77,25 @@ val run_all :
     [ctx.jobs], then {!Par.Pool.default_jobs}.  Each case is an
     independent synthesis, so the results are identical to four
     sequential {!run} calls. *)
+
+val run_result :
+  ?options:Layout_bridge.options ->
+  ?ctx:Ctx.t ->
+  ?proc:Technology.Process.t ->
+  kind:Device.Model.kind ->
+  spec:Comdiac.Spec.t ->
+  case -> (result, Sim.Sim_error.t) Stdlib.result
+(** {!run} with simulator failures (no convergence, singular matrix,
+    deadline exceeded) returned as [Error] instead of raised — the
+    entry point the job server uses.  [ctx]'s deadline (if any) is
+    checked cooperatively at every sizing pass and layout call. *)
+
+val run_all_result :
+  ?options:Layout_bridge.options ->
+  ?ctx:Ctx.t ->
+  ?jobs:int ->
+  ?proc:Technology.Process.t ->
+  kind:Device.Model.kind ->
+  spec:Comdiac.Spec.t ->
+  unit -> (result list, Sim.Sim_error.t) Stdlib.result
+(** {!run_all} as a [result]; the first failing case aborts the batch. *)

@@ -6,10 +6,24 @@ type t = {
   telemetry : bool option;
   backend : Sim.Stamps.backend option;
   label : string option;
+  deadline : float option;
 }
 
-let make ?jobs ?chunk ?cache ?telemetry ?backend ?label proc =
-  { proc; jobs; chunk; cache; telemetry; backend; label }
+let make ?jobs ?chunk ?cache ?telemetry ?backend ?label ?deadline proc =
+  { proc; jobs; chunk; cache; telemetry; backend; label; deadline }
+
+let with_timeout timeout_s ctx =
+  match timeout_s with
+  | None -> ctx
+  | Some t -> { ctx with deadline = Some (Obs.Clock.monotonic_s () +. t) }
+
+let check_deadline ?(analysis = "exec") ctx =
+  match ctx with
+  | None -> ()
+  | Some { deadline = None; _ } -> ()
+  | Some { deadline = Some d; _ } ->
+    let now = Obs.Clock.monotonic_s () in
+    if now > d then raise (Sim.Sim_error.Deadline_exceeded (analysis, now -. d))
 
 let jobs ?override ctx =
   match override with

@@ -34,14 +34,33 @@ type t = {
       (** when set, {!scope} wraps the work in a root [exec] span named
           [label], so profiler paths and flamegraphs group everything
           under one run (e.g. ["synth:miller_ota"]) *)
+  deadline : float option;
+      (** absolute {!Obs.Clock.monotonic_s} instant after which
+          {!check_deadline} raises — the cooperative per-request timeout
+          of the job server.  [None] = no deadline. *)
 }
 
 val make :
   ?jobs:int -> ?chunk:int -> ?cache:bool -> ?telemetry:bool ->
   ?backend:Sim.Stamps.backend ->
   ?label:string ->
+  ?deadline:float ->
   Technology.Process.t -> t
 (** [make proc] is a context with all switches at their defaults. *)
+
+val with_timeout : float option -> t -> t
+(** [with_timeout (Some t) ctx] sets [ctx.deadline] to now + [t]
+    seconds; [None] leaves the context unchanged. *)
+
+val check_deadline : ?analysis:string -> t option -> unit
+(** Raise [Sim.Sim_error.Deadline_exceeded (analysis, overshoot)] when
+    the context's deadline has passed; a no-op without a context or a
+    deadline.  Analyses call this at safe interruption boundaries —
+    between Monte Carlo samples, corner points and sizing/layout
+    iterations — so a timed-out request is abandoned cooperatively
+    (never mid-solve) and surfaces as {!Sim.Sim_error.Timeout} through
+    the [_result] entry points.  Cheap enough for per-sample use (one
+    clock read). *)
 
 val jobs : ?override:int -> t option -> int option
 (** Resolve the pool width to pass to {!Par.Pool} combinators: an

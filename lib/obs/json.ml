@@ -30,10 +30,19 @@ let escape_string b s =
     s;
   Buffer.add_char b '"'
 
+(* Shortest decimal form that parses back to exactly [v]: the job
+   protocol round-trips requests and responses through this module and
+   the served-vs-CLI bit-identity guarantee needs every float to survive
+   emission + parsing unchanged. *)
 let number_to_string v =
   if Float.is_integer v && Float.abs v < 1e15 then
     Printf.sprintf "%.0f" v
-  else Printf.sprintf "%.12g" v
+  else
+    let s15 = Printf.sprintf "%.15g" v in
+    if float_of_string s15 = v then s15
+    else
+      let s16 = Printf.sprintf "%.16g" v in
+      if float_of_string s16 = v then s16 else Printf.sprintf "%.17g" v
 
 let rec emit b = function
   | Null -> Buffer.add_string b "null"

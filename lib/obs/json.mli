@@ -13,7 +13,9 @@ type t =
   | Obj of (string * t) list
 
 val to_string : t -> string
-(** Compact (single-line) serialisation.  Non-finite numbers emit [null]. *)
+(** Compact (single-line) serialisation.  Non-finite numbers emit [null];
+    finite numbers use the shortest decimal form that parses back to the
+    identical float, so emit/parse round trips are bit-exact. *)
 
 val parse : string -> (t, string) result
 (** Strict parse of a complete JSON document. *)

@@ -1,0 +1,29 @@
+(** The shared job dispatcher: one {!Protocol.request} in, one
+    {!Protocol.response} out.  Both the one-shot CLI ([losac <cmd>
+    --format json]) and the {!Server} executor thread call this exact
+    function, which is what makes a served job and a CLI run provably
+    the same code path.
+
+    [execute] never raises: simulator failures surface as
+    [Failed (Sim_error.t)] (including cooperative {!Protocol.request}
+    [timeout_s] deadlines, as [Timeout]), unknown technologies and
+    topologies as [Bad_request], and anything unexpected as [Internal].
+    The response [payload] is deterministic — volatile data (elapsed
+    time) goes into [meta] only — so {!Protocol.canonical} forms are
+    byte-comparable across runs and processes. *)
+
+val execute : Protocol.request -> Protocol.response
+
+(** {2 Payload builders}
+
+    Exposed for the CLI's [--format json] renderers and the tests. *)
+
+val perf_to_json : Comdiac.Performance.t -> Obs.Json.t
+val perf_of_json : Obs.Json.t -> Comdiac.Performance.t option
+val flow_payload : Core.Flow.result -> Obs.Json.t
+val mc_payload : n:int -> seed:int -> Comdiac.Montecarlo.result -> Obs.Json.t
+val corners_payload : Comdiac.Robustness.result -> Obs.Json.t
+val tech_payload : unit -> Obs.Json.t
+val stats_payload : unit -> Obs.Json.t
+(** Volatile by nature (counters, pool state); served for observability,
+    excluded from bit-identity claims. *)

@@ -1,0 +1,23 @@
+(** Length-prefixed framing for the job protocol: each frame is a 4-byte
+    big-endian payload length followed by that many payload bytes (one
+    JSON document per frame, both directions). *)
+
+val max_frame_default : int
+(** 4 MiB. *)
+
+exception Oversized of { length : int; limit : int }
+(** The announced payload length exceeds the frame limit (or is
+    negative).  The stream is unusable after this — the payload was not
+    consumed — so the connection must be closed. *)
+
+exception Truncated
+(** The peer closed mid-frame. *)
+
+val write : Unix.file_descr -> string -> unit
+(** Write one frame; handles partial writes and EINTR. *)
+
+val read : ?max_frame:int -> Unix.file_descr -> string option
+(** Read one frame; [None] on a clean EOF at a frame boundary.
+    @raise Oversized when the announced length exceeds [max_frame].
+    @raise Truncated on EOF inside a frame.
+    May also raise [Unix.Unix_error] (e.g. a receive timeout). *)

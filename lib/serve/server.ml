@@ -1,0 +1,361 @@
+(* The losac job daemon.
+
+   Concurrency model: one reader thread per connection parses frames and
+   performs admission control; admitted jobs go onto a bounded queue
+   consumed by a SINGLE executor thread.  Serializing execution is
+   deliberate — Exec.Ctx.scope applies process-wide switches
+   (cache/telemetry/backend) with save/restore semantics, so two jobs
+   with different flags must not overlap; per-job parallelism happens
+   *inside* the job on the shared Par.Pool instead.  It also means the
+   process-wide Cache.Memo registry and Device.Lut grids are reused
+   across requests without ever racing a clear against a fill. *)
+
+module J = Obs.Json
+module P = Protocol
+
+type config = {
+  socket_path : string option;
+  tcp : (string * int) option;
+  queue_limit : int;
+  max_frame : int;
+  default_timeout_s : float option;
+}
+
+let default_config =
+  {
+    socket_path = None;
+    tcp = None;
+    queue_limit = 64;
+    max_frame = Frame.max_frame_default;
+    default_timeout_s = None;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  wlock : Mutex.t;  (* reader (acks, errors) and executor share the fd *)
+  alive : bool Atomic.t;
+  pending : int Atomic.t;  (* jobs admitted but not yet answered *)
+  closed : bool Atomic.t;  (* close-once latch for [fd] *)
+}
+
+(* Closing is deferred until no queued job references the connection:
+   closing early would let the kernel reuse the descriptor number while
+   the executor still holds it, sending a response to a stranger. *)
+let maybe_close conn =
+  if
+    (not (Atomic.get conn.alive))
+    && Atomic.get conn.pending = 0
+    && Atomic.compare_and_set conn.closed false true
+  then try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+(* Death of a connection: peers see EOF immediately (shutdown), the
+   descriptor itself is reclaimed once the last pending job answered. *)
+let kill conn =
+  Atomic.set conn.alive false;
+  (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  maybe_close conn
+
+type job = { req : P.request; conn : conn; submitted_s : float }
+
+type t = {
+  config : config;
+  shutdown : bool Atomic.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  queue : job Queue.t;
+  mutable listeners : Unix.file_descr list;
+  mutable threads : Thread.t list;  (* accept + executor; readers detach *)
+  mutable conns : conn list;  (* guarded by [lock] *)
+  jobs_done : int Atomic.t;
+}
+
+(* --- writing ----------------------------------------------------------- *)
+
+(* A dead peer must never kill the server: write failures just mark the
+   connection dead and the payload is dropped. *)
+let send conn json =
+  if Atomic.get conn.alive then begin
+    Mutex.lock conn.wlock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock conn.wlock)
+      (fun () ->
+        try Frame.write conn.fd (J.to_string json)
+        with Unix.Unix_error _ | Frame.Truncated ->
+          Atomic.set conn.alive false)
+  end
+
+let send_response conn (r : P.response) = send conn (P.response_to_json r)
+let send_event conn e = send conn (P.event_to_json e)
+
+let error_response ~rid ~workload status =
+  { P.rid; workload; status; payload = J.Null; meta = [] }
+
+(* --- executor ---------------------------------------------------------- *)
+
+let run_job t job =
+  let conn = job.conn in
+  if Atomic.get conn.alive then begin
+    send_event conn (P.Started { rid = job.req.P.id });
+    let queue_wait = Obs.Clock.monotonic_s () -. job.submitted_s in
+    let req =
+      match (job.req.P.timeout_s, t.config.default_timeout_s) with
+      | None, (Some _ as d) -> { job.req with P.timeout_s = d }
+      | _ -> job.req
+    in
+    let resp = Api.execute req in
+    let resp =
+      { resp with P.meta = resp.P.meta @ [ ("queue_wait_s", J.Num queue_wait) ] }
+    in
+    if req.P.telemetry then
+      send_event conn
+        (P.Telemetry { rid = req.P.id; body = Api.stats_payload () });
+    send_response conn resp;
+    Atomic.incr t.jobs_done
+  end;
+  Atomic.decr conn.pending;
+  maybe_close conn
+
+let executor t () =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not (Atomic.get t.shutdown) do
+      Condition.wait t.nonempty t.lock
+    done;
+    (* Drain semantics: on shutdown, admitted jobs still run to
+       completion; only then does the executor exit. *)
+    match Queue.take_opt t.queue with
+    | Some job ->
+      Obs.Metrics.set "serve.queue_depth" (float_of_int (Queue.length t.queue));
+      Mutex.unlock t.lock;
+      run_job t job;
+      loop ()
+    | None ->
+      Mutex.unlock t.lock;
+      if not (Atomic.get t.shutdown) then loop ()
+  in
+  loop ()
+
+(* --- admission --------------------------------------------------------- *)
+
+let admit t conn (req : P.request) =
+  if Atomic.get t.shutdown then
+    send_response conn
+      (error_response ~rid:req.P.id
+         ~workload:(P.workload_name req.P.workload) P.Shutting_down)
+  else begin
+    Mutex.lock t.lock;
+    let depth = Queue.length t.queue in
+    if depth >= t.config.queue_limit then begin
+      Mutex.unlock t.lock;
+      Obs.Metrics.incr "serve.overloaded";
+      send_response conn
+        (error_response ~rid:req.P.id
+           ~workload:(P.workload_name req.P.workload)
+           (P.Overloaded { depth; limit = t.config.queue_limit }))
+    end
+    else begin
+      Atomic.incr conn.pending;
+      Queue.add { req; conn; submitted_s = Obs.Clock.monotonic_s () } t.queue;
+      let depth = Queue.length t.queue in
+      Obs.Metrics.set "serve.queue_depth" (float_of_int depth);
+      Condition.signal t.nonempty;
+      Mutex.unlock t.lock;
+      send_event conn (P.Ack { rid = req.P.id; queue_depth = depth })
+    end
+  end
+
+(* --- reader ------------------------------------------------------------ *)
+
+(* Poll so a blocked read notices shutdown within a quarter second. *)
+let readable ?(timeout = 0.25) fd =
+  match Unix.select [ fd ] [] [] timeout with
+  | [], _, _ -> false
+  | _ -> true
+  (* EINTR: retry next round.  EBADF: another thread closed the fd while
+     we polled; the alive check at the top of the loop ends the reader. *)
+  | exception Unix.Unix_error _ -> false
+
+let reader t conn () =
+  let bad rid msg =
+    send_response conn
+      (error_response ~rid ~workload:"unknown" (P.Bad_request msg))
+  in
+  let rec loop () =
+    if Atomic.get conn.alive && not (Atomic.get t.shutdown) then
+      if not (readable conn.fd) then loop ()
+      else
+        match Frame.read ~max_frame:t.config.max_frame conn.fd with
+        | None -> Atomic.set conn.alive false
+        | Some payload ->
+          (match J.parse payload with
+           | Error msg ->
+             (* Parse errors keep the connection: framing is intact, so
+                the next frame is still delimited. *)
+             bad (-1) (Printf.sprintf "invalid JSON: %s" msg);
+             loop ()
+           | Ok json ->
+             (match P.request_of_json json with
+              | Error msg ->
+                bad (P.salvage_id json) msg;
+                loop ()
+              | Ok req ->
+                admit t conn req;
+                loop ()))
+        | exception Frame.Oversized { length; limit } ->
+          (* The payload was never consumed — the stream is unusable. *)
+          bad (-1)
+            (Printf.sprintf "frame of %d bytes exceeds the %d byte limit"
+               length limit);
+          Atomic.set conn.alive false
+        | exception (Frame.Truncated | Unix.Unix_error _) ->
+          Atomic.set conn.alive false
+    else if Atomic.get conn.alive && Atomic.get t.shutdown then begin
+      (* Give a pipelining client its rejections rather than vanishing. *)
+      match
+        if readable ~timeout:0.05 conn.fd then
+          Frame.read ~max_frame:t.config.max_frame conn.fd
+        else None
+      with
+      | Some payload ->
+        (match J.parse payload with
+         | Ok json ->
+           (match P.request_of_json json with
+            | Ok req -> admit t conn req
+            | Error _ -> ())
+         | Error _ -> ());
+        Atomic.set conn.alive false
+      | None | (exception _) -> Atomic.set conn.alive false
+    end
+  in
+  loop ();
+  kill conn
+
+(* --- lifecycle --------------------------------------------------------- *)
+
+let listen_unix path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 16;
+  fd
+
+let listen_tcp host port =
+  let addr =
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found -> Unix.inet_addr_of_string host
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (addr, port));
+  Unix.listen fd 16;
+  fd
+
+let acceptor t listen_fd () =
+  let rec loop () =
+    if not (Atomic.get t.shutdown) then
+      if not (readable listen_fd) then loop ()
+      else
+        match Unix.accept ~cloexec:true listen_fd with
+        | fd, _ ->
+          let conn =
+            {
+              fd;
+              wlock = Mutex.create ();
+              alive = Atomic.make true;
+              pending = Atomic.make 0;
+              closed = Atomic.make false;
+            }
+          in
+          Mutex.lock t.lock;
+          t.conns <- conn :: List.filter (fun c -> Atomic.get c.alive) t.conns;
+          Mutex.unlock t.lock;
+          ignore (Thread.create (reader t conn) ());
+          loop ()
+        | exception Unix.Unix_error _ -> loop ()
+  in
+  loop ()
+
+let start config =
+  (* A peer closing mid-write must surface as EPIPE, not kill us. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let t =
+    {
+      config;
+      shutdown = Atomic.make false;
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      listeners = [];
+      threads = [];
+      conns = [];
+      jobs_done = Atomic.make 0;
+    }
+  in
+  let listeners =
+    (match config.socket_path with
+     | Some path -> [ listen_unix path ]
+     | None -> [])
+    @
+    match config.tcp with
+    | Some (host, port) -> [ listen_tcp host port ]
+    | None -> []
+  in
+  if listeners = [] then
+    invalid_arg "Serve.Server.start: no socket_path and no tcp address";
+  t.listeners <- listeners;
+  t.threads <-
+    Thread.create (executor t) ()
+    :: List.map (fun fd -> Thread.create (acceptor t fd) ()) listeners;
+  t
+
+let jobs_done t = Atomic.get t.jobs_done
+let queue_depth t =
+  Mutex.lock t.lock;
+  let d = Queue.length t.queue in
+  Mutex.unlock t.lock;
+  d
+
+let stop t =
+  Atomic.set t.shutdown true;
+  Mutex.lock t.lock;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock;
+  (* Joining the executor IS the drain: it exits only once the queue is
+     empty and the in-flight job has answered. *)
+  List.iter Thread.join t.threads;
+  t.threads <- [];
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.listeners;
+  t.listeners <- [];
+  Mutex.lock t.lock;
+  let conns = t.conns in
+  t.conns <- [];
+  Mutex.unlock t.lock;
+  (* Readers poll [alive]/[shutdown] every 0.25 s; give the stragglers a
+     moment, then kill whatever is left (the close-once latch makes this
+     safe against a reader racing to the same conclusion). *)
+  Unix.sleepf 0.3;
+  List.iter kill conns;
+  match t.config.socket_path with
+  | Some path -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+  | None -> ()
+
+let run config =
+  let t = start config in
+  let stopping = Atomic.make false in
+  let request_stop _ = Atomic.set stopping true in
+  let previous =
+    List.map
+      (fun s -> (s, Sys.signal s (Sys.Signal_handle request_stop)))
+      [ Sys.sigterm; Sys.sigint ]
+  in
+  let rec wait () =
+    if Atomic.get stopping then ()
+    else begin
+      Unix.sleepf 0.2;
+      wait ()
+    end
+  in
+  wait ();
+  stop t;
+  List.iter (fun (s, b) -> try Sys.set_signal s b with Invalid_argument _ -> ()) previous;
+  jobs_done t

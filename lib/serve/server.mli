@@ -1,0 +1,51 @@
+(** The [losac serve] daemon: a long-running process accepting
+    {!Protocol} jobs over a Unix-domain (and optionally TCP) socket and
+    executing them with {!Api.execute} on the process-wide
+    {!Par.Pool} / {!Cache.Memo} / {!Device.Lut} state, so a warm cache
+    built by one client accelerates every later request.
+
+    Admission control: each connection gets a reader thread that decodes
+    frames and either rejects the request ([invalid_request],
+    [overloaded] past [queue_limit], [shutting_down] during drain) or
+    enqueues it on a bounded queue consumed by a single executor thread.
+    Execution is deliberately serialized — {!Exec.Ctx} switches are
+    process-wide scoped globals, so jobs with different
+    cache/backend/telemetry flags must not overlap; parallelism lives
+    {e inside} a job via the domain pool.  The queue depth is exported
+    as the [serve.queue_depth] metric, rejections as [serve.overloaded].
+
+    Message order on a connection, per job: [ack] (with queue depth),
+    [started], optional [telemetry], then the final [result]. *)
+
+type config = {
+  socket_path : string option;  (** Unix-domain listening socket *)
+  tcp : (string * int) option;  (** optional (host, port) TCP listener *)
+  queue_limit : int;  (** admission bound; beyond it jobs are [overloaded] *)
+  max_frame : int;  (** per-frame payload cap, bytes *)
+  default_timeout_s : float option;
+      (** applied to requests that carry no [timeout_s] of their own *)
+}
+
+val default_config : config
+(** No listeners (set at least one), [queue_limit = 64],
+    [max_frame = 4 MiB], no default timeout. *)
+
+type t
+
+val start : config -> t
+(** Bind the listeners and spawn the acceptor/executor threads; returns
+    immediately.  Raises [Invalid_argument] when [config] names no
+    listener, [Unix.Unix_error] when binding fails. *)
+
+val stop : t -> unit
+(** Graceful shutdown: stop accepting, reject new submissions with
+    [shutting_down], drain every already-admitted job to its final
+    response, then close connections and remove the socket file. *)
+
+val queue_depth : t -> int
+val jobs_done : t -> int
+
+val run : config -> int
+(** [start], then block until SIGTERM/SIGINT, then [stop] (draining).
+    Returns the number of jobs completed — the [losac serve] main
+    loop. *)

@@ -19,18 +19,32 @@ type t =
   | Singular_matrix of { analysis : string; column : int }
       (** the (complex) MNA matrix lost rank at [column] — typically a
           floating node or a degenerate source loop *)
+  | Timeout of { analysis : string; after_s : float }
+      (** a cooperative deadline check (see {!Exec.Ctx.check_deadline})
+          fired [after_s] seconds past the request deadline; raised
+          between Monte Carlo samples, corner points and flow
+          iterations so a long analysis is abandoned at the next safe
+          boundary rather than mid-solve *)
+
+exception Deadline_exceeded of string * float
+(** [(analysis, seconds past the deadline)] — the raising form of
+    {!Timeout}, thrown by deadline checks inside analyses that still
+    expose a raising API. *)
 
 val message : t -> string
 (** Human-readable one-liner. *)
 
 val to_exn : t -> exn
 (** The legacy exception carrying the same information:
-    [Phys.Numerics.No_convergence] or [Linalg.Singular].  Guarantees
+    [Phys.Numerics.No_convergence], [Linalg.Singular] or
+    {!Deadline_exceeded}.  Guarantees
     that [match f_result x with Ok v -> v | Error e -> raise (to_exn e)]
     behaves like the raising entry point. *)
 
 val of_exn : analysis:string -> exn -> t option
-(** Classify one of the two simulator exceptions; [None] for anything
-    else (programming errors keep propagating as exceptions). *)
+(** Classify one of the simulator exceptions; [None] for anything
+    else (programming errors keep propagating as exceptions).
+    {!Deadline_exceeded} keeps the analysis name recorded where the
+    deadline fired rather than [analysis]. *)
 
 val pp : Format.formatter -> t -> unit

@@ -105,6 +105,9 @@ let run ?(seed = 42) ?(n = 50) ?ctx ?jobs ?proc ~kind ~spec amp =
      domain computes it or in what order.  The parallel run is therefore
      bit-identical to the sequential one. *)
   let one index =
+    (* cooperative timeout: a served job's deadline is honoured between
+       samples, never mid-solve *)
+    Exec.Ctx.check_deadline ~analysis:"montecarlo" ctx;
     Cache.Memo.find_or_compute sample_memo
       (proc, kind, spec, seed, index, amp)
       (fun () ->
@@ -141,6 +144,14 @@ let run ?(seed = 42) ?(n = 50) ?ctx ?jobs ?proc ~kind ~spec amp =
     gbw_stats = stats_of (finite (List.map (fun s -> s.gbw) samples));
     predicted_offset_sigma = input_pair_sigma proc amp;
   }
+
+let run_result ?seed ?n ?ctx ?jobs ?proc ~kind ~spec amp =
+  match run ?seed ?n ?ctx ?jobs ?proc ~kind ~spec amp with
+  | r -> Ok r
+  | exception e ->
+    (match Sim.Sim_error.of_exn ~analysis:"montecarlo" e with
+     | Some err -> Error err
+     | None -> raise e)
 
 let pp fmt r =
   let p name unit scale (s : stats) =

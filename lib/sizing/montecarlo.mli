@@ -57,4 +57,16 @@ val run :
     and the statistics are bit-identical with caching on or off.  Raises
     if no sample converges. *)
 
+val run_result :
+  ?seed:int -> ?n:int -> ?ctx:Exec.Ctx.t -> ?jobs:int ->
+  ?proc:Technology.Process.t ->
+  kind:Device.Model.kind ->
+  spec:Spec.t ->
+  Amp.t -> (result, Sim.Sim_error.t) Stdlib.result
+(** {!run} with simulator failures (no convergence, singular matrix,
+    deadline exceeded) returned as [Error] instead of raised — the
+    entry point the job server uses so it never catches bare
+    exceptions.  When [ctx] carries a deadline, it is checked
+    cooperatively between samples. *)
+
 val pp : Format.formatter -> result -> unit

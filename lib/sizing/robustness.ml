@@ -62,6 +62,8 @@ let run ?corners ?temperatures ?ctx ?jobs ?rebias ?proc ~kind ~spec amp =
   Exec.Ctx.run ctx @@ fun () ->
   let grid = C.sweep_grid ?corners ?temperatures () in
   let measure (corner, temperature) =
+    (* cooperative timeout boundary, as in Montecarlo.run *)
+    Exec.Ctx.check_deadline ~analysis:"robustness" ctx;
     match rebias with
     | Some _ ->
       measure_point ?rebias ~proc ~kind ~spec ~corner ~temperature amp
@@ -96,6 +98,15 @@ let run ?corners ?temperatures ?ctx ?jobs ?rebias ?proc ~kind ~spec amp =
         infinity biased;
     all_biased = List.for_all (fun p -> p.biased) points;
   }
+
+let run_result ?corners ?temperatures ?ctx ?jobs ?rebias ?proc ~kind ~spec amp
+    =
+  match run ?corners ?temperatures ?ctx ?jobs ?rebias ?proc ~kind ~spec amp with
+  | r -> Ok r
+  | exception e ->
+    (match Sim.Sim_error.of_exn ~analysis:"robustness" e with
+     | Some err -> Error err
+     | None -> raise e)
 
 let meets r ~spec ~gbw_slack ~pm_slack =
   r.all_biased

@@ -50,6 +50,20 @@ val run :
     (see {!Folded_cascode.rebias}); without it the nominal bias voltages
     are frozen, which realistically fails skewed corners. *)
 
+val run_result :
+  ?corners:Technology.Corner.t list ->
+  ?temperatures:float list ->
+  ?ctx:Exec.Ctx.t ->
+  ?jobs:int ->
+  ?rebias:(Technology.Process.t -> Amp.t) ->
+  ?proc:Technology.Process.t ->
+  kind:Device.Model.kind ->
+  spec:Spec.t ->
+  Amp.t -> (result, Sim.Sim_error.t) Stdlib.result
+(** {!run} with simulator failures (including a cooperative
+    per-grid-point deadline check from [ctx]) returned as [Error]
+    instead of raised. *)
+
 val meets :
   result -> spec:Spec.t -> gbw_slack:float -> pm_slack:float -> bool
 (** True when every biased point has GBW within [gbw_slack] (relative) of

@@ -17,4 +17,5 @@ let () =
       Suite_gate.suite;
       Suite_cache.suite;
       Suite_statistics.suite;
+      Suite_serve.suite;
     ]
