@@ -1412,7 +1412,115 @@ let serve_bench () =
         ("max_ms", Obs.Json.Num (ms 1.0));
         ("failures", Obs.Json.Num (float_of_int (Atomic.get failures)));
       ]
-    :: !serve_records
+    :: !serve_records;
+  (* Executor sweep: the same daemon, 1 vs 2 vs 4 executor domains,
+     under a mixed load whose requests pin pairwise-conflicting context
+     flags (cache on/off x backend kernel/sparse-natural) — concurrent
+     jobs with contradictory switches are exactly what the context-local
+     bindings must isolate.  Every other request is a short sleep so
+     executor overlap shows even on a single-core box: a sleeping job
+     parks its executor domain while another executes compute. *)
+  if in_process then begin
+    let conflict_request i =
+      let workload =
+        if i mod 2 = 0 then Serve.Protocol.Sleep { seconds = 0.02 }
+        else
+          match i mod 8 with
+          | 1 | 5 -> Serve.Protocol.Mc { n = 2; seed = i mod 7 }
+          | 3 -> Serve.Protocol.Tech
+          | _ -> Serve.Protocol.Ping
+      in
+      let backend =
+        if i mod 2 = 0 then Sim.Stamps.Kernel
+        else Sim.Stamps.Sparse Linalg.Sparse.Natural
+      in
+      (* conflicting cache flags ride on the cheap workloads so the
+         sweep measures executor overlap, not cold recomputation *)
+      let cache = i mod 4 < 2 in
+      Serve.Protocol.request ~id:i ~cache ~backend workload
+    in
+    (* warm the process-wide memos once so the 1-executor baseline is
+       not charged for cold synthesis the later sweep points skip *)
+    for s = 0 to 6 do
+      ignore
+        (Serve.Api.execute
+           (Serve.Protocol.request (Serve.Protocol.Mc { n = 2; seed = s })))
+    done;
+    ignore (Serve.Api.execute (Serve.Protocol.request Serve.Protocol.Corners));
+    let clients = 4 and per_client = 16 in
+    let measure n_exec =
+      let path = Filename.temp_file "losac-bench-ex" ".sock" in
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let server =
+        Serve.Server.start
+          { Serve.Server.default_config with
+            socket_path = Some path;
+            queue_limit = 4096;
+            executors = n_exec }
+      in
+      let latencies = Array.make clients [||] in
+      let failures = Atomic.make 0 in
+      let t0 = Obs.Clock.monotonic_s () in
+      let threads =
+        List.init clients (fun k ->
+          Thread.create
+            (fun () ->
+              let c = Serve.Client.connect path in
+              let lats = Array.make per_client nan in
+              for j = 0 to per_client - 1 do
+                let i = (k * per_client) + j in
+                let s0 = Obs.Clock.monotonic_s () in
+                (match
+                   (Serve.Client.call c (conflict_request i))
+                     .Serve.Protocol.status
+                 with
+                 | Serve.Protocol.Done -> ()
+                 | _ -> Atomic.incr failures);
+                lats.(j) <- Obs.Clock.monotonic_s () -. s0
+              done;
+              Serve.Client.close c;
+              latencies.(k) <- lats)
+            ())
+      in
+      List.iter Thread.join threads;
+      let wall_s = Obs.Clock.monotonic_s () -. t0 in
+      Serve.Server.stop server;
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let all = Array.concat (Array.to_list latencies) in
+      Array.sort compare all;
+      (wall_s, all, Atomic.get failures)
+    in
+    let base_rps = ref nan in
+    List.iter
+      (fun n_exec ->
+        let wall_s, all, fails = measure n_exec in
+        let total = Array.length all in
+        let rps = float_of_int total /. wall_s in
+        if n_exec = 1 then base_rps := rps;
+        let speedup = rps /. !base_rps in
+        let ms q = 1e3 *. serve_quantile all q in
+        Format.printf
+          "executors=%d: %d conflicting-ctx request(s) in %.2f s — %.1f \
+           req/s (%.2fx vs 1 executor); p50 %.2f ms  p99 %.2f ms; %d \
+           failure(s)@."
+          n_exec total wall_s rps speedup (ms 0.5) (ms 0.99) fails;
+        serve_records :=
+          Obs.Json.Obj
+            [
+              ("experiment", Obs.Json.Str "executor_sweep");
+              ("executors", Obs.Json.Num (float_of_int n_exec));
+              ("clients", Obs.Json.Num (float_of_int clients));
+              ("requests", Obs.Json.Num (float_of_int total));
+              ("wall_s", Obs.Json.Num wall_s);
+              ("throughput_rps", Obs.Json.Num rps);
+              ("speedup_vs_1", Obs.Json.Num speedup);
+              ("p50_ms", Obs.Json.Num (ms 0.5));
+              ("p99_ms", Obs.Json.Num (ms 0.99));
+              ("failures", Obs.Json.Num (float_of_int fails));
+            ]
+          :: !serve_records)
+      [ 1; 2; 4 ]
+  end
 
 let serve_doc () =
   Obs.Json.Obj

@@ -126,13 +126,29 @@ let stats_view () =
   (match Par.Pool.worker_stats () with
    | [] -> Format.printf "  (pool never started -- no parallel section ran)@."
    | workers ->
-     Format.printf "  %-8s %-7s %8s %12s %12s %6s %7s %8s %6s %9s@." "domain"
+     (* Workers first, then executors/callers, each group by domain id.
+        Every chunk is accounted to exactly one domain (a caller-helps
+        chunk lands on the submitting executor's own row, never also on
+        a worker row), so the by-role totals below sum to the true chunk
+        count even when several executors share the pool. *)
+     let rank (w : Par.Pool.worker_stat) =
+       if w.Par.Pool.ws_role = "worker" then 0 else 1
+     in
+     let workers =
+       List.sort
+         (fun a b ->
+           match compare (rank a) (rank b) with
+           | 0 -> compare a.Par.Pool.ws_domain b.Par.Pool.ws_domain
+           | c -> c)
+         workers
+     in
+     Format.printf "  %-8s %-8s %8s %12s %12s %6s %7s %8s %6s %9s@." "domain"
        "role" "tasks" "busy ms" "wait ms" "busy%" "steals" "attempts" "spins"
        "warmup ms";
      List.iter
        (fun (w : Par.Pool.worker_stat) ->
          Format.printf
-           "  %-8d %-7s %8d %12.3f %12.3f %5.1f%% %7d %8d %6d %9.3f@."
+           "  %-8d %-8s %8d %12.3f %12.3f %5.1f%% %7d %8d %6d %9.3f@."
            w.Par.Pool.ws_domain w.Par.Pool.ws_role w.Par.Pool.ws_tasks
            (w.Par.Pool.ws_busy_us /. 1e3)
            (w.Par.Pool.ws_wait_us /. 1e3)
@@ -140,7 +156,25 @@ let stats_view () =
            w.Par.Pool.ws_steals w.Par.Pool.ws_steal_attempts
            w.Par.Pool.ws_steal_spins
            (w.Par.Pool.ws_warmup_us /. 1e3))
-       workers);
+       workers;
+     let by_role =
+       List.fold_left
+         (fun acc (w : Par.Pool.worker_stat) ->
+           let role = w.Par.Pool.ws_role in
+           let prev = try List.assoc role acc with Not_found -> 0 in
+           (role, prev + w.Par.Pool.ws_tasks)
+           :: List.remove_assoc role acc)
+         [] workers
+       |> List.sort (fun (a, _) (b, _) -> compare a b)
+     in
+     let total = List.fold_left (fun acc (_, n) -> acc + n) 0 by_role in
+     Format.printf "  totals: %d task(s)%s@." total
+       (if List.length by_role > 1 then
+          " ("
+          ^ String.concat ", "
+              (List.map (fun (r, n) -> Printf.sprintf "%s %d" r n) by_role)
+          ^ ")"
+        else ""));
   let sim_hists =
     List.filter
       (fun n -> String.length n > 4 && String.sub n 0 4 = "sim.")
@@ -636,12 +670,22 @@ let serve_cmd =
              ~doc:"Default cooperative deadline applied to jobs that \
                    carry no timeout of their own.")
   in
-  let run tele socket tcp queue_limit max_frame job_timeout =
-    Format.printf "losac: serving on %s%s (queue limit %d)@." socket
+  let executors =
+    Arg.(value & opt int (Serve.Server.default_executors ())
+         & info [ "executors" ] ~docv:"N"
+             ~doc:"Concurrent executor domains (default min(4, cores)): \
+                   up to $(docv) jobs run at once, each with its own \
+                   context-local cache/backend/telemetry flags, sharing \
+                   the domain pool and warm memo caches.")
+  in
+  let run tele socket tcp queue_limit max_frame job_timeout executors =
+    Format.printf "losac: serving on %s%s (queue limit %d, %d executor(s))@."
+      socket
       (match tcp with
        | Some (h, p) -> Printf.sprintf " and %s:%d" h p
        | None -> "")
-      queue_limit;
+      queue_limit
+      (max 1 (min 16 executors));
     Format.print_flush ();
     let served =
       Serve.Server.run
@@ -651,6 +695,7 @@ let serve_cmd =
           queue_limit;
           max_frame;
           default_timeout_s = job_timeout;
+          executors;
         }
     in
     Format.printf "losac: drained, served %d job(s)@." served;
@@ -660,13 +705,13 @@ let serve_cmd =
     Cmd.info "serve"
       ~doc:"Run the synthesis job daemon: accept losac.job/1 requests \
             over a Unix-domain (and optionally TCP) socket, execute them \
-            on the shared domain pool with the process-wide memo caches \
-            kept warm across requests, and drain gracefully on \
-            SIGTERM/SIGINT."
+            on N concurrent executor domains sharing the domain pool and \
+            the process-wide memo caches (kept warm across requests), \
+            and drain gracefully on SIGTERM/SIGINT."
   in
   Cmd.v info
     Term.(const run $ telemetry_term $ socket_arg $ tcp_arg $ queue_limit
-          $ max_frame $ job_timeout)
+          $ max_frame $ job_timeout $ executors)
 
 (* --- job -------------------------------------------------------------- *)
 
@@ -675,7 +720,26 @@ let job_cmd =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"WORKLOAD"
              ~doc:"One of ping, sleep, tech, stats, size, synth, mc, \
-                   corners, verify.")
+                   corners, verify, cancel.")
+  in
+  let target =
+    Arg.(value & opt int 0
+         & info [ "target" ] ~docv:"ID"
+             ~doc:"Job id to cancel, for $(b,cancel).  Cancellation is \
+                   connection-scoped: only jobs submitted on the same \
+                   connection can be reached, so this standalone form \
+                   mostly exercises the wire path — prefer \
+                   $(b,--cancel-after) to cancel a job this command \
+                   itself submitted.")
+  in
+  let cancel_after =
+    Arg.(value & opt (some float) None
+         & info [ "cancel-after" ] ~docv:"SEC"
+             ~doc:"After submitting the job, wait $(docv) seconds and \
+                   send a $(b,cancel) for it on the same connection; \
+                   print the cancel acknowledgement on stderr and the \
+                   job's final response (normally status \
+                   $(b,cancelled)) on stdout.")
   in
   let case =
     Arg.(value & opt case_conv Core.Flow.Case4
@@ -728,7 +792,7 @@ let job_cmd =
                    stderr as they arrive.")
   in
   let run tele proc kind spec workload case topology n seed samples seconds
-      timeout telemetry socket tcp canonical show_events =
+      timeout telemetry socket tcp canonical show_events target cancel_after =
     let workload =
       match workload with
       | "ping" -> Ok Serve.Protocol.Ping
@@ -740,6 +804,7 @@ let job_cmd =
       | "mc" -> Ok (Serve.Protocol.Mc { n; seed })
       | "corners" -> Ok Serve.Protocol.Corners
       | "verify" -> Ok (Serve.Protocol.Verify { samples; seed })
+      | "cancel" -> Ok (Serve.Protocol.Cancel { target })
       | other -> Error other
     in
     match workload with
@@ -760,7 +825,28 @@ let job_cmd =
           Format.eprintf "%s@."
             (Obs.Json.to_string (Serve.Protocol.event_to_json e))
       in
-      let r = Serve.Client.call ~on_event client req in
+      let r =
+        match cancel_after with
+        | None -> Serve.Client.call ~on_event client req
+        | Some delay ->
+          (* Same-connection cancellation round-trip: submit, wait, send
+             the cancel, read its acknowledgement, then the job's final
+             (a cancel answer always overtakes the job it targets). *)
+          Serve.Client.submit client req;
+          Unix.sleepf delay;
+          let cancel_req =
+            Serve.Protocol.request
+              ~id:(req.Serve.Protocol.id + 1)
+              (Serve.Protocol.Cancel { target = req.Serve.Protocol.id })
+          in
+          Serve.Client.submit client cancel_req;
+          let ack =
+            Serve.Client.await ~on_event client cancel_req.Serve.Protocol.id
+          in
+          Format.eprintf "%s@."
+            (Obs.Json.to_string (Serve.Protocol.response_to_json ack));
+          Serve.Client.await ~on_event client req.Serve.Protocol.id
+      in
       Serve.Client.close client;
       print_string
         (if canonical then Serve.Protocol.canonical r
@@ -768,18 +854,20 @@ let job_cmd =
       print_newline ();
       (match r.Serve.Protocol.status with
        | Serve.Protocol.Done -> ()
+       | Serve.Protocol.Cancelled -> exit 3
        | _ -> exit 1)
   in
   let info =
     Cmd.info "job"
       ~doc:"Submit one job to a running $(b,losac serve) daemon and print \
-            its response."
+            its response.  Exit status: 0 on success, 3 when the job \
+            ended $(b,cancelled), 1 on any other failure."
   in
   Cmd.v info
     Term.(const run $ telemetry_term $ proc_arg $ kind_arg $ spec_term
           $ workload_arg $ case $ topology $ n $ seed $ samples $ seconds
           $ timeout $ telemetry $ socket_arg $ tcp_arg $ canonical
-          $ show_events)
+          $ show_events $ target $ cancel_after)
 
 let () =
   let info =

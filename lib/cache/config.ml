@@ -5,11 +5,17 @@ let initial =
   | Some ("0" | "false" | "off" | "no") -> false
   | Some _ | None -> true
 
-let flag = ref initial
-let enabled () = !flag
-let set_enabled b = flag := b
+(* Resolution order: context-local binding > global > default (on).
+   [with_enabled] binds domain-locally so concurrent jobs with
+   conflicting cache switches never observe each other; [set_enabled]
+   remains a genuine global mutation for CLI startup. *)
+let global = ref initial
 
-let with_enabled b f =
-  let saved = !flag in
-  flag := b;
-  Fun.protect ~finally:(fun () -> flag := saved) f
+let local : bool Obs.Fluid.t = Obs.Fluid.make ()
+
+let enabled () =
+  match Obs.Fluid.get local with Some b -> b | None -> !global
+
+let set_enabled b = global := b
+
+let with_enabled b f = Obs.Fluid.with_value local b f

@@ -1,23 +1,30 @@
-(** The global cache enable flag.
+(** The cache enable flag: context-local binding over a global default.
 
     Caching is {e on} by default: every memo stores the exact value the
     wrapped computation produced, so results are bit-identical with the
-    cache on or off.  The [LOSAC_CACHE] environment variable ([0], [false]
-    or [off] to disable) sets the initial state; the CLI
+    cache on or off.  The [LOSAC_CACHE] environment variable ([0],
+    [false] or [off] to disable) sets the initial global state; the CLI
     [--cache]/[--no-cache] flags and {!set_enabled} override it at run
     time.
 
-    Like {!Obs.Config}, hot call sites read {!flag} directly — the
-    disabled cost of a memoized function is one ref read and a branch. *)
-
-val flag : bool ref
-(** Read directly from hot call sites. *)
+    Resolution order (most to least specific):
+    {e ctx binding > global > default (on)}.  {!with_enabled} binds a
+    context-local value on the calling domain only (propagated to pool
+    workers per batch by [Par.Pool]), so two concurrent scopes with
+    conflicting cache switches never observe each other.  Hot call
+    sites check {!enabled} once — the disabled cost of a memoized
+    function is one domain-local read and a branch. *)
 
 val enabled : unit -> bool
+(** The effective flag: the calling domain's context-local binding if
+    one is active, the global otherwise. *)
+
 val set_enabled : bool -> unit
+(** Set the process-global fallback. *)
 
 val with_enabled : bool -> (unit -> 'a) -> 'a
-(** Run with the flag temporarily set, restoring the previous value. *)
+(** Run with a context-local binding on the calling domain, restored on
+    exit.  Never touches the global. *)
 
 val env_var : string
 (** ["LOSAC_CACHE"]. *)

@@ -32,7 +32,7 @@ let build ~name ~xs ~ys ~f =
       Array.blit v 0 data ((ix * ny + iy) * outputs) outputs
     done
   done;
-  if !Obs.Config.flag then begin
+  if (Obs.Config.enabled ()) then begin
     Obs.Metrics.incr "cache.lut.builds";
     Obs.Metrics.add "cache.lut.built_points" (float_of_int (nx * ny))
   end;

@@ -152,7 +152,7 @@ let insert (t : (_, _) t) s ~khash key value =
     if s.size > s.cap then evict_lru t s
 
 let find_or_compute t k f =
-  if not !Config.flag then f ()
+  if not (Config.enabled ()) then f ()
   else begin
     let h = key_hash k in
     let s = shard_of t h in

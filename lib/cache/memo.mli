@@ -33,9 +33,9 @@ val create : ?shards:int -> ?capacity:int -> name:string -> unit -> ('k, 'v) t
 
 val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
 (** [find_or_compute t k f] returns the cached value for [k], computing
-    and storing [f ()] on a miss.  When caching is disabled
-    ({!Config.flag}), simply calls [f] and touches neither the table nor
-    the counters. *)
+    and storing [f ()] on a miss.  When caching is disabled in the
+    calling context ({!Config.enabled}), simply calls [f] and touches
+    neither the table nor the counters. *)
 
 val mem : ('k, 'v) t -> 'k -> bool
 (** Pure lookup (no insertion, no LRU promotion, no counters). *)

@@ -155,7 +155,7 @@ let run ?(options = Layout_bridge.default_options) ?ctx ?proc ~kind ~spec case
     Ctx.check_deadline ~analysis:"flow" ctx;
     let design, passes = size_calibrated ~proc ~kind ~spec ~parasitics in
     sizing_passes := !sizing_passes + passes;
-    if !Obs.Config.flag then begin
+    if (Obs.Config.enabled ()) then begin
       Obs.Metrics.add "flow.sizing_passes" (float_of_int passes);
       Obs.Trace.add_arg "passes" (Obs.Trace.Int passes)
     end;
@@ -176,7 +176,7 @@ let run ?(options = Layout_bridge.default_options) ?ctx ?proc ~kind ~spec case
   in
   let record_delta d =
     trajectory := d :: !trajectory;
-    if !Obs.Config.flag then Obs.Metrics.observe "flow.parasitic_delta" d
+    if (Obs.Config.enabled ()) then Obs.Metrics.observe "flow.parasitic_delta" d
   in
   let design =
     match case with
@@ -219,7 +219,7 @@ let run ?(options = Layout_bridge.default_options) ?ctx ?proc ~kind ~spec case
     Obs.Trace.with_span ~cat:"flow" "flow.verify_extracted" (fun () ->
       Comdiac.Testbench.performance tb_ext)
   in
-  if !Obs.Config.flag then begin
+  if (Obs.Config.enabled ()) then begin
     Obs.Metrics.add "flow.layout_calls" (float_of_int !layout_calls);
     Obs.Trace.add_arg "layout_calls" (Obs.Trace.Int !layout_calls);
     Obs.Trace.add_arg "sizing_passes" (Obs.Trace.Int !sizing_passes)

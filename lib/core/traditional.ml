@@ -57,7 +57,7 @@ let run ?(options = Layout_bridge.default_options) ?(max_iterations = 8) ~proc
         met = meets spec perf;
       }
     in
-    if !Obs.Config.flag then begin
+    if (Obs.Config.enabled ()) then begin
       (* relative GBW error after each full layout: the traditional
          flow's convergence trajectory, comparable to the layout-oriented
          flow's [flow.parasitic_delta] series *)
@@ -84,7 +84,7 @@ let run ?(options = Layout_bridge.default_options) ?(max_iterations = 8) ~proc
   let design, extracted, iterations, converged =
     loop Par.none spec.Comdiac.Spec.gbw [] 1
   in
-  if !Obs.Config.flag then
+  if (Obs.Config.enabled ()) then
     Obs.Metrics.add "traditional.full_layouts" (float_of_int !full_layouts);
   {
     design;

@@ -131,7 +131,7 @@ let eval_memo : (kind * E.mos_params * float * float * bias, eval) Cache.Memo.t 
   Cache.Memo.create ~name:"device.eval" ~shards:16 ~capacity:(1 lsl 17) ()
 
 let evaluate kind p ~w ~l bias =
-  if not !Cache.Config.flag then evaluate_exact kind p ~w ~l bias
+  if not (Cache.Config.enabled ()) then evaluate_exact kind p ~w ~l bias
   else
     Cache.Memo.find_or_compute eval_memo
       (kind, p, w, l, bias)

@@ -7,23 +7,36 @@ type t = {
   backend : Sim.Stamps.backend option;
   label : string option;
   deadline : float option;
+  cancel : bool Atomic.t;
 }
 
-let make ?jobs ?chunk ?cache ?telemetry ?backend ?label ?deadline proc =
-  { proc; jobs; chunk; cache; telemetry; backend; label; deadline }
+let make ?jobs ?chunk ?cache ?telemetry ?backend ?label ?deadline ?cancel proc =
+  let cancel = match cancel with Some c -> c | None -> Atomic.make false in
+  { proc; jobs; chunk; cache; telemetry; backend; label; deadline; cancel }
 
 let with_timeout timeout_s ctx =
   match timeout_s with
   | None -> ctx
   | Some t -> { ctx with deadline = Some (Obs.Clock.monotonic_s () +. t) }
 
+let cancelled ctx =
+  match ctx with None -> false | Some c -> Atomic.get c.cancel
+
 let check_deadline ?(analysis = "exec") ctx =
   match ctx with
   | None -> ()
-  | Some { deadline = None; _ } -> ()
-  | Some { deadline = Some d; _ } ->
-    let now = Obs.Clock.monotonic_s () in
-    if now > d then raise (Sim.Sim_error.Deadline_exceeded (analysis, now -. d))
+  | Some c ->
+    (* A cancellation token behaves as "deadline moved to now": the same
+       safe interruption points that poll the deadline observe it, and
+       it surfaces through the same [Deadline_exceeded] path. *)
+    if Atomic.get c.cancel then
+      raise (Sim.Sim_error.Deadline_exceeded (analysis, 0.));
+    (match c.deadline with
+     | None -> ()
+     | Some d ->
+       let now = Obs.Clock.monotonic_s () in
+       if now > d then
+         raise (Sim.Sim_error.Deadline_exceeded (analysis, now -. d)))
 
 let jobs ?override ctx =
   match override with
@@ -49,6 +62,11 @@ let scope ctx f =
     let with_opt apply o k =
       match o with None -> k () | Some v -> apply v k
     in
+    (* Each switch binds context-locally (domain-local fluids), so two
+       scopes with conflicting flags can run concurrently on different
+       domains without observing each other; [None] fields leave the
+       outer binding (or the process global) visible.  [Par.Pool]
+       re-installs these bindings around every chunk it runs for us. *)
     with_opt Cache.Config.with_enabled c.cache @@ fun () ->
     with_opt Obs.Config.with_enabled c.telemetry @@ fun () ->
     with_opt Sim.Stamps.with_default_backend c.backend @@ fun () ->

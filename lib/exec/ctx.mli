@@ -10,10 +10,14 @@
     [Comdiac.Robustness.run].  The old [?jobs] parameters remain as
     deprecated overrides so existing callers compile unchanged.
 
-    The context is immutable plain data and safe to share across
-    domains; {!scope} applies the switch fields by saving and restoring
-    the corresponding global flags around a closure, so nested scopes
-    behave like dynamic binding. *)
+    The context is plain data (plus one atomic cancellation token) and
+    safe to share across domains; {!scope} applies the switch fields as
+    {e context-local} bindings ({!Obs.Fluid}: domain-local storage with
+    the process global as fallback), so nested scopes behave like
+    dynamic binding and two scopes with conflicting switches can run
+    concurrently on different domains — the job server's executors —
+    without observing each other.  Resolution order for every switch:
+    explicit override > ctx binding > global > built-in default. *)
 
 type t = {
   proc : Technology.Process.t;  (** technology the analysis runs on *)
@@ -38,6 +42,12 @@ type t = {
       (** absolute {!Obs.Clock.monotonic_s} instant after which
           {!check_deadline} raises — the cooperative per-request timeout
           of the job server.  [None] = no deadline. *)
+  cancel : bool Atomic.t;
+      (** cooperative cancellation token: once set, {!check_deadline}
+          raises at its next poll, exactly as if the deadline had moved
+          to now.  The job server shares this token with its [cancel]
+          wire request; sharing one token across contexts makes them
+          cancel together. *)
 }
 
 val make :
@@ -45,17 +55,26 @@ val make :
   ?backend:Sim.Stamps.backend ->
   ?label:string ->
   ?deadline:float ->
+  ?cancel:bool Atomic.t ->
   Technology.Process.t -> t
-(** [make proc] is a context with all switches at their defaults. *)
+(** [make proc] is a context with all switches at their defaults (and a
+    fresh, unset cancellation token unless [?cancel] supplies a shared
+    one). *)
 
 val with_timeout : float option -> t -> t
 (** [with_timeout (Some t) ctx] sets [ctx.deadline] to now + [t]
     seconds; [None] leaves the context unchanged. *)
 
+val cancelled : t option -> bool
+(** Whether the context's cancellation token is set ([false] without a
+    context). *)
+
 val check_deadline : ?analysis:string -> t option -> unit
 (** Raise [Sim.Sim_error.Deadline_exceeded (analysis, overshoot)] when
-    the context's deadline has passed; a no-op without a context or a
-    deadline.  Analyses call this at safe interruption boundaries —
+    the context's deadline has passed {e or} its cancellation token is
+    set (overshoot [0.] — cancellation is "deadline moved to now"); a
+    no-op without a context or a deadline.  Analyses call this at safe
+    interruption boundaries —
     between Monte Carlo samples, corner points and sizing/layout
     iterations — so a timed-out request is abandoned cooperatively
     (never mid-solve) and surfaces as {!Sim.Sim_error.Timeout} through
@@ -78,11 +97,15 @@ val proc : ?override:Technology.Process.t -> t option -> Technology.Process.t
     sites still compile. *)
 
 val scope : t option -> (unit -> 'a) -> ('a, exn) result
-(** [scope ctx f] runs [f] with the context's cache and telemetry
-    switches applied ([None] fields leave the globals untouched),
-    restoring the previous values afterwards even on exceptions.  The
-    result is returned as [Ok]/[Error] so callers can re-raise outside
-    the scope; use {!run} for the raising variant. *)
+(** [scope ctx f] runs [f] with the context's cache, telemetry and
+    backend switches bound {e context-locally} on the calling domain
+    ([None] fields leave the outer binding or global visible), restored
+    afterwards even on exceptions.  Nothing global is written: globals
+    are unchanged during and after the scope, and concurrent scopes
+    with conflicting switches are isolated (the pool propagates the
+    bindings to worker domains per batch).  The result is returned as
+    [Ok]/[Error] so callers can re-raise outside the scope; use {!run}
+    for the raising variant. *)
 
 val run : t option -> (unit -> 'a) -> 'a
 (** {!scope} that re-raises. *)

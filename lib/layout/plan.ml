@@ -224,7 +224,7 @@ let run ?max_w ?max_h ?aspect ~mode ~nets proc floorplan =
             | Generation -> "generation")) ]
     "cairo.plan.run"
   @@ fun () ->
-  if !Obs.Config.flag then begin
+  if (Obs.Config.enabled ()) then begin
     Obs.Metrics.incr "cairo.plan.calls";
     Obs.Metrics.incr
       (match mode with
@@ -236,7 +236,7 @@ let run ?max_w ?max_h ?aspect ~mode ~nets proc floorplan =
     | Slicing.Leaf (g, _) ->
       let vs = variants_of_group proc g in
       assert (vs <> []);
-      if !Obs.Config.flag then
+      if (Obs.Config.enabled ()) then
         Obs.Metrics.add "cairo.plan.variants_generated"
           (float_of_int (List.length vs));
       let boxes = List.map (fun v -> Cell.size v.v_cell) vs in
@@ -301,7 +301,7 @@ let run ?max_w ?max_h ?aspect ~mode ~nets proc floorplan =
         net_names
     in
     let total_h = h + routing.Route.channel_height + proc.P.rules.Technology.Rules.metal2_space in
-    if !Obs.Config.flag then begin
+    if (Obs.Config.enabled ()) then begin
       Obs.Trace.add_arg "total_w" (Obs.Trace.Int w);
       Obs.Trace.add_arg "total_h" (Obs.Trace.Int total_h);
       Obs.Metrics.set "cairo.plan.last_area_lambda2"

@@ -65,7 +65,7 @@ let optimize ?max_w ?max_h ?aspect t =
   Obs.Trace.with_span ~cat:"cairo" "slicing.optimize" @@ fun () ->
   let ann = annotate t in
   let s = shape_of ann in
-  if !Obs.Config.flag then begin
+  if (Obs.Config.enabled ()) then begin
     let nodes, points = count_ann ann in
     Obs.Metrics.incr "cairo.slicing.optimizations";
     Obs.Metrics.add "cairo.slicing.tree_nodes" (float_of_int nodes);
@@ -79,7 +79,7 @@ let optimize ?max_w ?max_h ?aspect t =
   | Some i ->
     let pt = s.(i) in
     let placements = List.rev (realize ann i ~x:0 ~y:0 []) in
-    if !Obs.Config.flag then begin
+    if (Obs.Config.enabled ()) then begin
       let aspect_ratio =
         float_of_int pt.Shape.w /. float_of_int (max 1 pt.Shape.h)
       in

@@ -118,7 +118,7 @@ let factor_core m ~piv =
   done
 
 let lu_factor_in_place m ~piv =
-  if not !Obs.Config.flag then factor_core m ~piv
+  if not (Obs.Config.enabled ()) then factor_core m ~piv
   else begin
     Obs.Metrics.incr "linalg.cx.factors";
     let t0 = Obs.Clock.monotonic_s () in
@@ -135,7 +135,7 @@ let lu_solve_into m ~piv ~b_re ~b_im ~x_re ~x_im =
   let n = m.n in
   assert (Array.length b_re = n && Array.length b_im = n);
   assert (Array.length x_re = n && Array.length x_im = n);
-  if !Obs.Config.flag then Obs.Metrics.incr "linalg.cx.solves";
+  if (Obs.Config.enabled ()) then Obs.Metrics.incr "linalg.cx.solves";
   let re = m.re and im = m.im in
   for i = 0 to n - 1 do
     let p = Array.unsafe_get piv i in

@@ -104,7 +104,7 @@ let factor_core m ~piv =
   done
 
 let lu_factor_in_place m ~piv =
-  if not !Obs.Config.flag then factor_core m ~piv
+  if not (Obs.Config.enabled ()) then factor_core m ~piv
   else begin
     Obs.Metrics.incr "linalg.real.factors";
     let t0 = Obs.Clock.monotonic_s () in
@@ -119,7 +119,7 @@ let lu_factor_in_place m ~piv =
 let lu_solve_into m ~piv ~b ~x =
   let n = m.r in
   assert (Array.length b = n && Array.length x = n && Array.length piv = n);
-  if !Obs.Config.flag then Obs.Metrics.incr "linalg.real.solves";
+  if (Obs.Config.enabled ()) then Obs.Metrics.incr "linalg.real.solves";
   let a = m.a in
   for i = 0 to n - 1 do
     Array.unsafe_set x i (Array.unsafe_get b (Array.unsafe_get piv i))

@@ -438,12 +438,12 @@ let symbolic ordering pat =
   in
   match List.find_opt (fun (p, _) -> same_pattern p pat) !bucket with
   | Some (_, sym) ->
-    if !Obs.Config.flag then Obs.Metrics.incr "linalg.sparse.symbolic_hits";
+    if (Obs.Config.enabled ()) then Obs.Metrics.incr "linalg.sparse.symbolic_hits";
     sym
   | None ->
     let build () = build_symbolic ordering pat in
     let sym =
-      if not !Obs.Config.flag then build ()
+      if not (Obs.Config.enabled ()) then build ()
       else begin
         Obs.Metrics.incr "linalg.sparse.symbolic_builds";
         let t0 = Obs.Clock.monotonic_s () in
@@ -454,7 +454,7 @@ let symbolic ordering pat =
           build
       end
     in
-    if !Obs.Config.flag then begin
+    if (Obs.Config.enabled ()) then begin
       Obs.Metrics.set "linalg.sparse.nnz" (float_of_int (nnz pat));
       Obs.Metrics.set "linalg.sparse.fill_nnz" (float_of_int sym.f_nnz)
     end;
@@ -668,7 +668,7 @@ module Real = struct
     | Min_degree -> refactor_md t ~vals
 
   let refactor t ~vals =
-    if not !Obs.Config.flag then refactor_core t ~vals
+    if not (Obs.Config.enabled ()) then refactor_core t ~vals
     else begin
       let t0 = Obs.Clock.monotonic_s () in
       Fun.protect
@@ -704,7 +704,7 @@ module Real = struct
   let solve_into t ~b ~x =
     let sym = t.sym in
     let n = sym.pat.n in
-    if !Obs.Config.flag then Obs.Metrics.incr "linalg.sparse.solves";
+    if (Obs.Config.enabled ()) then Obs.Metrics.incr "linalg.sparse.solves";
     let lu = t.lu in
     let frp = sym.f_row_ptr and fci = sym.f_col_idx in
     match sym.ordering with
@@ -1000,7 +1000,7 @@ module Cx = struct
     | Min_degree -> refactor_md t ~re ~im
 
   let refactor t ~re ~im =
-    if not !Obs.Config.flag then refactor_core t ~re ~im
+    if not (Obs.Config.enabled ()) then refactor_core t ~re ~im
     else begin
       let t0 = Obs.Clock.monotonic_s () in
       Fun.protect
@@ -1058,7 +1058,7 @@ module Cx = struct
   let solve_into t ~b_re ~b_im ~x_re ~x_im =
     let sym = t.sym in
     let n = sym.pat.n in
-    if !Obs.Config.flag then Obs.Metrics.incr "linalg.sparse.solves";
+    if (Obs.Config.enabled ()) then Obs.Metrics.incr "linalg.sparse.solves";
     let lre = t.lu_re and lim = t.lu_im in
     let frp = sym.f_row_ptr and fci = sym.f_col_idx in
     match sym.ordering with

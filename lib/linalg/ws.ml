@@ -33,7 +33,7 @@ type cx = {
 }
 
 let count_acquire hit =
-  if !Obs.Config.flag then
+  if (Obs.Config.enabled ()) then
     Obs.Metrics.incr (if hit then "linalg.ws.hits" else "linalg.ws.creates")
 
 let real_key : (int, real) Hashtbl.t Domain.DLS.key =

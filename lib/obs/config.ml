@@ -1,14 +1,19 @@
-(* The global telemetry switch.  Instrumented call sites read [flag] (or
-   call [enabled]) exactly once before doing any telemetry work, so the
-   disabled cost is a single ref read and branch. *)
+(* The telemetry switch.
 
-let flag = ref false
+   Resolution order: context-local binding (a {!Fluid} slot, bound by
+   [with_enabled] / [Exec.Ctx.scope]) wins over the process-global
+   [global] ref (set by [set_enabled] at CLI startup); the default is
+   off.  Instrumented call sites call [enabled] exactly once before
+   doing any telemetry work, so the disabled cost is one DLS read, a
+   match and at most one ref read. *)
 
-let enabled () = !flag
+let global = ref false
 
-let set_enabled b = flag := b
+let local : bool Fluid.t = Fluid.make ()
 
-let with_enabled b f =
-  let prev = !flag in
-  flag := b;
-  Fun.protect ~finally:(fun () -> flag := prev) f
+let enabled () =
+  match Fluid.get local with Some b -> b | None -> !global
+
+let set_enabled b = global := b
+
+let with_enabled b f = Fluid.with_value local b f

@@ -1,14 +1,27 @@
-(** The global telemetry enable flag.
+(** The telemetry enable flag: context-local binding over a global
+    default.
 
-    Telemetry is off by default; every instrumented call site checks the
-    flag once before recording anything, so the disabled cost on hot paths
-    (Newton solves, AC sweeps) is one ref read and a branch. *)
+    Telemetry is off by default; every instrumented call site checks
+    {!enabled} once before recording anything, so the disabled cost on
+    hot paths (Newton solves, AC sweeps) is one domain-local read and a
+    branch.
 
-val flag : bool ref
-(** Read directly from hot call sites. *)
+    Resolution order (most to least specific):
+    {e ctx binding > global > default (off)}.  {!with_enabled} binds
+    the context-local value on the calling domain only — concurrent
+    scopes with conflicting values do not observe each other — while
+    {!set_enabled} mutates the process-global fallback (CLI startup,
+    [--metrics]).  [Par.Pool] propagates the binding to worker domains
+    per batch via {!Fluid.capture}. *)
 
 val enabled : unit -> bool
+(** The effective flag: the calling domain's context-local binding if
+    one is active, the global otherwise. *)
+
 val set_enabled : bool -> unit
+(** Set the process-global fallback (observed by every domain with no
+    context-local binding). *)
 
 val with_enabled : bool -> (unit -> 'a) -> 'a
-(** Run with the flag temporarily set, restoring the previous value. *)
+(** Run with a context-local binding on the calling domain, restored on
+    exit.  Never touches the global. *)

@@ -83,7 +83,7 @@ let find_ref tbl name =
     r
 
 let add name by =
-  if !Config.flag then
+  if (Config.enabled ()) then
     locked @@ fun () ->
     let r = find_ref counters name in
     r := !r +. by
@@ -91,13 +91,13 @@ let add name by =
 let incr ?(by = 1.0) name = add name by
 
 let set name v =
-  if !Config.flag then
+  if (Config.enabled ()) then
     locked @@ fun () ->
     let r = find_ref gauges name in
     r := v
 
 let observe name v =
-  if !Config.flag then begin
+  if (Config.enabled ()) then begin
     let tbl = Domain.DLS.get shard_key in
     let sh =
       match Hashtbl.find_opt tbl name with

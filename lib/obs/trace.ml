@@ -5,7 +5,7 @@
    Spans nest through a stack, so [with_span] calls compose naturally
    across library boundaries (a sizing span contains simulator spans).
 
-   Everything is a no-op while [Config.flag] is false; the only cost at an
+   Everything is a no-op while [Config.enabled ()] is false; the only cost at an
    instrumented call site is the flag read.
 
    Domain safety: spans may be opened and closed from pool worker domains
@@ -121,7 +121,7 @@ let reset () =
   stack () := []
 
 let begin_span ?(cat = "losac") name =
-  if !Config.flag then begin
+  if (Config.enabled ()) then begin
     let stack = stack () in
     let path =
       match !stack with
@@ -135,13 +135,13 @@ let begin_span ?(cat = "losac") name =
   end
 
 let add_arg key value =
-  if !Config.flag then
+  if (Config.enabled ()) then
     match !(stack ()) with
     | s :: _ -> s.o_args <- (key, value) :: s.o_args
     | [] -> ()
 
 let end_span () =
-  if !Config.flag then begin
+  if (Config.enabled ()) then begin
     let stack = stack () in
     match !stack with
     | [] -> ()
@@ -173,7 +173,7 @@ let end_span () =
   end
 
 let with_span ?cat ?(args = []) name f =
-  if not !Config.flag then f ()
+  if not (Config.enabled ()) then f ()
   else begin
     begin_span ?cat name;
     (match !(stack ()) with s :: _ -> s.o_args <- List.rev args | [] -> ());

@@ -88,6 +88,11 @@ type batch = {
   bt_body : int -> unit; (* run chunk [ci]; may raise *)
   bt_items : int -> int; (* item count of chunk [ci], for cost feedback *)
   bt_cost : int; (* cost-class histogram index, -1 for none *)
+  bt_fluids : Obs.Fluid.snapshot;
+  (* the submitter's context-local bindings (cache/backend/telemetry
+     switches), re-installed around every chunk so dynamic scope follows
+     the work onto whichever domain runs it — worker, thief or helping
+     caller.  Captured once per batch. *)
   bt_mutex : Mutex.t;
   bt_done : Condition.t;
   mutable bt_remaining : int;
@@ -162,6 +167,12 @@ let account_key =
     ac)
 
 let my_account () = Domain.DLS.get account_key
+
+(* Label the calling domain's participant row (e.g. the job server tags
+   its executor domains "exec-0".."exec-N"), registering the account on
+   first contact so the row exists before any batch runs.  Worker
+   domains overwrite their own role to "worker" at startup. *)
+let set_role name = (my_account ()).ac_role <- name
 
 type worker_stat = {
   ws_domain : int;
@@ -268,7 +279,7 @@ let try_steal me =
       let rec probe i =
         if i >= len then begin
           me.ac_steal_spins <- me.ac_steal_spins + 1;
-          if !Obs.Config.flag then Obs.Metrics.incr "par.steal_spins";
+          if (Obs.Config.enabled ()) then Obs.Metrics.incr "par.steal_spins";
           None
         end
         else begin
@@ -276,11 +287,11 @@ let try_steal me =
           if v == me || Deque.size v.ac_deque = 0 then probe (i + 1)
           else begin
             me.ac_steal_attempts <- me.ac_steal_attempts + 1;
-            if !Obs.Config.flag then Obs.Metrics.incr "par.steal_attempts";
+            if (Obs.Config.enabled ()) then Obs.Metrics.incr "par.steal_attempts";
             match Deque.steal v.ac_deque with
             | `Stolen sl ->
               me.ac_steals <- me.ac_steals + 1;
-              if !Obs.Config.flag then Obs.Metrics.incr "par.steals";
+              if (Obs.Config.enabled ()) then Obs.Metrics.incr "par.steals";
               Some sl
             | `Empty | `Lost -> probe (i + 1)
           end
@@ -293,7 +304,7 @@ let try_steal me =
 (* --- chunk execution -------------------------------------------------- *)
 
 let instrumented ~chunk ~lo ~hi body =
-  if not !Obs.Config.flag then body ()
+  if not (Obs.Config.enabled ()) then body ()
   else begin
     Obs.Metrics.incr "par.tasks";
     Obs.Metrics.observe "par.chunk_items" (float_of_int (hi - lo));
@@ -318,28 +329,33 @@ let run_slice me sl =
   let b = sl.sl_batch in
   let ci = sl.sl_lo in
   let t0 = Obs.Clock.monotonic_us () in
-  (try
-     (match Atomic.get stall_hook with Some h -> h ci | None -> ());
-     b.bt_body ci
-   with e ->
-     let bt = Printexc.get_raw_backtrace () in
-     Mutex.lock b.bt_mutex;
-     if b.bt_failed = None then b.bt_failed <- Some (e, bt);
-     Mutex.unlock b.bt_mutex);
-  let t1 = Obs.Clock.monotonic_us () in
-  let wait = Float.max 0. (t0 -. sl.sl_push_us) in
-  me.ac_tasks <- me.ac_tasks + 1;
-  Float.Array.set me.ac_times 0 (Float.Array.get me.ac_times 0 +. (t1 -. t0));
-  Float.Array.set me.ac_times 1 (Float.Array.get me.ac_times 1 +. wait);
-  (if b.bt_cost >= 0 then
-     let items = b.bt_items ci in
-     if items > 0 then
-       Obs.Hist.record me.ac_cost.(b.bt_cost)
-         ((t1 -. t0) /. float_of_int items));
-  if !Obs.Config.flag then begin
-    Obs.Metrics.observe "par.queue_wait_us" wait;
-    Obs.Metrics.observe "par.task_run_us" (t1 -. t0)
-  end;
+  (* Run the chunk (and its per-chunk telemetry) under the submitter's
+     context-local bindings; the domain's own bindings are restored
+     before the batch countdown. *)
+  Obs.Fluid.with_snapshot b.bt_fluids (fun () ->
+      (try
+         (match Atomic.get stall_hook with Some h -> h ci | None -> ());
+         b.bt_body ci
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Mutex.lock b.bt_mutex;
+         if b.bt_failed = None then b.bt_failed <- Some (e, bt);
+         Mutex.unlock b.bt_mutex);
+      let t1 = Obs.Clock.monotonic_us () in
+      let wait = Float.max 0. (t0 -. sl.sl_push_us) in
+      me.ac_tasks <- me.ac_tasks + 1;
+      Float.Array.set me.ac_times 0
+        (Float.Array.get me.ac_times 0 +. (t1 -. t0));
+      Float.Array.set me.ac_times 1 (Float.Array.get me.ac_times 1 +. wait);
+      (if b.bt_cost >= 0 then
+         let items = b.bt_items ci in
+         if items > 0 then
+           Obs.Hist.record me.ac_cost.(b.bt_cost)
+             ((t1 -. t0) /. float_of_int items));
+      if (Obs.Config.enabled ()) then begin
+        Obs.Metrics.observe "par.queue_wait_us" wait;
+        Obs.Metrics.observe "par.task_run_us" (t1 -. t0)
+      end);
   Mutex.lock b.bt_mutex;
   b.bt_remaining <- b.bt_remaining - 1;
   if b.bt_remaining = 0 then Condition.broadcast b.bt_done;
@@ -503,6 +519,7 @@ let run_batch ~jobs ~chunks ~cost ~items body =
       bt_body = body;
       bt_items = items;
       bt_cost = (match cost with Some c -> class_index c | None -> 3);
+      bt_fluids = Obs.Fluid.capture ();
       bt_mutex = Mutex.create ();
       bt_done = Condition.create ();
       bt_remaining = chunks;
@@ -523,7 +540,7 @@ let run_batch ~jobs ~chunks ~cost ~items body =
           sl_push_us = Obs.Clock.monotonic_us ();
         }
   done;
-  if !Obs.Config.flag then begin
+  if (Obs.Config.enabled ()) then begin
     Obs.Metrics.observe "par.queue_depth" (float_of_int (depth0 + p));
     Obs.Metrics.observe "par.batch_tasks" (float_of_int chunks)
   end;

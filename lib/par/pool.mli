@@ -49,7 +49,15 @@
     {b Utilization.}  Independently of telemetry, every participating
     domain keeps an always-on account — tasks, busy and queue-wait
     time, steal attempts/successes/spins, warm-up — merged on demand by
-    {!worker_stats}. *)
+    {!worker_stats}.
+
+    {b Context propagation.}  Each batch captures the submitter's
+    context-local bindings ({!Obs.Fluid.capture}: cache/backend/
+    telemetry switches) and re-installs them around every chunk on
+    whichever domain runs it, so a scope's configuration follows its
+    work through stealing and caller-helps.  Two concurrent batches
+    with conflicting bindings therefore stay isolated even when their
+    chunks interleave on the same worker. *)
 
 type cost =
   | Cheap  (** ≲ 0.1 ms per item (e.g. a Monte Carlo sample's share) *)
@@ -99,9 +107,18 @@ val num_workers : unit -> int
 val queue_depth : unit -> int
 (** Slices currently queued across all deques (diagnostic; racy). *)
 
+val set_role : string -> unit
+(** Label the calling domain's participant row in {!worker_stats}
+    (registering it on first contact).  The job server tags its
+    executor domains ["exec-0"].."exec-N" so [losac stats] renders
+    per-executor rows; pool domains are always ["worker"], everything
+    else defaults to ["caller"]. *)
+
 type worker_stat = {
   ws_domain : int;  (** OCaml domain id *)
-  ws_role : string;  (** ["worker"] for pool domains, ["caller"] otherwise *)
+  ws_role : string;
+  (** ["worker"] for pool domains, ["exec-<i>"] for job-server
+      executors (see {!set_role}), ["caller"] otherwise *)
   ws_tasks : int;
   ws_busy_us : float;  (** total chunk start->finish time on this domain *)
   ws_wait_us : float;  (** total deque-push->start wait of chunks it ran *)

@@ -189,6 +189,13 @@ let stats_payload () =
           ])
       (Par.Pool.worker_stats ())
   in
+  let is_exec (w : Par.Pool.worker_stat) =
+    String.length w.Par.Pool.ws_role >= 4
+    && String.sub w.Par.Pool.ws_role 0 4 = "exec"
+  in
+  let executors =
+    List.length (List.filter is_exec (Par.Pool.worker_stats ()))
+  in
   J.Obj
     [
       ("caches", J.Arr caches);
@@ -196,6 +203,7 @@ let stats_payload () =
        J.Obj
          [
            ("workers", J.Num (float_of_int (Par.Pool.num_workers ())));
+           ("executors", J.Num (float_of_int executors));
            ("queue_depth", J.Num (float_of_int (Par.Pool.queue_depth ())));
            ("domains", J.Arr workers);
          ]);
@@ -231,16 +239,20 @@ let classify ~analysis f =
      | Some err -> Error err
      | None -> raise e)
 
-let run_workload (r : P.request) proc =
+let run_workload ?cancel (r : P.request) proc =
   let ctx =
     Exec.Ctx.with_timeout r.P.timeout_s
       (Exec.Ctx.make ?jobs:r.P.jobs ?chunk:r.P.chunk ?cache:r.P.cache
          ?backend:r.P.backend
          ?telemetry:(if r.P.telemetry then Some true else None)
-         ~label:(P.workload_name r.P.workload) proc)
+         ~label:(P.workload_name r.P.workload) ?cancel proc)
   in
   let kind = r.P.kind and spec = r.P.spec in
   match r.P.workload with
+  | P.Cancel _ ->
+    (* Only meaningful against a live daemon connection, where the
+       reader thread intercepts it before execution (see Server). *)
+    Error "cancel requires a running daemon (nothing to cancel one-shot)"
   | P.Ping -> Ok (Ok (J.Obj [ ("pong", J.Bool true) ]))
   | P.Sleep { seconds } ->
     Ok
@@ -351,7 +363,7 @@ let run_workload (r : P.request) proc =
                         J.Arr [ J.Num lo; J.Num hi ]);
                      ])))))
 
-let execute (r : P.request) =
+let execute ?cancel (r : P.request) =
   let t0 = Obs.Clock.monotonic_s () in
   let finish status payload =
     {
@@ -364,7 +376,7 @@ let execute (r : P.request) =
   in
   match
     match Technology.Process.find r.P.proc with
-    | proc -> run_workload r proc
+    | proc -> run_workload ?cancel r proc
     | exception Not_found ->
       Error
         (Printf.sprintf "unknown technology %S (have: %s)" r.P.proc

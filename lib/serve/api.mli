@@ -1,8 +1,12 @@
 (** The shared job dispatcher: one {!Protocol.request} in, one
     {!Protocol.response} out.  Both the one-shot CLI ([losac <cmd>
-    --format json]) and the {!Server} executor thread call this exact
+    --format json]) and every {!Server} executor domain call this exact
     function, which is what makes a served job and a CLI run provably
-    the same code path.
+    the same code path.  All execution switches the request carries
+    (cache/backend/telemetry) are applied as context-local bindings by
+    [Exec.Ctx.scope] inside the workload runners, so concurrent
+    [execute] calls on different domains never observe each other's
+    configuration.
 
     [execute] never raises: simulator failures surface as
     [Failed (Sim_error.t)] (including cooperative {!Protocol.request}
@@ -10,9 +14,16 @@
     topologies as [Bad_request], and anything unexpected as [Internal].
     The response [payload] is deterministic — volatile data (elapsed
     time) goes into [meta] only — so {!Protocol.canonical} forms are
-    byte-comparable across runs and processes. *)
+    byte-comparable across runs and processes.
 
-val execute : Protocol.request -> Protocol.response
+    [?cancel] shares a cooperative cancellation token with the job's
+    [Exec.Ctx]: the server sets it on a [cancel] wire request, and the
+    job aborts at its next [check_deadline] poll (surfacing as
+    [Failed Timeout], which the server maps to [Cancelled]).  A
+    [Cancel] workload itself answers [Bad_request] here — only the
+    server's reader thread can act on it. *)
+
+val execute : ?cancel:bool Atomic.t -> Protocol.request -> Protocol.response
 
 (** {2 Payload builders}
 

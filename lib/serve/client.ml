@@ -43,8 +43,9 @@ let await ?on_event t rid =
       Option.iter (fun f -> f e) on_event;
       loop ()
     | P.Final r ->
-      (* Responses come back in submission order (single executor), but
-         admission rejections can overtake; match on the id. *)
+      (* With several executors, finals for different ids arrive in any
+         order (and admission rejections can overtake); match on the
+         id. *)
       if r.P.rid = rid || rid = -1 then r else loop ()
   in
   loop ()

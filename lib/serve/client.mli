@@ -27,6 +27,8 @@ val submit : t -> Protocol.request -> unit
 val await : ?on_event:(Protocol.event -> unit) -> t -> int -> Protocol.response
 (** Read messages until the final response for the given request id
     ([-1] accepts any); events go to [on_event].  Final responses for
-    {e other} ids are discarded, so pipelined submissions should be
-    awaited in completion order (admission rejections first, then
-    execution order). *)
+    {e other} ids are discarded — with several executors finals arrive
+    in nondeterministic order, so pipelined submissions that must all
+    be observed should each be awaited in expected completion order
+    (admission rejections and cancel acknowledgements overtake
+    execution) or use one connection per in-flight request. *)

@@ -14,6 +14,7 @@ type workload =
   | Mc of { n : int; seed : int }
   | Corners
   | Verify of { samples : int; seed : int }
+  | Cancel of { target : int }
 
 type request = {
   id : int;
@@ -45,6 +46,7 @@ let workload_name = function
   | Mc _ -> "mc"
   | Corners -> "corners"
   | Verify _ -> "verify"
+  | Cancel _ -> "cancel"
 
 let case_to_int = function
   | Core.Flow.Case1 -> 1
@@ -73,6 +75,7 @@ type status =
   | Internal of string
   | Overloaded of { depth : int; limit : int }
   | Shutting_down
+  | Cancelled
 
 type response = {
   rid : int;
@@ -111,6 +114,7 @@ let workload_to_json w =
       [ kv;
         ("samples", J.Num (float_of_int samples));
         ("seed", J.Num (float_of_int seed)) ]
+  | Cancel { target } -> J.Obj [ kv; ("target", J.Num (float_of_int target)) ]
 
 let spec_to_json (s : Comdiac.Spec.t) =
   let lo_i, hi_i = s.Comdiac.Spec.icmr in
@@ -171,6 +175,7 @@ let status_string = function
   | Internal _ -> "internal_error"
   | Overloaded _ -> "overloaded"
   | Shutting_down -> "shutting_down"
+  | Cancelled -> "cancelled"
 
 let status_error_json = function
   | Done -> []
@@ -194,6 +199,11 @@ let status_error_json = function
          [ ("kind", J.Str "shutting_down");
            ("message", J.Str "server is draining and accepts no new jobs") ])
     ]
+  | Cancelled ->
+    [ ("error",
+       J.Obj
+         [ ("kind", J.Str "cancelled");
+           ("message", J.Str "job cancelled by request") ]) ]
 
 let response_json ~with_meta r =
   J.Obj
@@ -306,6 +316,9 @@ let workload_of_json json =
     let* seed = int_field ~default:42 "seed" json in
     if samples <= 0 then Error "verify samples must be positive"
     else Ok (Verify { samples; seed })
+  | "cancel" ->
+    let* target = int_field "target" json in
+    Ok (Cancel { target })
   | other -> Error (Printf.sprintf "unknown workload kind %S" other)
 
 (* Spec overrides: absent fields keep the paper's Table-1 values. *)
@@ -444,6 +457,7 @@ let status_of_json json =
     let* limit = int_field "queue_limit" e in
     Ok (Overloaded { depth; limit })
   | "shutting_down" -> Ok Shutting_down
+  | "cancelled" -> Ok Cancelled
   | other -> Error (Printf.sprintf "unknown status %S" other)
 
 let message_of_json json =

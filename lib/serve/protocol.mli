@@ -36,6 +36,15 @@ type workload =
   | Verify of { samples : int; seed : int }
       (** the CLI [verify] bundle: Monte Carlo + rebias corner sweep +
           PSRR + common-mode range *)
+  | Cancel of { target : int }
+      (** cancel the queued or running job with id [target] {e on the
+          same connection}: sets its cooperative cancellation token
+          (deadline moved to now), so the job answers [Cancelled] at its
+          next interruption point.  Handled by the reader thread, never
+          queued — it cannot wait behind the job it cancels.  The
+          cancel request itself answers [Done] with
+          [{"target":id,"cancelled":bool}] ([false] when no such job is
+          pending).  Additive in [losac.job/1]. *)
 
 type request = {
   id : int;
@@ -68,6 +77,9 @@ type status =
   | Internal of string
   | Overloaded of { depth : int; limit : int }
   | Shutting_down
+  | Cancelled
+      (** the job was cancelled (via {!constructor:Cancel}) before or
+          during execution; additive status in [losac.job/1] *)
 
 type response = {
   rid : int;

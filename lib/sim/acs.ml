@@ -354,7 +354,7 @@ let factor_ws net (ws : Linalg.Ws.cx) ~freq =
   ws.Linalg.Ws.serial <- ws.Linalg.Ws.serial + 1
 
 let factor ?backend net ~freq =
-  if !Obs.Config.flag then Obs.Metrics.incr "sim.acs.factorizations";
+  if (Obs.Config.enabled ()) then Obs.Metrics.incr "sim.acs.factorizations";
   let backend =
     match backend with Some b -> b | None -> Stamps.default_backend ()
   in
@@ -387,7 +387,7 @@ let factor ?backend net ~freq =
       with Linalg.Singular _ when ordering = Linalg.Sparse.Min_degree ->
         (* numerically zero pivot under the static order; the pivoting
            natural-order factor decides singularity instead *)
-        if !Obs.Config.flag then Obs.Metrics.incr "sim.acs.pivot_fallbacks";
+        if (Obs.Config.enabled ()) then Obs.Metrics.incr "sim.acs.pivot_fallbacks";
         refactored Linalg.Sparse.Natural
     in
     F_sparse { net; fact }
@@ -422,7 +422,7 @@ let ensure_ws t =
   | F_ws r ->
     let ws = Linalg.Ws.cx (Indexing.size r.net.idx) in
     if ws != r.ws || ws.Linalg.Ws.serial <> r.serial then begin
-      if !Obs.Config.flag then Obs.Metrics.incr "sim.acs.ws_refactors";
+      if (Obs.Config.enabled ()) then Obs.Metrics.incr "sim.acs.ws_refactors";
       factor_ws r.net ws ~freq:r.freq;
       r.ws <- ws;
       r.serial <- ws.Linalg.Ws.serial
@@ -469,7 +469,7 @@ let solve_sparse net fact ~fill =
   sws
 
 let solve_sources f =
-  if !Obs.Config.flag then Obs.Metrics.incr "sim.acs.solves";
+  if (Obs.Config.enabled ()) then Obs.Metrics.incr "sim.acs.solves";
   match f with
   | F_ref { net; lu } -> C.lu_solve lu (rhs_sources net)
   | F_ws { net; _ } ->
@@ -493,7 +493,7 @@ let fill_injection net ~p ~n ~b_re ~b_im =
    | None -> ())
 
 let solve_injection f ~p ~n =
-  if !Obs.Config.flag then Obs.Metrics.incr "sim.acs.solves";
+  if (Obs.Config.enabled ()) then Obs.Metrics.incr "sim.acs.solves";
   match f with
   | F_ref { net; lu } ->
     let nn = Indexing.size net.idx in
@@ -524,7 +524,7 @@ let injection_gain2 f ~p ~n ~out =
   | F_ref _ ->
     Complex.norm2 (voltage (net_of f) (solve_injection f ~p ~n) out)
   | F_ws { net; _ } ->
-    if !Obs.Config.flag then Obs.Metrics.incr "sim.acs.solves";
+    if (Obs.Config.enabled ()) then Obs.Metrics.incr "sim.acs.solves";
     let ws = ensure_ws f in
     fill_injection net ~p ~n ~b_re:ws.Linalg.Ws.b_re ~b_im:ws.Linalg.Ws.b_im;
     Dc.lu_solve_into ws.Linalg.Ws.y ~piv:ws.Linalg.Ws.cpiv
@@ -536,7 +536,7 @@ let injection_gain2 f ~p ~n ~out =
        let re = ws.Linalg.Ws.x_re.(o) and im = ws.Linalg.Ws.x_im.(o) in
        (re *. re) +. (im *. im))
   | F_sparse { net; fact } ->
-    if !Obs.Config.flag then Obs.Metrics.incr "sim.acs.solves";
+    if (Obs.Config.enabled ()) then Obs.Metrics.incr "sim.acs.solves";
     let sws = solve_sparse net fact ~fill:(fill_injection net ~p ~n) in
     (match Indexing.node_index net.idx out with
      | None -> 0.0
@@ -545,7 +545,7 @@ let injection_gain2 f ~p ~n ~out =
        (re *. re) +. (im *. im))
 
 let observe_transfer t0 =
-  if !Obs.Config.flag then
+  if (Obs.Config.enabled ()) then
     Obs.Metrics.observe "sim.acs.solve_us" (Obs.Clock.monotonic_us () -. t0)
 
 let transfer ?backend net ~freq ~out =

@@ -98,7 +98,7 @@ let newton backend kind prog idx ~gmin ~alpha ~max_iter x0 =
                  iterate — a zero pivot or overflow through a tiny one;
                  retry the same values with the pivoting natural-order
                  factor over the same pattern *)
-              if !Obs.Config.flag then
+              if (Obs.Config.enabled ()) then
                 Obs.Metrics.incr "sim.dcop.pivot_fallbacks";
               let nfact =
                 Linalg.Sparse.Real.create
@@ -131,7 +131,7 @@ let newton backend kind prog idx ~gmin ~alpha ~max_iter x0 =
       else loop (iter + 1)
     end
   in
-  if not !Obs.Config.flag then loop 0
+  if not (Obs.Config.enabled ()) then loop 0
   else
     Obs.Trace.with_span ~cat:"sim"
       ~args:[ ("gmin", Obs.Trace.Float gmin); ("alpha", Obs.Trace.Float alpha) ]
@@ -220,7 +220,7 @@ let solve ?backend ?(guess = fun _ -> None) ?(max_iter = 100) ?(gmin = 1e-12)
             Obs.Metrics.incr "sim.dcop.failures";
             raise (Phys.Numerics.No_convergence "Dcop.solve: DC analysis failed")))
   in
-  if !Obs.Config.flag then begin
+  if (Obs.Config.enabled ()) then begin
     Obs.Metrics.incr "sim.dcop.solves";
     Obs.Metrics.observe "sim.dcop.solve_us" (Obs.Clock.monotonic_us () -. t0);
     Obs.Trace.add_arg "total_iters" (Obs.Trace.Int !total_iters);

@@ -1,11 +1,11 @@
 let db x = 20.0 *. log10 (Float.max 1e-300 (Float.abs x))
 
 let magnitude net ~out freq =
-  if !Obs.Config.flag then Obs.Metrics.incr "sim.measure.points";
+  if (Obs.Config.enabled ()) then Obs.Metrics.incr "sim.measure.points";
   Complex.norm (Acs.transfer net ~freq ~out)
 
 let phase_deg net ~out freq =
-  if !Obs.Config.flag then Obs.Metrics.incr "sim.measure.points";
+  if (Obs.Config.enabled ()) then Obs.Metrics.incr "sim.measure.points";
   let h = Acs.transfer net ~freq ~out in
   Complex.arg h *. 180.0 /. Float.pi
 

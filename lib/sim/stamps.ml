@@ -22,22 +22,25 @@ let backend_name = function
   | Sparse Linalg.Sparse.Min_degree -> "sparse"
   | Sparse Linalg.Sparse.Natural -> "sparse-natural"
 
-(* Process-wide default backend, selectable without code changes
-   (LOSAC_BACKEND / --backend / Exec.Ctx); unrecognized env values fall
-   back to [Kernel] like the other LOSAC_* switches. *)
-let default : backend ref =
+(* Default backend, selectable without code changes (LOSAC_BACKEND /
+   --backend / Exec.Ctx); unrecognized env values fall back to [Kernel]
+   like the other LOSAC_* switches.  Resolution order inside an
+   analysis: explicit [?backend] > context-local binding
+   ([with_default_backend], domain-local) > [global] > [Kernel]. *)
+let global : backend ref =
   ref
     (match Sys.getenv_opt "LOSAC_BACKEND" with
      | Some s -> (match backend_of_string s with Ok b -> b | Error _ -> Kernel)
      | None -> Kernel)
 
-let default_backend () = !default
-let set_default_backend b = default := b
+let local : backend Obs.Fluid.t = Obs.Fluid.make ()
 
-let with_default_backend b f =
-  let old = !default in
-  default := b;
-  Fun.protect ~finally:(fun () -> default := old) f
+let default_backend () =
+  match Obs.Fluid.get local with Some b -> b | None -> !global
+
+let set_default_backend b = global := b
+
+let with_default_backend b f = Obs.Fluid.with_value local b f
 
 type smat = { spat : Linalg.Sparse.pattern; svals : float array }
 

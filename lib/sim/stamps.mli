@@ -24,14 +24,21 @@ val backend_of_string : string -> (backend, string) result
 val backend_name : backend -> string
 
 val default_backend : unit -> backend
-(** The process-wide default backend used when an analysis gets no
-    explicit [?backend].  Initialised from [LOSAC_BACKEND] ([Kernel]
+(** The effective default backend used when an analysis gets no
+    explicit [?backend]: the calling domain's context-local binding
+    ({!with_default_backend}) if one is active, the process-wide
+    global otherwise.  Resolution order:
+    {e [?backend] override > ctx binding > global > [Kernel]}.
+    The global is initialised from [LOSAC_BACKEND] ([Kernel]
     when unset or unrecognized). *)
 
 val set_default_backend : backend -> unit
+(** Set the process-global fallback (CLI startup, [--backend]). *)
 
 val with_default_backend : backend -> (unit -> 'a) -> 'a
-(** Scoped override of the default backend (exception-safe). *)
+(** Context-local override of the default backend on the calling domain
+    (exception-safe; never touches the global).  Propagated to pool
+    worker domains per batch by [Par.Pool]. *)
 
 type smat = { spat : Linalg.Sparse.pattern; svals : float array }
 (** A stamped sparse matrix: the natural-order CSR pattern of the

@@ -100,7 +100,7 @@ let newton_step backend sparse proc kind circuit idx ~gmin ~time ~dt ~prev x0 =
                  0 V feedback source) or overflow through a tiny one;
                  retry the same values under the pivoting natural-order
                  factor of the same pattern *)
-              if !Obs.Config.flag then
+              if (Obs.Config.enabled ()) then
                 Obs.Metrics.incr "sim.tran.pivot_fallbacks";
               let nfact =
                 Linalg.Sparse.Real.create

@@ -118,7 +118,7 @@ let size ~proc ~kind ~spec ~parasitics =
   let cload = spec.Spec.cload in
   let evaluate_plan ~cout_par ~l_casc ~i2_ratio =
     (* one width/length evaluation pass over every device of the plan *)
-    if !Obs.Config.flag then Obs.Metrics.incr "comdiac.fc.plan_evals";
+    if (Obs.Config.enabled ()) then Obs.Metrics.incr "comdiac.fc.plan_evals";
     let gm1 = 2.0 *. Float.pi *. spec.Spec.gbw *. (cload +. cout_par) in
     (* input-pair width directly from the required gm using the actual
        model (the square-law gm = 2 Id / Veff heuristic under-sizes once
@@ -282,7 +282,7 @@ let size ~proc ~kind ~spec ~parasitics =
   let sizes, i1, i2, fu, pm, gain_db, gm1, _c_out, iters, _l =
     outer ~cout_par:0.0 ~i2_ratio:1.2 ~iter:0
   in
-  if !Obs.Config.flag then begin
+  if (Obs.Config.enabled ()) then begin
     Obs.Metrics.incr "comdiac.fc.sizings";
     Obs.Metrics.add "comdiac.fc.outer_iters" (float_of_int iters);
     Obs.Trace.add_arg "outer_iters" (Obs.Trace.Int iters);

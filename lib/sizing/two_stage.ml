@@ -133,7 +133,7 @@ let size ~proc ~kind ~spec ~parasitics =
   Obs.Trace.with_span ~cat:"comdiac" "comdiac.size.two_stage" @@ fun () ->
   let target_fu = spec.Spec.gbw and target_pm = spec.Spec.phase_margin in
   let rec go gm1_scale gm6_scale passes =
-    if !Obs.Config.flag then Obs.Metrics.incr "comdiac.two_stage.passes";
+    if (Obs.Config.enabled ()) then Obs.Metrics.incr "comdiac.two_stage.passes";
     let d = size_once ~proc ~kind ~spec ~parasitics ~gm1_scale ~gm6_scale in
     if passes >= 6 then d
     else begin

@@ -142,6 +142,29 @@ let prop_pool_workers_consistent =
       from_pool = List.map mix xs
       && (Memo.stats pool_memo).Memo.entries <= 1024)
 
+let test_cache_off_propagates_to_workers () =
+  (* a context-local cache-off binding must follow the batch onto pool
+     worker domains: no entries may appear while it is in force *)
+  let m = Memo.create ~shards:4 ~capacity:64 ~name:"test.pool-off" () in
+  Cache.Config.set_enabled true;
+  (Cache.Config.with_enabled false @@ fun () ->
+   let r =
+     Par.Pool.map ~jobs:4
+       (fun x -> Memo.find_or_compute m x (fun () -> mix x))
+       (List.init 64 Fun.id)
+   in
+   Alcotest.(check bool) "values still exact" true
+     (r = List.map mix (List.init 64 Fun.id));
+   Alcotest.(check int) "workers honoured the cache-off binding" 0
+     (Memo.stats m).Memo.entries);
+  (* the binding ended with the scope: the same batch now populates *)
+  ignore
+    (Par.Pool.map ~jobs:4
+       (fun x -> Memo.find_or_compute m x (fun () -> mix x))
+       (List.init 8 Fun.id));
+  Alcotest.(check bool) "workers cache again after the scope" true
+    ((Memo.stats m).Memo.entries > 0)
+
 (* --- execution context ---------------------------------------------------- *)
 
 let test_ctx_resolution () =
@@ -176,6 +199,8 @@ let suite =
       case "disabled cache bypasses table and counters" test_disabled_bypasses;
       case "LRU eviction order" test_lru_eviction_order;
       case "flow case: cache on == cache off" test_flow_bit_identity;
+      case "cache-off binding propagates to pool workers"
+        test_cache_off_propagates_to_workers;
       case "ctx resolution and scoped flags" test_ctx_resolution;
     ]
     @ qcheck_cases [ prop_pool_workers_consistent ] )

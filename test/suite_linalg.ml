@@ -183,9 +183,7 @@ let test_matvec_into () =
    [Gc.minor_words] bookkeeping itself — a backend that boxed matrix
    elements would allocate thousands of words per solve. *)
 let test_workspace_zero_alloc () =
-  let saved = !Obs.Config.flag in
-  Obs.Config.flag := false;
-  Fun.protect ~finally:(fun () -> Obs.Config.flag := saved) @@ fun () ->
+  Obs.Config.with_enabled false @@ fun () ->
   let n = 16 in
   let st = Random.State.make [| 7 |] in
   let rows =
@@ -430,9 +428,7 @@ let test_sparse_singular_identical () =
    heap up to a small per-call bookkeeping constant — a backend boxing
    matrix elements would allocate tens of thousands of words here. *)
 let test_sparse_refactor_zero_alloc () =
-  let saved = !Obs.Config.flag in
-  Obs.Config.flag := false;
-  Fun.protect ~finally:(fun () -> Obs.Config.flag := saved) @@ fun () ->
+  Obs.Config.with_enabled false @@ fun () ->
   let n = 16 in
   let pat, sv, _rows, b = random_sparse_system ~dominant:true n 7 in
   let nat = Sp.Real.create (Sp.symbolic Sp.Natural pat) in

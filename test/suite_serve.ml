@@ -359,7 +359,12 @@ let test_served_oversized_closes_connection () =
   Unix.close sock
 
 let test_served_overloaded () =
-  with_server ~config:{ Serve.Server.default_config with queue_limit = 1 }
+  (* pinned to one executor: the assertions below rely on single-executor
+     ordering (job 2 stays queued while job 1 runs, so the queue is full
+     when job 3 arrives) *)
+  with_server
+    ~config:
+      { Serve.Server.default_config with queue_limit = 1; executors = 1 }
   @@ fun _server path ->
   let c = Serve.Client.connect path in
   (* occupy the executor; once it dequeues job 1 the queue is empty again *)
@@ -406,6 +411,230 @@ let test_shutdown_drains () =
   Serve.Client.close c;
   Alcotest.(check bool) "socket file removed" false (Sys.file_exists path)
 
+(* --- context-local execution flags ----------------------------------------- *)
+
+(* The four pairwise-conflicting switch combinations of the tentpole
+   acceptance test: cache on/off x backend kernel/sparse-natural. *)
+let conflict_combos =
+  [
+    (true, Sim.Stamps.Kernel);
+    (false, Sim.Stamps.Kernel);
+    (true, Sim.Stamps.Sparse Linalg.Sparse.Natural);
+    (false, Sim.Stamps.Sparse Linalg.Sparse.Natural);
+  ]
+
+let prop_conflicting_ctx_identity =
+  QCheck.Test.make
+    ~name:
+      "4 concurrent jobs with conflicting ctx flags are bit-identical to \
+       their solo runs"
+    ~count:3
+    QCheck.(make Gen.(int_bound 1000))
+    (fun base_seed ->
+      let reqs =
+        List.mapi
+          (fun k (cache, backend) ->
+            P.request ~id:(100 + k) ~cache ~backend
+              (P.Mc { n = 2; seed = base_seed + k }))
+          conflict_combos
+      in
+      (* solo reference: each request executed alone, sequentially *)
+      let solo = List.map (fun r -> P.canonical (Serve.Api.execute r)) reqs in
+      let served = Array.make (List.length reqs) "" in
+      with_server ~config:{ Serve.Server.default_config with executors = 4 }
+      @@ fun _server path ->
+      let threads =
+        List.mapi
+          (fun k req ->
+            Thread.create
+              (fun () ->
+                let c = Serve.Client.connect path in
+                served.(k) <- P.canonical (Serve.Client.call c req);
+                Serve.Client.close c)
+              ())
+          reqs
+      in
+      List.iter Thread.join threads;
+      List.for_all2 String.equal solo (Array.to_list served))
+
+let test_scope_restores_nothing_global () =
+  (* a scope with every switch overridden must leave the process globals
+     untouched: other domains see them unchanged mid-scope, and the
+     binding domain sees them again after exit *)
+  Cache.Config.set_enabled true;
+  Obs.Config.set_enabled false;
+  Sim.Stamps.set_default_backend Sim.Stamps.Kernel;
+  let globals_elsewhere () =
+    Domain.join
+      (Domain.spawn (fun () ->
+           ( Cache.Config.enabled (),
+             Obs.Config.enabled (),
+             Sim.Stamps.default_backend () )))
+  in
+  let ctx =
+    Exec.Ctx.make ~cache:false ~telemetry:true
+      ~backend:(Sim.Stamps.Sparse Linalg.Sparse.Min_degree) proc
+  in
+  (match
+     Exec.Ctx.scope (Some ctx) (fun () ->
+         Alcotest.(check bool) "cache off inside the scope" false
+           (Cache.Config.enabled ());
+         Alcotest.(check bool) "telemetry on inside the scope" true
+           (Obs.Config.enabled ());
+         (match Sim.Stamps.default_backend () with
+          | Sim.Stamps.Sparse Linalg.Sparse.Min_degree -> ()
+          | _ -> Alcotest.fail "backend not bound inside the scope");
+         let c, o, b = globals_elsewhere () in
+         Alcotest.(check bool) "other domains: cache global intact" true c;
+         Alcotest.(check bool) "other domains: telemetry global intact" false
+           o;
+         match b with
+         | Sim.Stamps.Kernel -> ()
+         | _ -> Alcotest.fail "backend global leaked to another domain")
+   with
+   | Ok () -> ()
+   | Error e -> raise e);
+  Alcotest.(check bool) "cache global restored" true (Cache.Config.enabled ());
+  Alcotest.(check bool) "telemetry global restored" false
+    (Obs.Config.enabled ());
+  match Sim.Stamps.default_backend () with
+  | Sim.Stamps.Kernel -> ()
+  | _ -> Alcotest.fail "backend global not restored after the scope"
+
+(* --- cancellation ----------------------------------------------------------- *)
+
+let test_cancel_running () =
+  with_server @@ fun _server path ->
+  let c = Serve.Client.connect path in
+  let t0 = Obs.Clock.monotonic_s () in
+  Serve.Client.submit c (P.request ~id:31 (P.Sleep { seconds = 2.0 }));
+  Thread.delay 0.1;
+  Serve.Client.submit c (P.request ~id:32 (P.Cancel { target = 31 }));
+  (* the acknowledgement overtakes the cancelled job's final *)
+  let ack = Serve.Client.await c 32 in
+  (match ack.P.status with
+   | P.Done ->
+     Alcotest.(check string) "ack says cancelled"
+       {|{"target":31,"cancelled":true}|}
+       (J.to_string ack.P.payload)
+   | s -> Alcotest.failf "cancel ack gave %s" (P.status_string s));
+  let r = Serve.Client.await c 31 in
+  Serve.Client.close c;
+  (match r.P.status with
+   | P.Cancelled -> ()
+   | s -> Alcotest.failf "expected cancelled, got %s" (P.status_string s));
+  let elapsed = Obs.Clock.monotonic_s () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "aborted the 2 s sleep early (%.2f s)" elapsed)
+    true (elapsed < 1.0)
+
+let test_cancel_queued () =
+  (* one executor: the target stays queued behind the sleep, so it is
+     answered [cancelled] at pop without ever executing *)
+  with_server ~config:{ Serve.Server.default_config with executors = 1 }
+  @@ fun _server path ->
+  let c = Serve.Client.connect path in
+  Serve.Client.submit c (P.request ~id:41 (P.Sleep { seconds = 0.4 }));
+  Thread.delay 0.1;
+  Serve.Client.submit c (P.request ~id:42 (P.Mc { n = 4; seed = 3 }));
+  Serve.Client.submit c (P.request ~id:43 (P.Cancel { target = 42 }));
+  let ack = Serve.Client.await c 43 in
+  (match ack.P.status with
+   | P.Done ->
+     Alcotest.(check string) "ack says cancelled"
+       {|{"target":42,"cancelled":true}|}
+       (J.to_string ack.P.payload)
+   | s -> Alcotest.failf "cancel ack gave %s" (P.status_string s));
+  (* finals arrive in executor order on one executor: the running job
+     41 answers first, the cancelled 42 right after it ([await]
+     discards other ids, so collect in arrival order) *)
+  let r41 = Serve.Client.await c 41 in
+  (match r41.P.status with
+   | P.Done -> ()
+   | s -> Alcotest.failf "unrelated job gave %s" (P.status_string s));
+  let r42 = Serve.Client.await c 42 in
+  (match r42.P.status with
+   | P.Cancelled -> ()
+   | s -> Alcotest.failf "queued target gave %s" (P.status_string s));
+  Serve.Client.close c
+
+let test_cancel_unknown_target () =
+  with_server @@ fun _server path ->
+  let c = Serve.Client.connect path in
+  let ack = Serve.Client.call c (P.request ~id:51 (P.Cancel { target = 999 })) in
+  Serve.Client.close c;
+  match ack.P.status with
+  | P.Done ->
+    Alcotest.(check string) "ack says not found"
+      {|{"target":999,"cancelled":false}|}
+      (J.to_string ack.P.payload)
+  | s -> Alcotest.failf "cancel of unknown target gave %s" (P.status_string s)
+
+(* --- multi-executor scheduling ---------------------------------------------- *)
+
+let test_executors_overlap () =
+  (* two 0.3 s sleeps from two clients must overlap on two executors *)
+  with_server ~config:{ Serve.Server.default_config with executors = 2 }
+  @@ fun server path ->
+  Alcotest.(check int) "clamped executor count" 2 (Serve.Server.executors server);
+  let t0 = Obs.Clock.monotonic_s () in
+  let threads =
+    List.init 2 (fun k ->
+      Thread.create
+        (fun () ->
+          let c = Serve.Client.connect path in
+          let r =
+            Serve.Client.call c
+              (P.request ~id:(60 + k) (P.Sleep { seconds = 0.3 }))
+          in
+          Serve.Client.close c;
+          match r.P.status with
+          | P.Done -> ()
+          | s -> Alcotest.failf "sleep failed: %s" (P.status_string s))
+        ())
+  in
+  List.iter Thread.join threads;
+  let wall = Obs.Clock.monotonic_s () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "two 0.3 s sleeps overlapped (wall %.2f s)" wall)
+    true
+    (wall < 0.55);
+  let stats = Serve.Server.executor_stats server in
+  Alcotest.(check int) "one stats row per executor" 2 (List.length stats);
+  Alcotest.(check int) "both jobs accounted" 2
+    (List.fold_left (fun acc s -> acc + s.Serve.Server.ex_jobs) 0 stats)
+
+let test_round_robin_fairness () =
+  (* a client pipelining a deep backlog must not starve another client's
+     single request: round-robin admission serves B after at most one of
+     A's queued jobs *)
+  with_server ~config:{ Serve.Server.default_config with executors = 1 }
+  @@ fun _server path ->
+  let a = Serve.Client.connect path in
+  for i = 1 to 8 do
+    Serve.Client.submit a (P.request ~id:i (P.Sleep { seconds = 0.05 }))
+  done;
+  Thread.delay 0.02;
+  let b = Serve.Client.connect path in
+  let t0 = Obs.Clock.monotonic_s () in
+  let r = Serve.Client.call b (P.request ~id:100 P.Ping) in
+  let b_wait = Obs.Clock.monotonic_s () -. t0 in
+  Serve.Client.close b;
+  (match r.P.status with
+   | P.Done -> ()
+   | s -> Alcotest.failf "B's ping failed: %s" (P.status_string s));
+  (* 8 x 0.05 s backlog; fairness bounds B's wait by ~2 slices, not the
+     whole backlog *)
+  Alcotest.(check bool)
+    (Printf.sprintf "B served ahead of A's backlog (%.2f s)" b_wait)
+    true (b_wait < 0.25);
+  for i = 1 to 8 do
+    match (Serve.Client.await a i).P.status with
+    | P.Done -> ()
+    | s -> Alcotest.failf "A's job %d failed: %s" i (P.status_string s)
+  done;
+  Serve.Client.close a
+
 let suite =
   ( "serve",
     [
@@ -428,5 +657,19 @@ let suite =
       case "queue-full submissions rejected as overloaded"
         test_served_overloaded;
       case "graceful shutdown drains in-flight jobs" test_shutdown_drains;
+      case "scope exit restores nothing global"
+        test_scope_restores_nothing_global;
+      case "cancel aborts a running job" test_cancel_running;
+      case "cancel answers a queued job without executing it"
+        test_cancel_queued;
+      case "cancel of an unknown target acks cancelled:false"
+        test_cancel_unknown_target;
+      case "two executors overlap sleeps" test_executors_overlap;
+      case "round-robin admission keeps clients fair"
+        test_round_robin_fairness;
     ]
-    @ qcheck_cases [ prop_float_roundtrip; prop_request_roundtrip ] )
+    @ qcheck_cases
+        [
+          prop_float_roundtrip; prop_request_roundtrip;
+          prop_conflicting_ctx_identity;
+        ] )

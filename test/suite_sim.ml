@@ -450,8 +450,20 @@ let rel_close a b =
   Float.abs (a -. b)
   <= 1e-9 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
 
-let cx_close (a : Complex.t) (b : Complex.t) =
-  Complex.norm (Complex.sub a b) <= 1e-9 *. Float.max 1.0 (Complex.norm a)
+(* Min-degree picks a different elimination order than the dense kernel,
+   so rounding differs by O(cond * eps): an unlucky ill-conditioned
+   random netlist can reach ~1e-7 relative (e.g. (nodes, seed) =
+   (21, 74041) at 10 kHz) with both answers individually fine.  1e-6
+   keeps the property robust to conditioning while still failing hard on
+   any real ordering bug, which produces O(1) errors. *)
+let md_tol = 1e-6
+
+let rel_close_md a b =
+  Float.abs (a -. b)
+  <= md_tol *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let cx_close_md (a : Complex.t) (b : Complex.t) =
+  Complex.norm (Complex.sub a b) <= md_tol *. Float.max 1.0 (Complex.norm a)
 
 let prop_sparse_dc_bit_identical =
   QCheck.Test.make ~count:60
@@ -471,7 +483,7 @@ let prop_sparse_dc_bit_identical =
 
 let prop_sparse_dc_min_degree_close =
   QCheck.Test.make ~count:60
-    ~name:"sparse min-degree DC within 1e-9 of kernel on random netlists"
+    ~name:"sparse min-degree DC within 1e-6 of kernel on random netlists"
     QCheck.(pair (int_range 2 30) (int_range 0 100000))
     (fun (nodes, seed) ->
       let c, _ = Gen_netlist.make ~nodes ~seed in
@@ -483,7 +495,7 @@ let prop_sparse_dc_min_degree_close =
         | Some s ->
           Array.for_all
             (fun nd ->
-              rel_close (Sim.Dcop.voltage k nd) (Sim.Dcop.voltage s nd))
+              rel_close_md (Sim.Dcop.voltage k nd) (Sim.Dcop.voltage s nd))
             (Sim.Indexing.node_names (Sim.Dcop.indexing k))))
 
 let ac_freqs = [ 1.0; 1e4; 1e7; 1e9 ]
@@ -510,7 +522,7 @@ let prop_sparse_ac_bit_identical =
 
 let prop_sparse_ac_min_degree_close =
   QCheck.Test.make ~count:40
-    ~name:"sparse min-degree AC within 1e-9 of kernel on random netlists"
+    ~name:"sparse min-degree AC within 1e-6 of kernel on random netlists"
     QCheck.(pair (int_range 2 25) (int_range 0 100000))
     (fun (nodes, seed) ->
       let c, out = Gen_netlist.make ~nodes ~seed in
@@ -524,7 +536,7 @@ let prop_sparse_ac_min_degree_close =
               Sim.Acs.transfer ~backend:Sim.Stamps.Kernel net ~freq ~out
             in
             let hs = Sim.Acs.transfer ~backend:sparse_md net ~freq ~out in
-            cx_close hk hs)
+            cx_close_md hk hs)
           ac_freqs)
 
 let try_tran backend c =
@@ -549,7 +561,7 @@ let prop_sparse_tran_bit_identical =
 
 let prop_sparse_tran_min_degree_close =
   QCheck.Test.make ~count:20
-    ~name:"sparse min-degree transient within 1e-9 of kernel on random netlists"
+    ~name:"sparse min-degree transient within 1e-6 of kernel on random netlists"
     QCheck.(pair (int_range 2 15) (int_range 0 100000))
     (fun (nodes, seed) ->
       let c, out = Gen_netlist.make ~nodes ~seed in
@@ -559,7 +571,7 @@ let prop_sparse_tran_min_degree_close =
          may converge under one backend and not the other — only compare
          runs that both completed *)
       | Some k, Some s ->
-        Array.for_all2 rel_close (Sim.Tran.waveform k out)
+        Array.for_all2 rel_close_md (Sim.Tran.waveform k out)
           (Sim.Tran.waveform s out)
       | _ -> true)
 
