@@ -7,7 +7,8 @@
    - time-like keys ([*_s], [*_us], [*_ms], [*_ns], [*_s_per_*],
      [*_ns_per_*]) are lower-is-better within a generous relative band —
      CI machines are noisy and the gate must only catch real cliffs;
-   - [speedup*] and [*hit_rate] are higher-is-better;
+   - [speedup*], [*hit_rate] and throughput rates ([*per_sec*]) are
+     higher-is-better;
    - allocation counts ([*words_per*]) get a relative band plus a small
      absolute slack so a constant few-word change never trips the gate;
    - [identical*] booleans are the bit-identity acceptance flags: a
@@ -67,8 +68,10 @@ let classify key =
   else if contains ~sub:"crossover" key then Info
   else if contains ~sub:"overhead" key then Overhead
   else if contains ~sub:"identical" key then Bool_flag
-  else if contains ~sub:"speedup" key || contains ~sub:"hit_rate" key then
-    Higher
+  else if
+    contains ~sub:"speedup" key || contains ~sub:"hit_rate" key
+    || contains ~sub:"per_sec" key
+  then Higher
   else if contains ~sub:"words_per" key then Alloc
   else if
     ends ~suffix:"_s" key || ends ~suffix:"_us" key || ends ~suffix:"_ms" key

@@ -1531,6 +1531,162 @@ let serve_doc () =
 
 let write_serve_json path = write_doc ~what:"serve" (serve_doc ()) path
 
+(* ------------------------------------------------------------------ *)
+(* Optimizer engine: LUT-tier screening vs naive exact-only search     *)
+
+let opt_records = ref []
+
+(* Points-evaluated/second of the optimizer's evaluation tiers, plus the
+   engine-level determinism and cross-tier agreement flags the gate
+   holds.  The naive baseline is what a search without the two-tier
+   split must pay: the full sizing→parasitic→verify loop
+   (Objective.Simulated) on every candidate it looks at.  Candidates
+   that fail the sizing plan short-circuit the naive path long before
+   the testbench, so the throughput contrast that matters is on the
+   candidates that complete — the feasible stream is timed separately
+   and carries the ≥5x acceptance flag. *)
+let opt_bench () =
+  section "Optimizer: LUT-tier screening vs exact-only verification";
+  let module O = Opt.Objective in
+  let obj = O.make ~proc ~kind ~spec () in
+  let seed = 2 in
+  (* tier timings: memo off so every evaluation is really computed *)
+  let mixed_lut_s, mixed_naive_s, lut_s, sim_s, n_mixed, n_feas =
+    Cache.Config.with_enabled false @@ fun () ->
+    let st = Par.Splitmix.create ~stream:0 42 in
+    let probes = List.init 400 (fun _ -> O.sample_vec st) in
+    ignore (O.eval obj ~mode:O.Lut_plan (List.hd probes));  (* build grids *)
+    let time_tier mode vecs =
+      let t0 = Obs.Clock.monotonic_s () in
+      List.iter (fun v -> ignore (O.eval obj ~mode v)) vecs;
+      (Obs.Clock.monotonic_s () -. t0) /. float_of_int (List.length vecs)
+    in
+    let mixed_lut_s = time_tier O.Lut_plan probes in
+    let mixed_naive_s = time_tier O.Simulated probes in
+    let feasible =
+      List.filter (fun v -> (O.eval obj ~mode:O.Exact_plan v).O.feasible)
+        probes
+    in
+    ( mixed_lut_s, mixed_naive_s,
+      time_tier O.Lut_plan feasible, time_tier O.Simulated feasible,
+      List.length probes, List.length feasible )
+  in
+  let speedup = sim_s /. lut_s in
+  let target_met = speedup >= 5.0 in
+  Format.printf
+    "screening tier (LUT plan): %.0f us/point mixed stream, %.0f us/point \
+     feasible@."
+    (1e6 *. mixed_lut_s) (1e6 *. lut_s);
+  Format.printf
+    "naive exact-only (simulate every candidate): %.0f us/point mixed, \
+     %.0f us/point feasible@."
+    (1e6 *. mixed_naive_s) (1e6 *. sim_s);
+  Format.printf
+    "feasible stream (%d of %d probes): %.0f vs %.0f points/s — %.1fx \
+     (target >= 5x: %s)@."
+    n_feas n_mixed (1.0 /. lut_s) (1.0 /. sim_s) speedup
+    (if target_met then "met" else "NOT MET");
+  opt_records :=
+    Obs.Json.Obj
+      [
+        ("experiment", Obs.Json.Str "tiers");
+        ("probes", Obs.Json.Num (float_of_int n_mixed));
+        ("feasible", Obs.Json.Num (float_of_int n_feas));
+        ("mixed_screen_point_us", Obs.Json.Num (1e6 *. mixed_lut_s));
+        ("mixed_naive_point_us", Obs.Json.Num (1e6 *. mixed_naive_s));
+        ("screen_point_us", Obs.Json.Num (1e6 *. lut_s));
+        ("naive_point_us", Obs.Json.Num (1e6 *. sim_s));
+        ("screen_points_per_sec", Obs.Json.Num (1.0 /. lut_s));
+        ("naive_points_per_sec", Obs.Json.Num (1.0 /. sim_s));
+        ("lut_vs_exact_speedup", Obs.Json.Num speedup);
+        ("target_5x_met", Obs.Json.Bool target_met);
+      ]
+    :: !opt_records;
+  (* engine throughput and jobs-identity: the same optimization at
+     jobs = 1 / 2 / default must return the identical result.  The memo
+     is off so every run pays for every evaluation — otherwise the first
+     run warms the candidate cache and the later rates measure cache
+     hits, not the engine *)
+  let engine ~jobs ~lut =
+    Cache.Config.with_enabled false @@ fun () ->
+    let ctx = Exec.Ctx.make ?jobs proc in
+    Opt.Search.run ~ctx ~starts:6 ~budget:240 ~seed ~lut ~measure:false
+      ~kind ~spec ()
+  in
+  let r1 = engine ~jobs:(Some 1) ~lut:true in
+  let r2 = engine ~jobs:(Some 2) ~lut:true in
+  let rn = engine ~jobs:None ~lut:true in
+  let same (a : Opt.Search.result) (b : Opt.Search.result) =
+    Stdlib.compare
+      (a.Opt.Search.survivors, a.Opt.Search.front, a.Opt.Search.best)
+      (b.Opt.Search.survivors, b.Opt.Search.front, b.Opt.Search.best)
+    = 0
+  in
+  let jobs_identical = same r1 r2 && same r1 rn in
+  Format.printf
+    "engine (6 starts, 240-eval budget): %.0f / %.0f / %.0f points/s at \
+     jobs 1/2/default; results identical across jobs: %b@."
+    (Opt.Search.points_per_second r1)
+    (Opt.Search.points_per_second r2)
+    (Opt.Search.points_per_second rn)
+    jobs_identical;
+  opt_records :=
+    Obs.Json.Obj
+      [
+        ("experiment", Obs.Json.Str "engine");
+        ("starts", Obs.Json.Num 6.0);
+        ("budget", Obs.Json.Num 240.0);
+        ("points_per_sec_jobs1",
+         Obs.Json.Num (Opt.Search.points_per_second r1));
+        ("points_per_sec_jobs2",
+         Obs.Json.Num (Opt.Search.points_per_second r2));
+        ("identical_across_jobs", Obs.Json.Bool jobs_identical);
+      ]
+    :: !opt_records;
+  (* cross-tier agreement at equal verified quality, plus the LUT trust
+     guard over the cells this run actually interpolated from *)
+  let re = engine ~jobs:None ~lut:false in
+  let front_identical =
+    Stdlib.compare rn.Opt.Search.front re.Opt.Search.front = 0
+  in
+  let best_identical =
+    Stdlib.compare rn.Opt.Search.best re.Opt.Search.best = 0
+  in
+  let trust = Device.Lut.trust_check () in
+  let trust_ok = trust.Device.Lut.max_rel_err < 0.05 in
+  Format.printf
+    "LUT toggle at seed %d: front identical %b, best identical %b (verified \
+     best %.4f vs %.4f)@."
+    seed front_identical best_identical rn.Opt.Search.best.O.score
+    re.Opt.Search.best.O.score;
+  Format.printf
+    "LUT trust guard: %d cell(s) visited, max rel err %.2e (< 5%%: %b)@."
+    trust.Device.Lut.cells_visited trust.Device.Lut.max_rel_err trust_ok;
+  opt_records :=
+    Obs.Json.Obj
+      [
+        ("experiment", Obs.Json.Str "lut_agreement");
+        ("seed", Obs.Json.Num (float_of_int seed));
+        ("front_identical_lut", Obs.Json.Bool front_identical);
+        ("best_identical_lut", Obs.Json.Bool best_identical);
+        ("best_score_lut", Obs.Json.Num rn.Opt.Search.best.O.score);
+        ("best_score_exact", Obs.Json.Num re.Opt.Search.best.O.score);
+        ("lut_trust_ok", Obs.Json.Bool trust_ok);
+      ]
+    :: !opt_records
+
+let opt_doc () =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.Str "losac.bench.opt/1");
+      ("cores",
+       Obs.Json.Num (float_of_int (Domain.recommended_domain_count ())));
+      ("jobs", Obs.Json.Num (float_of_int (Par.Pool.default_jobs ())));
+      ("experiments", Obs.Json.Arr (List.rev !opt_records));
+    ]
+
+let write_opt_json path = write_doc ~what:"opt" (opt_doc ()) path
+
 let experiments =
   [
     ("table1", table1);
@@ -1547,6 +1703,7 @@ let experiments =
     ("kernels", kernels);
     ("sparse", sparse_bench);
     ("serve", serve_bench);
+    ("opt", opt_bench);
   ]
 
 let timing_doc () =
@@ -1578,6 +1735,7 @@ let run_check ~baselines ~report_only =
       ("cache", (!cache_records <> []), cache_doc);
       ("kernels", (!kernel_records <> []), kernels_doc);
       ("sparse", (!sparse_records <> []), sparse_doc);
+      ("opt", (!opt_records <> []), opt_doc);
     ]
   in
   section "Perf-regression gate";
@@ -1615,6 +1773,7 @@ let () =
   let json = ref None and cache_json = ref None in
   let kernels_json = ref None and sparse_json = ref None in
   let scaling_json = ref None and serve_json = ref None in
+  let opt_json = ref None in
   let check = ref false and check_report = ref false in
   let baselines = ref "bench/baselines" in
   let rec split = function
@@ -1625,6 +1784,7 @@ let () =
     | "--sparse-json" :: path :: rest -> sparse_json := Some path; split rest
     | "--scaling-json" :: path :: rest -> scaling_json := Some path; split rest
     | "--serve-json" :: path :: rest -> serve_json := Some path; split rest
+    | "--opt-json" :: path :: rest -> opt_json := Some path; split rest
     | "--serve-socket" :: path :: rest -> serve_socket := Some path; split rest
     | "--serve-clients" :: n :: rest ->
       serve_clients := max 1 (int_of_string n); split rest
@@ -1641,13 +1801,14 @@ let () =
          exit 2);
       split rest
     | [ ("--json" | "--cache-json" | "--kernels-json" | "--sparse-json"
-        | "--scaling-json" | "--serve-json" | "--serve-socket"
+        | "--scaling-json" | "--serve-json" | "--opt-json" | "--serve-socket"
         | "--serve-clients" | "--serve-requests" | "--backend"
         | "--baselines") ] ->
       prerr_endline
         "bench: --json/--cache-json/--kernels-json/--sparse-json/\
-         --scaling-json/--serve-json/--serve-socket/--serve-clients/\
-         --serve-requests/--backend/--baselines need an argument";
+         --scaling-json/--serve-json/--opt-json/--serve-socket/\
+         --serve-clients/--serve-requests/--backend/--baselines need an \
+         argument";
       exit 2
     | name :: rest -> names := name :: !names; split rest
   in
@@ -1669,5 +1830,6 @@ let () =
   Option.iter write_kernels_json !kernels_json;
   Option.iter write_sparse_json !sparse_json;
   Option.iter write_serve_json !serve_json;
+  Option.iter write_opt_json !opt_json;
   if !check then
     exit (run_check ~baselines:!baselines ~report_only:!check_report)

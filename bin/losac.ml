@@ -59,6 +59,17 @@ let chunk_term =
   in
   Arg.(value & opt (some int) None & info [ "chunk" ] ~docv:"N" ~doc)
 
+let seed_term =
+  let doc =
+    "Base RNG seed for every stochastic analysis (Monte Carlo sampling, \
+     $(b,optimize) start points).  Same seed, same results at any \
+     $(b,--jobs) count.  Overrides the $(b,LOSAC_SEED) environment \
+     variable; defaults to 42."
+  in
+  Arg.(value
+       & opt (some int) None
+       & info [ "seed" ] ~docv:"N" ~env:(Cmd.Env.info "LOSAC_SEED") ~doc)
+
 (* --- solver backend --------------------------------------------------- *)
 
 let backend_conv =
@@ -118,9 +129,15 @@ let stats_view () =
         (100.0 *. Cache.Memo.hit_rate s)
         s.Cache.Memo.entries s.Cache.Memo.capacity)
     caches;
-  if Device.Lut.tables_built () > 0 then
+  if Device.Lut.tables_built () > 0 then begin
     Format.printf "  %d operating-point LUT grid(s) built@."
       (Device.Lut.tables_built ());
+    let t = Device.Lut.trust_check () in
+    if t.Device.Lut.cells_visited > 0 then
+      Format.printf
+        "  LUT trust: %d grid cell(s) visited, max rel err %.3e vs exact@."
+        t.Device.Lut.cells_visited t.Device.Lut.max_rel_err
+  end;
   Format.printf "pool: %d worker domain(s), queue depth %d@."
     (Par.Pool.num_workers ()) (Par.Pool.queue_depth ());
   (match Par.Pool.worker_stats () with
@@ -208,6 +225,7 @@ type telemetry = {
   chunk : int option;
   cache : bool option;
   backend : Sim.Stamps.backend option;
+  seed : int option;
 }
 
 let telemetry_term =
@@ -254,8 +272,8 @@ let telemetry_term =
                    line) to $(docv); feed it to flamegraph.pl or \
                    speedscope.  Implies telemetry collection.")
   in
-  let setup trace metrics verbose jobs chunk cache backend stats openmetrics
-      prof_folded =
+  let setup trace metrics verbose jobs chunk cache backend seed stats
+      openmetrics prof_folded =
     Fmt_tty.setup_std_outputs ();
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level
@@ -269,16 +287,17 @@ let telemetry_term =
     Option.iter Cache.Config.set_enabled cache;
     Option.iter Sim.Stamps.set_default_backend backend;
     { trace; metrics; stats; openmetrics; prof_folded; jobs; chunk; cache;
-      backend }
+      backend; seed }
   in
   Term.(const setup $ trace $ metrics $ verbose $ jobs_term $ chunk_term
-        $ cache_term $ backend_term $ stats $ openmetrics $ prof_folded)
+        $ cache_term $ backend_term $ seed_term $ stats $ openmetrics
+        $ prof_folded)
 
 (* The execution context handed to the analyses: one bundle instead of
    loose ?jobs/?cache/?telemetry arguments (see Core.Ctx). *)
 let ctx_of ?label tele proc =
   Core.Ctx.make ?jobs:tele.jobs ?chunk:tele.chunk ?cache:tele.cache
-    ?backend:tele.backend ?label proc
+    ?backend:tele.backend ?seed:tele.seed ?label proc
 
 (* Emit whatever telemetry the flags requested, after the command ran. *)
 let telemetry_finish tele =
@@ -341,7 +360,7 @@ let format_term =
    Api.execute the server's executor thread calls. *)
 let request_of ?timeout_s ?telemetry tele proc kind spec workload =
   Serve.Protocol.request ?jobs:tele.jobs ?chunk:tele.chunk ?cache:tele.cache
-    ?backend:tele.backend ?timeout_s ?telemetry
+    ?backend:tele.backend ?seed:tele.seed ?timeout_s ?telemetry
     ~proc:proc.Technology.Process.name ~kind ~spec workload
 
 let emit_json tele req =
@@ -526,7 +545,8 @@ let verify_cmd =
     | Json ->
       emit_json tele
         (request_of tele proc kind spec
-           (Serve.Protocol.Verify { samples; seed = 42 }))
+           (Serve.Protocol.Verify
+              { samples; seed = Exec.Ctx.seed ?override:tele.seed None }))
     | Text ->
     let ctx = ctx_of ~label:"verify" tele proc in
     let design =
@@ -552,6 +572,86 @@ let verify_cmd =
   Cmd.v info
     Term.(const run $ telemetry_term $ format_term $ proc_arg $ kind_arg
           $ spec_term $ samples)
+
+(* --- optimize --------------------------------------------------------- *)
+
+let strategy_conv =
+  let parse s =
+    match Opt.Search.strategy_of_string s with
+    | Some _ -> Ok s
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown strategy %s (nm|anneal)" s))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let starts_arg =
+  Arg.(value & opt int 6
+       & info [ "starts" ] ~docv:"N"
+           ~doc:"Independent multi-start searches; start $(i,i) draws only \
+                 from SplitMix64 stream (seed, $(i,i)), so results are \
+                 bit-identical at any $(b,--jobs) count.")
+
+let budget_arg =
+  Arg.(value & opt int 480
+       & info [ "budget" ] ~docv:"N"
+           ~doc:"Total coarse-tier evaluation budget, split across the \
+                 starts.")
+
+let strategy_arg =
+  Arg.(value & opt strategy_conv "nm"
+       & info [ "strategy" ] ~docv:"NAME"
+           ~doc:"Per-start search strategy: $(b,nm) (Nelder-Mead simplex \
+                 on the candidate lattice) or $(b,anneal) (simulated \
+                 annealing fallback for non-smooth regions).")
+
+let lut_arg =
+  Arg.(value
+       & vflag true
+           [ (true,
+              info [ "lut" ]
+                ~doc:"Run the coarse tier on Device.Lut interpolated \
+                      grids (the default; about an order of magnitude \
+                      cheaper per candidate).  The final front is exact \
+                      either way: survivors are re-verified in the \
+                      simulator.");
+             (false,
+              info [ "no-lut" ]
+                ~doc:"Run the coarse tier on exact device models.") ])
+
+let optimize_cmd =
+  let run tele format proc kind spec starts budget strategy lut =
+    match format with
+    | Json ->
+      emit_json tele
+        (request_of tele proc kind spec
+           (Serve.Protocol.Optimize { starts; budget; strategy; lut }))
+    | Text ->
+      let ctx = ctx_of ~label:"optimize" tele proc in
+      let strategy =
+        match Opt.Search.strategy_of_string strategy with
+        | Some s -> s
+        | None -> Opt.Search.Nelder_mead
+      in
+      let res = Opt.Search.run ~ctx ~starts ~budget ~strategy ~lut ~kind ~spec () in
+      Format.printf "%a@." Opt.Search.pp res;
+      (match res.Opt.Search.best_performance with
+       | Some p ->
+         Format.printf "@.measured performance of best:@.%a@."
+           Comdiac.Performance.pp p
+       | None -> ());
+      telemetry_finish tele
+  in
+  let info =
+    Cmd.info "optimize"
+      ~doc:"Multi-start optimization over sizing-plan inputs: a cheap \
+            LUT-interpolated coarse tier explores, a deterministic \
+            exact-plan polish refines each start, and only the surviving \
+            winners are re-verified in the simulator.  Deterministic for \
+            a given $(b,--seed) at any $(b,--jobs) count."
+  in
+  Cmd.v info
+    Term.(const run $ telemetry_term $ format_term $ proc_arg $ kind_arg
+          $ spec_term $ starts_arg $ budget_arg $ strategy_arg $ lut_arg)
 
 (* --- stats ----------------------------------------------------------- *)
 
@@ -720,7 +820,7 @@ let job_cmd =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"WORKLOAD"
              ~doc:"One of ping, sleep, tech, stats, size, synth, mc, \
-                   corners, verify, cancel.")
+                   corners, verify, optimize, cancel.")
   in
   let target =
     Arg.(value & opt int 0
@@ -752,10 +852,6 @@ let job_cmd =
   let n =
     Arg.(value & opt int 50
          & info [ "n"; "count" ] ~docv:"N" ~doc:"Sample count for $(b,mc).")
-  in
-  let seed =
-    Arg.(value & opt int 42
-         & info [ "seed" ] ~docv:"N" ~doc:"Seed for $(b,mc) / $(b,verify).")
   in
   let samples =
     Arg.(value & opt int 30
@@ -791,8 +887,13 @@ let job_cmd =
              ~doc:"Print interleaved ack/started/telemetry events to \
                    stderr as they arrive.")
   in
-  let run tele proc kind spec workload case topology n seed samples seconds
-      timeout telemetry socket tcp canonical show_events target cancel_after =
+  let run tele proc kind spec workload case topology n samples seconds starts
+      budget strategy lut timeout telemetry socket tcp canonical show_events
+      target cancel_after =
+    (* mc/verify carry their seed as a workload field; it resolves exactly
+       like Exec.Ctx.seed does (--seed > LOSAC_SEED > 42) so a served mc
+       and [losac verify --format json] agree. *)
+    let seed = Exec.Ctx.seed ?override:tele.seed None in
     let workload =
       match workload with
       | "ping" -> Ok Serve.Protocol.Ping
@@ -804,6 +905,8 @@ let job_cmd =
       | "mc" -> Ok (Serve.Protocol.Mc { n; seed })
       | "corners" -> Ok Serve.Protocol.Corners
       | "verify" -> Ok (Serve.Protocol.Verify { samples; seed })
+      | "optimize" ->
+        Ok (Serve.Protocol.Optimize { starts; budget; strategy; lut })
       | "cancel" -> Ok (Serve.Protocol.Cancel { target })
       | other -> Error other
     in
@@ -865,7 +968,8 @@ let job_cmd =
   in
   Cmd.v info
     Term.(const run $ telemetry_term $ proc_arg $ kind_arg $ spec_term
-          $ workload_arg $ case $ topology $ n $ seed $ samples $ seconds
+          $ workload_arg $ case $ topology $ n $ samples $ seconds
+          $ starts_arg $ budget_arg $ strategy_arg $ lut_arg
           $ timeout $ telemetry $ socket_arg $ tcp_arg $ canonical
           $ show_events $ target $ cancel_after)
 
@@ -877,5 +981,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ size_cmd; synth_cmd; layout_cmd; verify_cmd; stats_cmd; tech_cmd;
-            serve_cmd; job_cmd ]))
+          [ size_cmd; synth_cmd; layout_cmd; verify_cmd; optimize_cmd;
+            stats_cmd; tech_cmd; serve_cmd; job_cmd ]))

@@ -1,7 +1,20 @@
+(* Cell lookup strategy per axis, chosen once at build time: uniform and
+   log-uniform axes (the common cases for physical grids) locate a cell
+   with O(1) index arithmetic instead of a binary search — on a hot
+   interpolation path the searches are most of the cost.  The arithmetic
+   result is corrected by a one-step walk so the returned cell is always
+   exactly the binary search's answer, independent of rounding. *)
+type accel =
+  | Uniform of float * float      (* x0, 1/h *)
+  | Log_uniform of float * float  (* log x0, 1/h in log space *)
+  | Search
+
 type t = {
   name : string;
   xs : float array;
   ys : float array;
+  ax : accel;
+  ay : accel;
   outputs : int;
   (* data.((ix * ny + iy) * outputs + k) = f xs.(ix) ys.(iy) component k *)
   data : float array;
@@ -15,6 +28,33 @@ let check_axis label a =
       invalid_arg
         (Printf.sprintf "Lut.build: %s must be strictly increasing" label)
   done
+
+(* Detect (log-)uniform spacing.  The tolerance is loose relative to the
+   one-step fixup in [cell]: a misdetection within tolerance still yields
+   exact cell indices, it just walks one extra step. *)
+let detect_accel a =
+  let n = Array.length a in
+  let near h ideal v = Float.abs (v -. ideal) <= 1e-9 *. Float.max h (Float.abs ideal) in
+  let uniform_on g =
+    let g0 = g 0 and gn = g (n - 1) in
+    let h = (gn -. g0) /. float_of_int (n - 1) in
+    if not (h > 0.0 && Float.is_finite h) then None
+    else begin
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if not (near h (g0 +. (float_of_int i *. h)) (g i)) then ok := false
+      done;
+      if !ok then Some (g0, 1.0 /. h) else None
+    end
+  in
+  match uniform_on (fun i -> a.(i)) with
+  | Some (x0, inv_h) -> Uniform (x0, inv_h)
+  | None ->
+    if a.(0) > 0.0 then
+      match uniform_on (fun i -> Float.log a.(i)) with
+      | Some (lx0, inv_lh) -> Log_uniform (lx0, inv_lh)
+      | None -> Search
+    else Search
 
 let build ~name ~xs ~ys ~f =
   check_axis "xs" xs;
@@ -36,32 +76,47 @@ let build ~name ~xs ~ys ~f =
     Obs.Metrics.incr "cache.lut.builds";
     Obs.Metrics.add "cache.lut.built_points" (float_of_int (nx * ny))
   end;
-  { name; xs; ys; outputs; data }
+  { name; xs; ys; ax = detect_accel xs; ay = detect_accel ys; outputs; data }
 
 (* Index of the cell containing x: largest i with a.(i) <= x, clamped so
-   that [i + 1] is always a valid grid point. *)
-let cell a x =
+   that [i + 1] is always a valid grid point.  The accelerated paths
+   guess by index arithmetic, then walk the guess until the invariant
+   a.(i) <= x < a.(i + 1) holds exactly — the result is identical to the
+   binary search whatever the rounding of the guess. *)
+let cell accel a x =
   let n = Array.length a in
   if x <= a.(0) then 0
   else if x >= a.(n - 1) then n - 2
-  else begin
-    let lo = ref 0 and hi = ref (n - 1) in
-    while !hi - !lo > 1 do
-      let mid = (!lo + !hi) / 2 in
-      if a.(mid) <= x then lo := mid else hi := mid
-    done;
-    !lo
-  end
+  else
+    match accel with
+    | Uniform _ | Log_uniform _ ->
+      let guess =
+        match accel with
+        | Uniform (x0, inv_h) -> (x -. x0) *. inv_h
+        | Log_uniform (lx0, inv_lh) -> (Float.log x -. lx0) *. inv_lh
+        | Search -> assert false
+      in
+      let i = ref (int_of_float guess) in
+      if !i < 0 then i := 0 else if !i > n - 2 then i := n - 2;
+      while !i > 0 && x < a.(!i) do decr i done;
+      while !i < n - 2 && a.(!i + 1) <= x do incr i done;
+      !i
+    | Search ->
+      let lo = ref 0 and hi = ref (n - 1) in
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if a.(mid) <= x then lo := mid else hi := mid
+      done;
+      !lo
 
 let frac a i x =
   let span = a.(i + 1) -. a.(i) in
   Float.max 0.0 (Float.min 1.0 ((x -. a.(i)) /. span))
 
-let eval_into t out x y =
+let eval_into_at t out ~ix ~iy x y =
   if Array.length out <> t.outputs then
-    invalid_arg "Lut.eval_into: wrong buffer length";
+    invalid_arg "Lut.eval_into_at: wrong buffer length";
   let ny = Array.length t.ys in
-  let ix = cell t.xs x and iy = cell t.ys y in
   let tx = frac t.xs ix x and ty = frac t.ys iy y in
   let base ix iy = (ix * ny + iy) * t.outputs in
   let b00 = base ix iy
@@ -80,10 +135,62 @@ let eval_into t out x y =
       +. (w11 *. t.data.(b11 + k))
   done
 
+let eval_into t out x y =
+  eval_into_at t out ~ix:(cell t.ax t.xs x) ~iy:(cell t.ay t.ys y) x y
+
 let eval t x y =
   let out = Array.make t.outputs 0.0 in
   eval_into t out x y;
   out
+
+let eval1_at t k ~ix ~iy x y =
+  if k < 0 || k >= t.outputs then
+    invalid_arg "Lut.eval1_at: component out of range";
+  let ny = Array.length t.ys in
+  let tx = frac t.xs ix x and ty = frac t.ys iy y in
+  let base ix iy = ((ix * ny) + iy) * t.outputs in
+  ((1.0 -. tx) *. (1.0 -. ty) *. t.data.(base ix iy + k))
+  +. ((1.0 -. tx) *. ty *. t.data.(base ix (iy + 1) + k))
+  +. (tx *. (1.0 -. ty) *. t.data.(base (ix + 1) iy + k))
+  +. (tx *. ty *. t.data.(base (ix + 1) (iy + 1) + k))
+
+let eval1 t k x y =
+  eval1_at t k ~ix:(cell t.ax t.xs x) ~iy:(cell t.ay t.ys y) x y
+
+let locate t x y = (cell t.ax t.xs x, cell t.ay t.ys y)
+
+(* Inversion of one component along x at fixed y, assuming the component
+   is nondecreasing in x.  Bit-identical to bracketing on [eval1] at the
+   x nodes then solving the linear segment, but locates the y column once
+   and reads the two cells of each probed node directly — the difference
+   is a ~10x constant factor on the device-sizing hot path. *)
+let invert_x t k y target =
+  if k < 0 || k >= t.outputs then
+    invalid_arg "Lut.invert_x: component out of range";
+  let ny = Array.length t.ys in
+  let iy = cell t.ay t.ys y in
+  let ty = frac t.ys iy y in
+  let node i =
+    let b = (((i * ny) + iy) * t.outputs) + k in
+    ((1.0 -. ty) *. t.data.(b)) +. (ty *. t.data.(b + t.outputs))
+  in
+  let n = Array.length t.xs in
+  let i =
+    if target <= node 0 then 0
+    else if target >= node (n - 1) then n - 2
+    else begin
+      let lo = ref 0 and hi = ref (n - 1) in
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if node mid <= target then lo := mid else hi := mid
+      done;
+      !lo
+    end
+  in
+  let y0 = node i and y1 = node (i + 1) in
+  let slope = (y1 -. y0) /. (t.xs.(i + 1) -. t.xs.(i)) in
+  if Float.abs slope < 1e-30 then t.xs.(i)
+  else t.xs.(i) +. ((target -. y0) /. slope)
 
 let name t = t.name
 let outputs t = t.outputs

@@ -33,6 +33,37 @@ val eval_into : t -> float array -> float -> float -> unit
 (** Allocation-free variant: writes the interpolated vector into the
     given buffer (length must equal {!outputs}). *)
 
+val eval1 : t -> int -> float -> float -> float
+(** [eval1 t k x y] interpolates component [k] alone, allocation-free —
+    the hot path for inversions that repeatedly probe one output (see
+    [Device.Lut.vgs_for_current]). *)
+
+val eval1_at : t -> int -> ix:int -> iy:int -> float -> float -> float
+(** {!eval1} with the cell indices precomputed ({!locate}) — lets a
+    caller that also needs the cell identity (e.g. a visited-cell
+    tracker) pay for the axis searches once.  Bit-identical to {!eval1}
+    when [(ix, iy) = locate t x y]. *)
+
+val eval_into_at : t -> float array -> ix:int -> iy:int -> float -> float -> unit
+(** {!eval_into} with the cell indices precomputed, the vector analogue
+    of {!eval1_at}. *)
+
+val invert_x : t -> int -> float -> float -> float
+(** [invert_x t k y target] solves [eval1 t k x y = target] for [x],
+    assuming component [k] is nondecreasing in [x] at fixed [y]: the
+    bracketing segment of the piecewise-linear section inverts in closed
+    form, and targets beyond either axis end extrapolate the end segment.
+    Total (never raises on out-of-range targets); the closed-form inverse
+    of {!eval1}'s interpolant, used by [Device.Lut]'s LUT-consistent
+    gate-voltage inversion. *)
+
+val locate : t -> float -> float -> int * int
+(** Cell indices [(ix, iy)] the point [(x, y)] interpolates from, clamped
+    to the grid like {!eval} — [ix + 1] and [iy + 1] are always valid grid
+    points.  This is the cell identity used by consumers that track which
+    parts of a grid a run actually exercised (see [Device.Lut]'s trust
+    guard). *)
+
 val name : t -> string
 val outputs : t -> int
 (** Length of the sampled vectors. *)

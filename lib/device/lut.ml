@@ -5,14 +5,17 @@ module P = Technology.Process
    proportional to W in both model kinds, so any value works. *)
 let w_ref = 1e-6
 
-(* Grid axes: Veff from deep subthreshold to strong inversion in 20 mV
-   steps, L log-spaced from Lmin to 20 um. *)
-let veff_axis () = Array.init 91 (fun i -> -0.3 +. (0.02 *. float_of_int i))
+(* Grid axes: Veff from deep subthreshold to strong inversion in 10 mV
+   steps, L log-spaced from Lmin to 20 um.  Bilinear error shrinks
+   quadratically in the step, and at this density the optimizer's
+   LUT-tier candidate ranking tracks the exact plan closely (see the
+   trust guard and bench opt's front-agreement record). *)
+let veff_axis () = Array.init 181 (fun i -> -0.3 +. (0.01 *. float_of_int i))
 
 let l_axis proc =
   let lmin = P.lmin proc in
   let lmax = 20e-6 in
-  let n = 25 in
+  let n = 49 in
   let ratio = lmax /. lmin in
   Array.init n (fun i ->
     lmin *. (ratio ** (float_of_int i /. float_of_int (n - 1))))
@@ -38,6 +41,13 @@ let sample kind p veff l =
    a Cache.Memo) so LUT mode keeps working when the memo caches are
    disabled. *)
 let tables : (P.t * Model.kind * E.mos_type, Cache.Lut.t) Hashtbl.t =
+  Hashtbl.create 8
+
+(* Visited-cell bitmap per table, indexed like the grid cells ((nx-1) *
+   (ny-1) interpolation cells).  Marking is a single racy byte store —
+   worst case a concurrent mark is lost for one evaluation, which only
+   under-reports the trust sample; bytes never tear. *)
+let visited : (P.t * Model.kind * E.mos_type, Bytes.t) Hashtbl.t =
   Hashtbl.create 8
 
 let tables_mutex = Mutex.create ()
@@ -70,22 +80,165 @@ let table proc kind mtype =
       | Some existing -> existing  (* another domain won the race *)
       | None ->
         Hashtbl.replace tables key t;
+        let nx, ny = Cache.Lut.grid_size t in
+        Hashtbl.replace visited key (Bytes.make ((nx - 1) * (ny - 1)) '\000');
         t)
+
+(* Last-table cache for the sizing-plan hot loop, which hammers one
+   (process, kind, polarity) pair with thousands of evaluations: skip the
+   mutexed hashtable (and the axis copy {!Cache.Lut.xs} makes) on repeat
+   lookups.  Tables, bitmaps and axis snapshots are immutable once
+   published, and process records are shared constants, so physical
+   equality on the key is a safe (conservative) fast path and a stale
+   slot only costs the mutexed lookup again. *)
+type slot = {
+  key : P.t * Model.kind * E.mos_type;
+  t : Cache.Lut.t;
+  bits : Bytes.t;
+  ny1 : int;  (* interpolation cells per veff row, = ny - 1 *)
+}
+
+let hot : slot option Atomic.t = Atomic.make None
+
+let lookup proc kind mtype =
+  match Atomic.get hot with
+  | Some ({ key = p, k, m; _ } as s) when p == proc && k = kind && m = mtype ->
+    s
+  | _ ->
+    let t = table proc kind mtype in
+    let bits =
+      Mutex.protect tables_mutex (fun () ->
+        Hashtbl.find visited (proc, kind, mtype))
+    in
+    let _, ny = Cache.Lut.grid_size t in
+    let s = { key = (proc, kind, mtype); t; bits; ny1 = ny - 1 } in
+    Atomic.set hot (Some s);
+    s
+
+let mark_cell s ix iy =
+  let idx = (ix * s.ny1) + iy in
+  if Bytes.get s.bits idx = '\000' then Bytes.set s.bits idx '\001'
+
+let mark_visited s veff l =
+  let ix, iy = Cache.Lut.locate s.t veff l in
+  mark_cell s ix iy
 
 let tables_built () =
   Mutex.protect tables_mutex (fun () -> Hashtbl.length tables)
 
 let vt_thermal = Phys.Const.thermal_voltage Phys.Const.room_temperature
 
+type trust = {
+  tables : int;
+  cells_visited : int;
+  max_rel_err : float;
+}
+
+(* Sample each visited interpolation cell at its centre and compare the
+   bilinear reconstruction against a fresh exact-model sample (the same
+   width-normalized quantities the grid stores).  Only cells a run has
+   actually exercised are checked, so the reported disagreement reflects
+   the operating regions the workload visited, not the grid's worst
+   corner.  The result is published as the [cache.lut.max_rel_err] and
+   [cache.lut.visited_cells] gauges. *)
+let trust_check () =
+  let snapshot =
+    Mutex.protect tables_mutex (fun () ->
+      Hashtbl.fold
+        (fun key t acc ->
+          match Hashtbl.find_opt visited key with
+          | None -> acc
+          | Some bits -> (key, t, Bytes.copy bits) :: acc)
+        tables [])
+  in
+  let cells = ref 0 and worst = ref 0.0 in
+  List.iter
+    (fun ((proc, kind, mtype), t, bits) ->
+      let p = card proc mtype in
+      let xs = Cache.Lut.xs t and ys = Cache.Lut.ys t in
+      let ny = Array.length ys in
+      let n = Bytes.length bits in
+      for idx = 0 to n - 1 do
+        if Bytes.get bits idx <> '\000' then begin
+          incr cells;
+          let ix = idx / (ny - 1) and iy = idx mod (ny - 1) in
+          let veff = 0.5 *. (xs.(ix) +. xs.(ix + 1)) in
+          let l = 0.5 *. (ys.(iy) +. ys.(iy + 1)) in
+          let interp = Cache.Lut.eval t veff l in
+          let exact = sample kind p veff l in
+          (* ids and gm; gmb tracks gm and adds nothing to the bound *)
+          for k = 0 to 1 do
+            let e = exact.(k) in
+            let err = Float.abs (interp.(k) -. e) /. (Float.abs e +. 1e-18) in
+            if err > !worst then worst := err
+          done
+        end
+      done)
+    snapshot;
+  let r =
+    { tables = List.length snapshot; cells_visited = !cells;
+      max_rel_err = (if !cells = 0 then 0.0 else !worst) }
+  in
+  if Obs.Config.enabled () then begin
+    Obs.Metrics.set "cache.lut.visited_cells" (float_of_int r.cells_visited);
+    Obs.Metrics.set "cache.lut.max_rel_err" r.max_rel_err
+  end;
+  r
+
+(* LUT-consistent inversions.  A sizing plan that interpolates its
+   forward evaluations from the grid must invert the *same* interpolant:
+   mixing exact-model Newton inversions with interpolated forward evals
+   makes the plan internally inconsistent, and the fixed-point iteration
+   amplifies the O(grid error) mismatch into feasibility flips near the
+   convergence boundary.  Both inversions below are exact inverses of
+   {!eval}'s closed form (ids linear in W; piecewise-linear in veff at
+   fixed L), and they are total — out-of-grid targets extrapolate the end
+   segment instead of raising, leaving feasibility decisions to the
+   plan's own constraints. *)
+
+let w_for_current proc kind ~mtype ~l ~ids bias =
+  let s = lookup proc kind mtype in
+  let p = card proc mtype in
+  let vth = Model.threshold kind p ~l ~vbs:bias.Model.vbs in
+  let veff = bias.Model.vgs -. vth in
+  let ix, iy = Cache.Lut.locate s.t veff l in
+  mark_cell s ix iy;
+  let lambda = p.E.clm_coeff /. l in
+  let clm = 1.0 +. (lambda *. bias.Model.vds) in
+  let den = Cache.Lut.eval1_at s.t 0 ~ix ~iy veff l *. clm in
+  (* subthreshold currents are tiny but positive; guard the division so a
+     degenerate candidate yields an absurd width (and fails the plan's
+     own checks) rather than a division by zero *)
+  ids /. Float.max den 1e-12
+
+let vgs_for_current proc kind ~mtype ~w ~l ~ids ~vds ~vbs =
+  let s = lookup proc kind mtype in
+  let p = card proc mtype in
+  let vth = Model.threshold kind p ~l ~vbs in
+  let lambda = p.E.clm_coeff /. l in
+  let clm = 1.0 +. (lambda *. vds) in
+  (* target width-normalized current; [eval] computes
+     ids = out0(veff, l) * w * clm.  out0 is increasing and piecewise
+     linear in veff at fixed l, so the interpolant inverts in closed form
+     (end segments extrapolate beyond the grid). *)
+  let target = ids /. (Float.max w 1e-12 *. clm) in
+  let veff = Cache.Lut.invert_x s.t 0 l target in
+  mark_visited s veff l;
+  vth +. veff
+
 let eval proc kind dev bias =
-  let t = table proc kind dev.Mos.mtype in
+  let s = lookup proc kind dev.Mos.mtype in
+  let t = s.t in
   (* the device's own (mismatch-perturbed) card: exact threshold, exact
      slope factor; the table's curves are indexed by the resulting veff *)
   let p = Mos.params proc dev in
   let l = dev.Mos.l in
   let vth = Model.threshold kind p ~l ~vbs:bias.Model.vbs in
   let veff = bias.Model.vgs -. vth in
-  let out = Cache.Lut.eval t veff l in
+  let ix, iy = Cache.Lut.locate t veff l in
+  mark_cell s ix iy;
+  let out = Array.make (Cache.Lut.outputs t) 0.0 in
+  Cache.Lut.eval_into_at t out ~ix ~iy veff l;
   let lambda = p.E.clm_coeff /. l in
   let clm = 1.0 +. (lambda *. bias.Model.vds) in
   (* beta_scale is already folded into the card's u0 by [Mos.params], but

@@ -29,6 +29,26 @@ val eval :
     voltages, like {!Op.compute}).  Builds the per-process grid on first
     use. *)
 
+val w_for_current :
+  Technology.Process.t -> Model.kind ->
+  mtype:Technology.Electrical.mos_type -> l:float -> ids:float ->
+  Model.bias -> float
+(** LUT-consistent width inversion: the width for which {!eval} at this
+    bias returns exactly [ids] (ids is linear in W in the interpolant).
+    Total — degenerate targets yield extreme widths, never an
+    exception. *)
+
+val vgs_for_current :
+  Technology.Process.t -> Model.kind ->
+  mtype:Technology.Electrical.mos_type -> w:float -> l:float ->
+  ids:float -> vds:float -> vbs:float -> float
+(** LUT-consistent gate-voltage inversion: solves the interpolated
+    width-normalized current curve (piecewise linear in veff at fixed L)
+    in closed form, extrapolating the end segments beyond the grid.
+    A plan that interpolates its forward evaluations must use these
+    inversions — mixing exact Newton inversions with interpolated
+    forward evaluations makes the plan internally inconsistent. *)
+
 val table :
   Technology.Process.t -> Model.kind -> Technology.Electrical.mos_type ->
   Cache.Lut.t
@@ -36,3 +56,21 @@ val table :
 
 val tables_built : unit -> int
 (** Number of distinct grids built so far (diagnostics). *)
+
+type trust = {
+  tables : int;          (** grids built *)
+  cells_visited : int;   (** interpolation cells any {!eval} touched *)
+  max_rel_err : float;
+      (** worst relative ids/gm disagreement between the bilinear
+          reconstruction and a fresh exact-model sample at the centres of
+          the visited cells; [0.0] when nothing was visited *)
+}
+
+val trust_check : unit -> trust
+(** The LUT trust guard: re-sample the exact model at the centre of every
+    grid cell this process has actually interpolated from and report the
+    worst relative disagreement.  Cost is one exact evaluation per
+    visited cell (bounded by the workload's operating-region coverage,
+    not the grid size).  Publishes the [cache.lut.max_rel_err] and
+    [cache.lut.visited_cells] gauges when telemetry is on; surfaced by
+    [losac stats]. *)

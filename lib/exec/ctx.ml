@@ -8,11 +8,14 @@ type t = {
   label : string option;
   deadline : float option;
   cancel : bool Atomic.t;
+  seed : int option;
 }
 
-let make ?jobs ?chunk ?cache ?telemetry ?backend ?label ?deadline ?cancel proc =
+let make ?jobs ?chunk ?cache ?telemetry ?backend ?label ?deadline ?cancel ?seed
+    proc =
   let cancel = match cancel with Some c -> c | None -> Atomic.make false in
-  { proc; jobs; chunk; cache; telemetry; backend; label; deadline; cancel }
+  { proc; jobs; chunk; cache; telemetry; backend; label; deadline; cancel;
+    seed }
 
 let with_timeout timeout_s ctx =
   match timeout_s with
@@ -47,6 +50,24 @@ let chunk ?override ctx =
   match override with
   | Some _ -> override
   | None -> ( match ctx with Some c -> c.chunk | None -> None)
+
+let default_seed = 42
+
+let seed ?override ctx =
+  match override with
+  | Some s -> s
+  | None ->
+    (match (match ctx with Some c -> c.seed | None -> None) with
+     | Some s -> s
+     | None ->
+       (* the environment is the outermost binding: it lets `bench` and
+          scripted runs be re-seeded without touching any call site *)
+       (match Sys.getenv_opt "LOSAC_SEED" with
+        | Some s ->
+          (match int_of_string_opt (String.trim s) with
+           | Some v -> v
+           | None -> default_seed)
+        | None -> default_seed))
 
 let proc ?override ctx =
   match (override, ctx) with

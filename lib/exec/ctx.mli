@@ -48,6 +48,13 @@ type t = {
           to now.  The job server shares this token with its [cancel]
           wire request; sharing one token across contexts makes them
           cancel together. *)
+  seed : int option;
+      (** base RNG seed for every stochastic analysis in scope (Monte
+          Carlo draws, optimizer starts); [None] = the [LOSAC_SEED]
+          environment variable, then the built-in default (42).  Each
+          analysis still derives independent per-sample SplitMix64
+          streams from this one base value, so two analyses sharing a
+          context do not correlate. *)
 }
 
 val make :
@@ -56,6 +63,7 @@ val make :
   ?label:string ->
   ?deadline:float ->
   ?cancel:bool Atomic.t ->
+  ?seed:int ->
   Technology.Process.t -> t
 (** [make proc] is a context with all switches at their defaults (and a
     fresh, unset cancellation token unless [?cancel] supplies a shared
@@ -89,6 +97,13 @@ val jobs : ?override:int -> t option -> int option
 val chunk : ?override:int -> t option -> int option
 (** Resolve the pool chunk size the same way; [None] defers to the
     pool's adaptive planner. *)
+
+val seed : ?override:int -> t option -> int
+(** Resolve the RNG seed the same way as every other switch: explicit
+    [?seed] argument > [ctx.seed] > the [LOSAC_SEED] environment
+    variable > 42.  This is what makes `losac optimize`, `losac job mc`
+    and `bench` reproducible from the command line: the same resolved
+    seed always produces bit-identical results at any jobs count. *)
 
 val proc : ?override:Technology.Process.t -> t option -> Technology.Process.t
 (** Resolve the process: an explicit [~proc] argument wins over

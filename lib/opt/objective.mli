@@ -1,0 +1,90 @@
+(** The optimizer's objective: a candidate vector of COMDIAC plan inputs
+    mapped through the existing sizing/verification machinery to a scalar
+    score — relative spec deficits over the Table-1 targets (GBW, phase
+    margin, a dc-gain floor) weighted 1000:1 over a power + gate-area
+    tiebreak, so any spec-satisfying candidate beats every violating one
+    and the feasible region is ranked by cost.
+
+    {b Candidate space.}  Six knobs of {!Comdiac.Folded_cascode.size_with}:
+    the four effective gate voltages the plan normally derives from range
+    constraints, the starting cascode branch-current ratio, and a length
+    multiplier on the non-cascode devices.  Every coordinate is snapped to
+    a per-dimension lattice (1/64 of the range): revisited points hit the
+    candidate memo exactly, and independent searches that reach the same
+    basin return the {e identical} vector.
+
+    {b Tiers.}  {!mode} selects how much the evaluation costs:
+    [Lut_plan] runs the sizing plan with every forward device evaluation
+    interpolated from {!Device.Lut} grids and scores the plan's own
+    predictions; [Exact_plan] is the same plan on exact models;
+    [Simulated] additionally measures the sized candidate in the MNA
+    simulator (offset-nulled dc gain, GBW, phase margin, quiescent
+    power).  The same scoring formula applies to every tier, which is
+    what lets a cheap tier rank candidates for an exact tier to
+    re-verify. *)
+
+val dims : int
+val names : string array
+val lower : float array
+val upper : float array
+
+val step : int -> float
+(** Lattice step of dimension [d] (1/64 of its range). *)
+
+val snap : float array -> float array
+(** Clamp to the bounds and round every coordinate to its lattice. *)
+
+val sample_vec : Par.Splitmix.t -> float array
+(** One random snapped candidate; draws [dims] floats from the stream in
+    coordinate order (part of the determinism contract). *)
+
+val knobs_of_vec : float array -> Comdiac.Folded_cascode.knobs
+
+type mode = Lut_plan | Exact_plan | Simulated
+
+val mode_tag : mode -> string
+(** ["lut"], ["plan"], ["sim"] — the memo-key / metrics tag. *)
+
+type point = {
+  vec : float array;     (** snapped candidate *)
+  feasible : bool;       (** plan converged and produced finite metrics *)
+  gbw : float;           (** Hz (NaN when infeasible) *)
+  pm : float;            (** degrees *)
+  gain_db : float;
+  power : float;         (** W *)
+  area : float;          (** summed gate area, m^2 *)
+  penalty : float;       (** summed relative spec deficits, 0 = specs met *)
+  score : float;         (** 1000·penalty + power/mW + area/nm² *)
+}
+
+val compare_point : point -> point -> int
+(** Total order: score, then the vector lexicographically — deterministic
+    tie-breaking at any jobs count. *)
+
+val infeasible_score : float
+
+type t
+
+val make :
+  proc:Technology.Process.t ->
+  kind:Device.Model.kind ->
+  spec:Comdiac.Spec.t ->
+  unit -> t
+(** The parasitic view is fixed to {!Comdiac.Parasitics.single_fold}
+    (the paper's case 2 — the knowledge the sizing tool has before any
+    layout exists). *)
+
+val eval : ?ctx:Exec.Ctx.t -> t -> mode:mode -> float array -> point
+(** Evaluate one candidate.  Memoized at candidate granularity
+    ([opt.candidate] in {!Cache.Memo.registry}) keyed by (process, kind,
+    spec, tier, vector); the compute is pure, so results are
+    bit-identical with the cache on or off.  Polls
+    {!Exec.Ctx.check_deadline} (analysis ["optimize"]) before each
+    evaluation, so a served job's timeout or cancellation token
+    interrupts between candidates.  A candidate whose plan diverges is
+    returned as an infeasible point ([score] = {!infeasible_score}),
+    never an exception. *)
+
+val pareto : point list -> point list
+(** Non-dominated subset over (penalty, power, area), feasible points
+    only, sorted by {!compare_point}. *)

@@ -1,0 +1,105 @@
+(** Deterministic, parallel, multi-start search over sizing-plan inputs —
+    the batch-evaluation engine that turns the paper's one-point COMDIAC
+    plan into a high-throughput optimization workload.
+
+    {b Two-tier evaluation.}  Each start runs a four-stage pipeline:
+    (1) {e screening} — its share of the coarse budget as probe vectors
+    drawn from the start's own SplitMix64 stream (the same vectors
+    whichever tier scores them), scored by the coarse tier:
+    {!Objective.Lut_plan} by default (device evaluations interpolated
+    from {!Device.Lut} grids), [Exact_plan] with [~lut:false];
+    (2) {e exact confirmation} — the top screened candidates re-scored
+    with the exact plan, best confirmed score wins; (3) the search
+    strategy (Nelder–Mead or annealing) refining {e on the exact plan}
+    from that winner; (4) a deterministic exact-plan lattice polish down
+    to a lattice-local minimum.  Only the polished per-start winners
+    (the survivors) are re-verified in the simulator
+    ({!Objective.Simulated}); the reported [best] and Pareto [front] are
+    always simulator-scored.  Thousands of coarse candidates therefore
+    cost what dozens of simulated ones used to.
+
+    {b What the LUT toggle can and cannot change.}  Stages 2–4 depend
+    only on (seed, start index, exact plan, confirmed start point), so
+    the toggle influences the result solely through confirmed-set
+    membership.  Exact confirmation repairs coarse-tier {e ranking}
+    noise, but a candidate the LUT plan rejects outright (a feasibility
+    flip — the plan's discrete cascode-ladder and branch-current
+    decisions sit near a threshold and interpolation error tips them)
+    is invisible to the confirmation stage.  Front identity across the
+    toggle is therefore empirical, not structural: high (see `bench
+    opt`'s agreement record and the pinned-seed tests) but not
+    universal, and the verified best quality agrees to well under a
+    percent when the fronts do differ.  Identity across [jobs] and the
+    cache toggle {e is} structural — see below.
+
+    {b Determinism.}  Start [i] draws only from SplitMix64 stream
+    [(seed, i)]; {!Par.Pool.map} reassembles per-start results in start
+    order; survivors and the front are sorted by
+    {!Objective.compare_point} (score, then vector).  Results are
+    bit-identical at any [jobs] count and with the memo cache on or off.
+    The seed resolves via {!Exec.Ctx.seed} (explicit > [ctx.seed] >
+    [LOSAC_SEED] > 42). *)
+
+type strategy = Nelder_mead | Anneal
+
+val strategy_to_string : strategy -> string
+val strategy_of_string : string -> strategy option
+(** ["nm"] / ["anneal"] (also accepts ["nelder-mead"], ["annealing"]). *)
+
+type result = {
+  strategy : strategy;
+  seed : int;              (** resolved seed the run used *)
+  starts : int;
+  budget : int;            (** coarse-tier evaluation budget (total) *)
+  lut : bool;              (** coarse tier interpolated from LUT grids? *)
+  evals_coarse : int;      (** coarse-tier evaluations performed *)
+  evals_polish : int;      (** exact-plan polish evaluations *)
+  evals_sim : int;         (** simulator verifications (= survivors) *)
+  survivors : Objective.point list;
+      (** deduplicated polished winners, simulator-scored, sorted *)
+  front : Objective.point list;
+      (** Pareto front (penalty, power, area) of the survivors *)
+  best : Objective.point;  (** head of [survivors] *)
+  best_design : Comdiac.Folded_cascode.design option;
+      (** exact re-sizing of [best] ([None] if infeasible) *)
+  best_performance : Comdiac.Performance.t option;
+      (** full Table-1 measurement of [best_design] when [~measure] *)
+  elapsed_search_s : float;   (** wall clock, never part of payloads *)
+  elapsed_verify_s : float;
+}
+
+val run :
+  ?ctx:Exec.Ctx.t ->
+  ?starts:int ->
+  ?budget:int ->
+  ?strategy:strategy ->
+  ?seed:int ->
+  ?lut:bool ->
+  ?measure:bool ->
+  ?proc:Technology.Process.t ->
+  kind:Device.Model.kind ->
+  spec:Comdiac.Spec.t ->
+  unit -> result
+(** Defaults: 6 starts, a total coarse budget of 480 evaluations,
+    {!Nelder_mead}, LUT tier on, [measure] on ([measure] runs the full
+    memoized Table-1 measurement on the winner; tests that only compare
+    fronts pass [false]).  Raises on timeout/cancellation
+    ({!Sim.Sim_error.Deadline_exceeded}, polled between candidate
+    evaluations) — use {!run_result} for the [Error Timeout] form.
+    Publishes the {!Device.Lut.trust_check} gauges after the coarse
+    pass. *)
+
+val run_result :
+  ?ctx:Exec.Ctx.t ->
+  ?starts:int -> ?budget:int -> ?strategy:strategy -> ?seed:int ->
+  ?lut:bool -> ?measure:bool ->
+  ?proc:Technology.Process.t ->
+  kind:Device.Model.kind ->
+  spec:Comdiac.Spec.t ->
+  unit -> (result, Sim.Sim_error.t) Stdlib.result
+
+val points_per_second : result -> float
+(** (coarse + polish evaluations) / search wall clock — the headline
+    throughput number `bench opt` records. *)
+
+val pp : Format.formatter -> result -> unit

@@ -208,7 +208,68 @@ let stats_payload () =
            ("domains", J.Arr workers);
          ]);
       ("luts_built", J.Num (float_of_int (Device.Lut.tables_built ())));
+      ("lut_trust",
+       (* the Device.Lut trust guard: exact-model disagreement over the
+          grid cells this process actually interpolated from *)
+       (let t = Device.Lut.trust_check () in
+        J.Obj
+          [
+            ("cells_visited", J.Num (float_of_int t.Device.Lut.cells_visited));
+            ("max_rel_err", J.Num t.Device.Lut.max_rel_err);
+          ]));
     ]
+
+let point_to_json (p : Opt.Objective.point) =
+  J.Obj
+    [
+      ("vec", J.Arr (List.map (fun v -> J.Num v) (Array.to_list p.Opt.Objective.vec)));
+      ("feasible", J.Bool p.Opt.Objective.feasible);
+      ("gbw", J.Num p.Opt.Objective.gbw);
+      ("phase_margin", J.Num p.Opt.Objective.pm);
+      ("gain_db", J.Num p.Opt.Objective.gain_db);
+      ("power", J.Num p.Opt.Objective.power);
+      ("area", J.Num p.Opt.Objective.area);
+      ("penalty", J.Num p.Opt.Objective.penalty);
+      ("score", J.Num p.Opt.Objective.score);
+    ]
+
+let optimize_payload (res : Opt.Search.result) =
+  J.Obj
+    ([
+       ("strategy", J.Str (Opt.Search.strategy_to_string res.Opt.Search.strategy));
+       ("seed", J.Num (float_of_int res.Opt.Search.seed));
+       ("starts", J.Num (float_of_int res.Opt.Search.starts));
+       ("budget", J.Num (float_of_int res.Opt.Search.budget));
+       ("lut", J.Bool res.Opt.Search.lut);
+       ("evals",
+        J.Obj
+          [
+            ("coarse", J.Num (float_of_int res.Opt.Search.evals_coarse));
+            ("polish", J.Num (float_of_int res.Opt.Search.evals_polish));
+            ("sim", J.Num (float_of_int res.Opt.Search.evals_sim));
+          ]);
+       ("best", point_to_json res.Opt.Search.best);
+       ("front", J.Arr (List.map point_to_json res.Opt.Search.front));
+     ]
+    @ (match res.Opt.Search.best_design with
+       | None -> []
+       | Some d ->
+         [
+           ("design",
+            J.Obj
+              [
+                ("devices", devices_payload d.Comdiac.Folded_cascode.amp);
+                ("i1", J.Num d.Comdiac.Folded_cascode.i1);
+                ("i2", J.Num d.Comdiac.Folded_cascode.i2);
+                ("l_casc", J.Num d.Comdiac.Folded_cascode.l_casc);
+                ("iterations",
+                 J.Num (float_of_int d.Comdiac.Folded_cascode.iterations));
+              ]);
+         ])
+    @
+    match res.Opt.Search.best_performance with
+    | None -> []
+    | Some p -> [ ("performance", perf_to_json p) ])
 
 (* --- workload execution ----------------------------------------------- *)
 
@@ -243,7 +304,7 @@ let run_workload ?cancel (r : P.request) proc =
   let ctx =
     Exec.Ctx.with_timeout r.P.timeout_s
       (Exec.Ctx.make ?jobs:r.P.jobs ?chunk:r.P.chunk ?cache:r.P.cache
-         ?backend:r.P.backend
+         ?backend:r.P.backend ?seed:r.P.seed
          ?telemetry:(if r.P.telemetry then Some true else None)
          ~label:(P.workload_name r.P.workload) ?cancel proc)
   in
@@ -334,6 +395,16 @@ let run_workload ?cancel (r : P.request) proc =
          Result.map corners_payload
            (Comdiac.Robustness.run_result ~ctx ~kind ~spec
               design.Comdiac.Folded_cascode.amp)))
+  | P.Optimize { starts; budget; strategy; lut } ->
+    let strategy =
+      match Opt.Search.strategy_of_string strategy with
+      | Some s -> s
+      | None -> Opt.Search.Nelder_mead
+    in
+    Ok
+      (Result.map optimize_payload
+         (Opt.Search.run_result ~ctx ~starts ~budget ~strategy ~lut ~kind
+            ~spec ()))
   | P.Verify { samples; seed } ->
     Ok
       (classify ~analysis:"verify" (fun () -> nominal_design ~proc ~kind ~spec)

@@ -14,6 +14,7 @@ type workload =
   | Mc of { n : int; seed : int }
   | Corners
   | Verify of { samples : int; seed : int }
+  | Optimize of { starts : int; budget : int; strategy : string; lut : bool }
   | Cancel of { target : int }
 
 type request = {
@@ -26,15 +27,16 @@ type request = {
   chunk : int option;
   cache : bool option;
   backend : Sim.Stamps.backend option;
+  seed : int option;
   timeout_s : float option;
   telemetry : bool;
 }
 
 let request ?(id = 0) ?(proc = "c06") ?(kind = Device.Model.Bsim_lite)
-    ?(spec = Comdiac.Spec.paper_ota) ?jobs ?chunk ?cache ?backend ?timeout_s
-    ?(telemetry = false) workload =
-  { id; workload; proc; kind; spec; jobs; chunk; cache; backend; timeout_s;
-    telemetry }
+    ?(spec = Comdiac.Spec.paper_ota) ?jobs ?chunk ?cache ?backend ?seed
+    ?timeout_s ?(telemetry = false) workload =
+  { id; workload; proc; kind; spec; jobs; chunk; cache; backend; seed;
+    timeout_s; telemetry }
 
 let workload_name = function
   | Ping -> "ping"
@@ -46,6 +48,7 @@ let workload_name = function
   | Mc _ -> "mc"
   | Corners -> "corners"
   | Verify _ -> "verify"
+  | Optimize _ -> "optimize"
   | Cancel _ -> "cancel"
 
 let case_to_int = function
@@ -114,6 +117,13 @@ let workload_to_json w =
       [ kv;
         ("samples", J.Num (float_of_int samples));
         ("seed", J.Num (float_of_int seed)) ]
+  | Optimize { starts; budget; strategy; lut } ->
+    J.Obj
+      [ kv;
+        ("starts", J.Num (float_of_int starts));
+        ("budget", J.Num (float_of_int budget));
+        ("strategy", J.Str strategy);
+        ("lut", J.Bool lut) ]
   | Cancel { target } -> J.Obj [ kv; ("target", J.Num (float_of_int target)) ]
 
 let spec_to_json (s : Comdiac.Spec.t) =
@@ -136,6 +146,7 @@ let request_to_json r =
     @ opt "chunk" (fun c -> J.Num (float_of_int c)) r.chunk
     @ opt "cache" (fun b -> J.Bool b) r.cache
     @ opt "backend" (fun b -> J.Str (Sim.Stamps.backend_name b)) r.backend
+    @ opt "seed" (fun s -> J.Num (float_of_int s)) r.seed
   in
   J.Obj
     ([
@@ -316,6 +327,21 @@ let workload_of_json json =
     let* seed = int_field ~default:42 "seed" json in
     if samples <= 0 then Error "verify samples must be positive"
     else Ok (Verify { samples; seed })
+  | "optimize" ->
+    let* starts = int_field ~default:6 "starts" json in
+    let* budget = int_field ~default:480 "budget" json in
+    let* strategy = str_field ~default:"nm" "strategy" json in
+    let* lut =
+      match field "lut" json with
+      | None -> Ok true
+      | Some (J.Bool b) -> Ok b
+      | Some _ -> Error "optimize lut must be a boolean"
+    in
+    if starts <= 0 then Error "optimize starts must be positive"
+    else if budget <= 0 then Error "optimize budget must be positive"
+    else if not (List.mem strategy [ "nm"; "nelder-mead"; "anneal"; "annealing" ])
+    then Error (Printf.sprintf "unknown optimize strategy %S (nm|anneal)" strategy)
+    else Ok (Optimize { starts; budget; strategy; lut })
   | "cancel" ->
     let* target = int_field "target" json in
     Ok (Cancel { target })
@@ -340,7 +366,7 @@ let spec_of_json = function
 
 let ctx_of_json json =
   match json with
-  | None -> Ok (None, None, None, None)
+  | None -> Ok (None, None, None, None, None)
   | Some cj ->
     let opt_int name =
       match field name cj with
@@ -365,7 +391,8 @@ let ctx_of_json json =
          | Error msg -> Error msg)
       | Some _ -> Error "ctx.backend must be a string"
     in
-    Ok (jobs, chunk, cache, backend)
+    let* seed = opt_int "seed" in
+    Ok (jobs, chunk, cache, backend, seed)
 
 let request_of_json json =
   let* api = str_field "api" json in
@@ -389,7 +416,7 @@ let request_of_json json =
       | None -> Error (Printf.sprintf "unknown model %S (level1|bsim-lite)" model)
     in
     let* spec = spec_of_json (field "spec" json) in
-    let* jobs, chunk, cache, backend = ctx_of_json (field "ctx" json) in
+    let* jobs, chunk, cache, backend, seed = ctx_of_json (field "ctx" json) in
     let* timeout_s =
       match field "timeout_s" json with
       | None | Some J.Null -> Ok None
@@ -403,7 +430,7 @@ let request_of_json json =
       | Some _ -> Error "telemetry must be a boolean"
     in
     Ok
-      { id; workload; proc; kind; spec; jobs; chunk; cache; backend;
+      { id; workload; proc; kind; spec; jobs; chunk; cache; backend; seed;
         timeout_s; telemetry }
 
 (* The id recoverable from an arbitrary (possibly invalid) request, for

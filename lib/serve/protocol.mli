@@ -36,6 +36,12 @@ type workload =
   | Verify of { samples : int; seed : int }
       (** the CLI [verify] bundle: Monte Carlo + rebias corner sweep +
           PSRR + common-mode range *)
+  | Optimize of { starts : int; budget : int; strategy : string; lut : bool }
+      (** multi-start optimization over sizing-plan inputs
+          ({!Opt.Search.run}): [strategy] is ["nm"] or ["anneal"], [lut]
+          selects the LUT-interpolated coarse tier, and the seed comes
+          from the request's [ctx.seed] (resolved like every execution
+          switch).  Additive in [losac.job/1]. *)
   | Cancel of { target : int }
       (** cancel the queued or running job with id [target] {e on the
           same connection}: sets its cooperative cancellation token
@@ -56,6 +62,9 @@ type request = {
   chunk : int option;
   cache : bool option;
   backend : Sim.Stamps.backend option;
+  seed : int option;
+      (** base RNG seed ({!Exec.Ctx.seed}); additive [ctx.seed] wire
+          field *)
   timeout_s : float option;
       (** cooperative per-job deadline, enforced between samples /
           corner points / flow iterations *)
@@ -65,7 +74,8 @@ type request = {
 val request :
   ?id:int -> ?proc:string -> ?kind:Device.Model.kind ->
   ?spec:Comdiac.Spec.t -> ?jobs:int -> ?chunk:int -> ?cache:bool ->
-  ?backend:Sim.Stamps.backend -> ?timeout_s:float -> ?telemetry:bool ->
+  ?backend:Sim.Stamps.backend -> ?seed:int -> ?timeout_s:float ->
+  ?telemetry:bool ->
   workload -> request
 (** Request with CLI-default technology ([c06]), model ([bsim-lite]) and
     spec ({!Comdiac.Spec.paper_ota}). *)

@@ -63,7 +63,23 @@ type sizes = {
 
 let rad_to_deg = 180.0 /. Float.pi
 
-let size ~proc ~kind ~spec ~parasitics =
+type knobs = {
+  veff_in : float option;
+  veff_tail : float option;
+  veff_nsink : float option;
+  veff_psrc : float option;
+  i2_ratio : float option;
+  l_mult : float option;
+}
+
+let no_knobs =
+  { veff_in = None; veff_tail = None; veff_nsink = None; veff_psrc = None;
+    i2_ratio = None; l_mult = None }
+
+type dev_eval = Exact_model | Lut_model
+
+let size_with ?(knobs = no_knobs) ?(dev_eval = Exact_model) ~proc ~kind ~spec
+    ~parasitics () =
   Obs.Trace.with_span ~cat:"comdiac" "comdiac.size.folded_cascode" @@ fun () ->
   (match Spec.validate spec with
    | Ok () -> ()
@@ -74,24 +90,34 @@ let size ~proc ~kind ~spec ~parasitics =
   let _, icm_hi = spec.Spec.icmr in
   let vcm = Spec.input_common_mode spec in
   let out_q = Spec.output_quiescent spec in
+  let knob k plan = match k with Some v -> v | None -> plan in
   (* 1. fix the operating point: effective gate voltages from the range
-     constraints (two stacked devices must fit inside each margin) *)
-  let veff_nsink = Float.max 0.12 (0.85 *. out_lo /. 2.0) in
+     constraints (two stacked devices must fit inside each margin); a
+     knob overrides the plan's own choice — the optimizer's search
+     variables enter exactly here, everything downstream follows *)
+  let veff_nsink = knob knobs.veff_nsink (Float.max 0.12 (0.85 *. out_lo /. 2.0)) in
   let veff_ncasc = veff_nsink in
-  let veff_psrc = Float.max 0.15 (0.85 *. (vdd -. out_hi) /. 2.0) in
+  let veff_psrc =
+    knob knobs.veff_psrc (Float.max 0.15 (0.85 *. (vdd -. out_hi) /. 2.0))
+  in
   let veff_pcasc = veff_psrc in
   (* input pair: the high end of the ICM range must leave room for
      vgs_in + veff_tail below the supply *)
   let headroom = vdd -. icm_hi -. pmos.E.vto in
   if headroom < 0.2 then
     failwith "Folded_cascode.size: input common-mode range too high for supply";
-  let veff_in = Float.min 0.20 (0.35 *. headroom) in
-  let veff_tail = Float.min 0.35 (0.55 *. (headroom -. veff_in)) in
+  let veff_in = knob knobs.veff_in (Float.min 0.20 (0.35 *. headroom)) in
+  let veff_tail =
+    knob knobs.veff_tail (Float.min 0.35 (0.55 *. (headroom -. veff_in)))
+  in
   let lmin = P.lmin proc in
-  let l_in = 2.0 *. lmin in
-  let l_tail = 2.0 *. lmin in
-  let l_nsink = 2.0 *. lmin in
-  let l_psrc = 2.0 *. lmin in
+  (* multiplying by the default 1.0 is bit-exact, so the no-knobs path
+     reproduces the original plan identically *)
+  let l_scale = knob knobs.l_mult 1.0 in
+  let l_in = 2.0 *. lmin *. l_scale in
+  let l_tail = 2.0 *. lmin *. l_scale in
+  let l_nsink = 2.0 *. lmin *. l_scale in
+  let l_psrc = 2.0 *. lmin *. l_scale in
   (* intended node voltages *)
   let v_n1 = veff_nsink +. sat_margin in
   let v_n4 = vdd -. (veff_psrc +. sat_margin) in
@@ -108,10 +134,19 @@ let size ~proc ~kind ~spec ~parasitics =
   let width_for mtype ~l ~veff ~ids ~vds ~vbs =
     let p = match mtype with E.Nmos -> nmos | E.Pmos -> pmos in
     let vth = M.threshold kind p ~l ~vbs in
-    M.w_for_current kind p ~l ~ids { M.vgs = vth +. veff; vds; vbs }
+    let bias = { M.vgs = vth +. veff; vds; vbs } in
+    match dev_eval with
+    | Exact_model -> M.w_for_current kind p ~l ~ids bias
+    | Lut_model ->
+      (* invert the interpolant, not the exact model: the LUT plan must
+         be internally consistent or the fixed point amplifies the grid
+         error into feasibility flips *)
+      Device.Lut.w_for_current proc kind ~mtype ~l ~ids bias
   in
   let op_of dev ~ids:_ ~vgs ~vds ~vbs =
-    Device.Op.compute proc kind dev { M.vgs; vds; vbs }
+    match dev_eval with
+    | Exact_model -> Device.Op.compute proc kind dev { M.vgs; vds; vbs }
+    | Lut_model -> Device.Op.compute_lut proc kind dev { M.vgs; vds; vbs }
   in
   (* one full evaluation of the design plan at a given cascode length,
      branch-current ratio and assumed output parasitic capacitance *)
@@ -126,8 +161,13 @@ let size ~proc ~kind ~spec ~parasitics =
     let vds_in = vcm +. pmos.E.vto +. veff_in -. v_n1 in
     let w_unit = 1e-6 in
     let eval_in =
-      M.evaluate kind pmos ~w:w_unit ~l:l_in
-        { M.vgs = pmos.E.vto +. veff_in; vds = vds_in; vbs = 0.0 }
+      let bias = { M.vgs = pmos.E.vto +. veff_in; vds = vds_in; vbs = 0.0 } in
+      match dev_eval with
+      | Exact_model -> M.evaluate kind pmos ~w:w_unit ~l:l_in bias
+      | Lut_model ->
+        Device.Lut.eval proc kind
+          (Device.Mos.make ~name:"P1" ~mtype:E.Pmos ~w:w_unit ~l:l_in ())
+          bias
     in
     let w_in = gm1 /. eval_in.M.gm *. w_unit in
     let i1 = eval_in.M.ids *. (w_in /. w_unit) in
@@ -280,7 +320,7 @@ let size ~proc ~kind ~spec ~parasitics =
     end
   in
   let sizes, i1, i2, fu, pm, gain_db, gm1, _c_out, iters, _l =
-    outer ~cout_par:0.0 ~i2_ratio:1.2 ~iter:0
+    outer ~cout_par:0.0 ~i2_ratio:(knob knobs.i2_ratio 1.2) ~iter:0
   in
   if (Obs.Config.enabled ()) then begin
     Obs.Metrics.incr "comdiac.fc.sizings";
@@ -292,8 +332,11 @@ let size ~proc ~kind ~spec ~parasitics =
   let isink = i1 +. i2 in
   (* bias voltages by model inversion on the final sizes *)
   let vgs_of mtype ~w ~l ~ids ~vds ~vbs =
-    let p = match mtype with E.Nmos -> nmos | E.Pmos -> pmos in
-    M.vgs_for_current kind p ~w ~l ~ids ~vds ~vbs
+    match dev_eval with
+    | Exact_model ->
+      let p = match mtype with E.Nmos -> nmos | E.Pmos -> pmos in
+      M.vgs_for_current kind p ~w ~l ~ids ~vds ~vbs
+    | Lut_model -> Device.Lut.vgs_for_current proc kind ~mtype ~w ~l ~ids ~vds ~vbs
   in
   let vgs_in =
     vgs_of E.Pmos ~w:sizes.w_in ~l:sizes.l_in ~ids:i1
@@ -387,6 +430,9 @@ let size ~proc ~kind ~spec ~parasitics =
     predicted_gain_db = gain_db;
     iterations = iters;
   }
+
+let size ~proc ~kind ~spec ~parasitics =
+  size_with ~proc ~kind ~spec ~parasitics ()
 
 let drain_currents design =
   let i1 = design.i1 and i2 = design.i2 in

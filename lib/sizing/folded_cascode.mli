@@ -37,14 +37,53 @@ val device_names : string list
 (** ["P1"; "P2"; "TAIL"; "P3"; "P4"; "P3C"; "P4C"; "N1C"; "N2C"; "N5";
     "N6"] *)
 
+type knobs = {
+  veff_in : float option;
+  veff_tail : float option;
+  veff_nsink : float option;
+  veff_psrc : float option;
+  i2_ratio : float option;   (** starting cascode/input branch ratio *)
+  l_mult : float option;     (** multiplier on the 2·Lmin non-cascode lengths *)
+}
+(** Overrides for the plan's own operating-point choices — the search
+    variables of the optimizer layer ([Opt]).  [None] fields keep the
+    knowledge-based value, so {!no_knobs} reproduces the paper's plan
+    bit-identically. *)
+
+val no_knobs : knobs
+
+type dev_eval =
+  | Exact_model   (** {!Device.Model.evaluate} / {!Device.Op.compute} *)
+  | Lut_model
+      (** {!Device.Lut.eval} / {!Device.Op.compute_lut}: interpolated
+          operating points for the plan's forward evaluations (the model
+          inversions — widths, thresholds, bias voltages — stay exact).
+          Approximate; the optimizer's cheap first-pass tier. *)
+
 val size :
   proc:Technology.Process.t ->
   kind:Device.Model.kind ->
   spec:Spec.t ->
   parasitics:Parasitics.t ->
   design
-(** Raises [Failure] when the specification cannot be met (e.g. the output
-    range does not fit the supply). *)
+(** [size_with] at the plan's own operating point with exact models.
+    Raises [Failure] when the specification cannot be met (e.g. the
+    output range does not fit the supply). *)
+
+val size_with :
+  ?knobs:knobs ->
+  ?dev_eval:dev_eval ->
+  proc:Technology.Process.t ->
+  kind:Device.Model.kind ->
+  spec:Spec.t ->
+  parasitics:Parasitics.t ->
+  unit ->
+  design
+(** The optimizer entry point: run the same COMDIAC plan with some
+    operating-point choices overridden and (optionally) the forward
+    device evaluations interpolated from {!Device.Lut} grids.  Raises
+    [Failure] when the plan does not converge under the given knob
+    overrides — the optimizer treats that as an infeasible candidate. *)
 
 val drain_currents : design -> (string * float) list
 (** DC drain current magnitude per device — the information passed to the

@@ -94,8 +94,9 @@ let sample_memo :
     Cache.Memo.t =
   Cache.Memo.create ~name:"comdiac.mc_sample" ~shards:8 ~capacity:8192 ()
 
-let run ?(seed = 42) ?(n = 50) ?ctx ?jobs ?proc ~kind ~spec amp =
+let run ?seed ?(n = 50) ?ctx ?jobs ?proc ~kind ~spec amp =
   assert (n > 0);
+  let seed = Exec.Ctx.seed ?override:seed ctx in
   let proc = Exec.Ctx.proc ?override:proc ctx in
   let jobs = Exec.Ctx.jobs ?override:jobs ctx in
   let chunk = Exec.Ctx.chunk ctx in

@@ -46,7 +46,9 @@ val run :
   kind:Device.Model.kind ->
   spec:Spec.t ->
   Amp.t -> result
-(** Default 50 samples, seed 42.  The process comes from [~proc] if
+(** Default 50 samples; the seed resolves like every other execution
+    switch (explicit [?seed] > [ctx.seed] > [LOSAC_SEED] > 42, see
+    {!Exec.Ctx.seed}).  The process comes from [~proc] if
     given, else from [ctx.proc]; pool width from [?jobs] (deprecated
     override), then [ctx.jobs], then {!Par.Pool.default_jobs}.  [ctx]'s
     cache/telemetry switches are applied for the duration of the run.

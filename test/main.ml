@@ -18,4 +18,5 @@ let () =
       Suite_cache.suite;
       Suite_statistics.suite;
       Suite_serve.suite;
+      Suite_opt.suite;
     ]

@@ -46,6 +46,17 @@ let workload_gen =
          map2
            (fun samples seed -> P.Verify { samples = 1 + samples; seed })
            small_nat small_nat);
+        (2,
+         map3
+           (fun starts budget nm ->
+             P.Optimize
+               {
+                 starts = 1 + starts;
+                 budget = 8 + budget;
+                 strategy = (if nm then "nm" else "anneal");
+                 lut = nm;
+               })
+           small_nat small_nat bool);
       ])
 
 let request_gen =
@@ -69,12 +80,13 @@ let request_gen =
            Sim.Stamps.Sparse Linalg.Sparse.Min_degree;
            Sim.Stamps.Sparse Linalg.Sparse.Natural ])
     >>= fun backend ->
+    opt (int_bound 9999) >>= fun seed ->
     opt (float_bound_inclusive 10.0) >>= fun timeout_s ->
     bool >>= fun telemetry ->
     return
       (P.request ~id ~proc ~kind
          ~spec:{ Comdiac.Spec.paper_ota with Comdiac.Spec.vdd; gbw }
-         ?jobs ?chunk ?cache ?backend ?timeout_s ~telemetry workload))
+         ?jobs ?chunk ?cache ?backend ?seed ?timeout_s ~telemetry workload))
 
 let prop_request_roundtrip =
   QCheck.Test.make ~name:"requests round-trip through the wire encoding"
@@ -280,6 +292,46 @@ let test_served_equals_direct () =
         true
         (String.equal expected got))
     results
+
+let test_optimize_served_equals_direct () =
+  (* the optimize workload over the wire must return the byte-identical
+     canonical response the one-shot `losac optimize --format json`
+     path computes (both go through Serve.Api.execute) *)
+  with_server @@ fun _server path ->
+  let req =
+    P.request ~id:12 ~seed:5
+      (P.Optimize { starts = 2; budget = 16; strategy = "nm"; lut = true })
+  in
+  let direct = Serve.Api.execute req in
+  (match direct.P.status with
+   | P.Done -> ()
+   | s -> Alcotest.failf "optimize failed: %s" (P.status_string s));
+  let c = Serve.Client.connect path in
+  let served = Serve.Client.call c req in
+  Serve.Client.close c;
+  Alcotest.(check bool) "served bit-identical to the direct call" true
+    (String.equal (P.canonical direct) (P.canonical served))
+
+let test_optimize_cancel () =
+  (* a deliberately huge budget: the run must die at a candidate
+     boundary long before finishing *)
+  with_server @@ fun _server path ->
+  let c = Serve.Client.connect path in
+  Serve.Client.submit c
+    (P.request ~id:33
+       (P.Optimize
+          { starts = 4; budget = 100000; strategy = "anneal"; lut = true }));
+  Thread.delay 0.15;
+  Serve.Client.submit c (P.request ~id:34 (P.Cancel { target = 33 }));
+  let ack = Serve.Client.await c 34 in
+  (match ack.P.status with
+   | P.Done -> ()
+   | s -> Alcotest.failf "cancel ack gave %s" (P.status_string s));
+  let r = Serve.Client.await c 33 in
+  Serve.Client.close c;
+  match r.P.status with
+  | P.Cancelled -> ()
+  | s -> Alcotest.failf "expected cancelled, got %s" (P.status_string s)
 
 let test_served_events_in_order () =
   with_server @@ fun _server path ->
@@ -649,6 +701,10 @@ let suite =
       case "_result variants" test_result_variants;
       case "served equals direct (4 concurrent clients)"
         test_served_equals_direct;
+      case "optimize: served equals the one-shot CLI result"
+        test_optimize_served_equals_direct;
+      case "optimize: cancellable at candidate boundaries"
+        test_optimize_cancel;
       case "event order ack/started/telemetry" test_served_events_in_order;
       case "malformed request keeps the connection"
         test_served_malformed_keeps_connection;
